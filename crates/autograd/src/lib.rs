@@ -1,0 +1,52 @@
+//! Tape-based reverse-mode automatic differentiation with exact
+//! higher-order gradients.
+//!
+//! # Why higher-order?
+//!
+//! QuickDrop's dataset distillation minimizes, with respect to the
+//! *synthetic samples* `S`, a distance between two gradients:
+//! `d(∇θ L(S), ∇θ L(D))`. Computing `∂/∂S` of that objective requires
+//! differentiating **through** the inner gradient — a second-order
+//! derivative. This crate supports that the same way PyTorch's
+//! `create_graph=True` does: [`Tape::grad`] does not merely *compute*
+//! adjoint values, it *emits them as new differentiable nodes* on the same
+//! tape, so `grad` can be applied to its own output.
+//!
+//! # Design
+//!
+//! * Eager evaluation: every op computes its value immediately and records
+//!   a node on the tape.
+//! * Values are plain [`qd_tensor::Tensor`]s; model parameters live
+//!   *outside* the tape and are inserted per step as leaves, which keeps
+//!   federated averaging and gradient ascent as plain tensor arithmetic.
+//! * Convolution is a composite of the linear pair `im2col`/`col2im` plus
+//!   `matmul`, so its double-backprop falls out of the vjp rules of those
+//!   primitives — no special casing.
+//!
+//! # Examples
+//!
+//! First- and second-order derivatives of `f(x) = x³` at `x = 2`:
+//!
+//! ```
+//! use qd_autograd::Tape;
+//! use qd_tensor::Tensor;
+//!
+//! let mut tape = Tape::new();
+//! let x = tape.leaf(Tensor::scalar(2.0));
+//! let x2 = tape.mul(x, x);
+//! let y = tape.mul(x2, x); // x^3
+//! let dy = tape.grad(y, &[x])[0]; // 3x^2 = 12
+//! let d2y = tape.grad(dy, &[x])[0]; // 6x = 12
+//! assert_eq!(tape.value(dy).item(), 12.0);
+//! assert_eq!(tape.value(d2y).item(), 12.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod check;
+mod kernels;
+mod ops;
+mod tape;
+
+pub use tape::{Tape, Var};

@@ -1,0 +1,206 @@
+//! Vector–Jacobian products for every tape op.
+//!
+//! Each rule *emits ordinary tape ops*, so the gradient of a gradient is
+//! available by construction. Rules for linear ops are their adjoints
+//! (`im2col` ↔ `col2im`, pool ↔ unpool, sum ↔ broadcast, permutes), which
+//! the test-suite verifies by inner-product identities and finite
+//! differences.
+
+use crate::tape::{Op, PoolGeo, Tape};
+use crate::Var;
+
+impl Tape {
+    /// Returns `(input, contribution)` pairs for the node `node` (whose
+    /// recorded op is `op`) given the upstream adjoint `u`.
+    ///
+    /// Every contribution is shaped exactly like its input so that adjoint
+    /// accumulation is a plain elementwise add.
+    pub(crate) fn vjp(&mut self, node: Var, op: &Op, u: Var) -> Vec<(Var, Var)> {
+        match *op {
+            Op::Leaf | Op::Constant | Op::ReluMask => Vec::new(),
+            Op::Add(a, b) => vec![(a, u), (b, u)],
+            Op::Sub(a, b) => {
+                let nb = self.neg(u);
+                vec![(a, u), (b, nb)]
+            }
+            Op::Mul(a, b) => {
+                let da = self.mul(u, b);
+                let db = self.mul(u, a);
+                vec![(a, da), (b, db)]
+            }
+            Op::Div(a, b) => {
+                // y = a / b; da = u / b; db = -u * y / b.
+                let da = self.div(u, b);
+                let y_over_b = self.div(node, b);
+                let ub = self.mul(u, y_over_b);
+                let db = self.neg(ub);
+                vec![(a, da), (b, db)]
+            }
+            Op::Neg(a) => {
+                let da = self.neg(u);
+                vec![(a, da)]
+            }
+            Op::Scale(a, s) => {
+                let da = self.scale(u, s);
+                vec![(a, da)]
+            }
+            Op::AddScalar(a) => vec![(a, u)],
+            Op::MatMul(a, b) => {
+                let bt = self.transpose2(b);
+                let da = self.matmul(u, bt);
+                let at = self.transpose2(a);
+                let db = self.matmul(at, u);
+                vec![(a, da), (b, db)]
+            }
+            Op::Transpose2(a) => {
+                let da = self.transpose2(u);
+                vec![(a, da)]
+            }
+            Op::Relu(a) => {
+                // d relu(x)/dx = 1[x > 0]; the mask is locally constant.
+                let mask = self.relu_mask(a);
+                let da = self.mul(u, mask);
+                vec![(a, da)]
+            }
+            Op::Tanh(a) => {
+                // y = tanh(x); dy/dx = 1 - y².
+                let y2 = self.mul(node, node);
+                let neg = self.neg(y2);
+                let one_minus = self.add_scalar(neg, 1.0);
+                let da = self.mul(u, one_minus);
+                vec![(a, da)]
+            }
+            Op::Sigmoid(a) => {
+                // y = σ(x); dy/dx = y (1 - y).
+                let neg = self.neg(node);
+                let one_minus = self.add_scalar(neg, 1.0);
+                let deriv = self.mul(node, one_minus);
+                let da = self.mul(u, deriv);
+                vec![(a, da)]
+            }
+            Op::MaxPool(a, geo) => {
+                let da = self.max_unpool_scatter(a, u, geo);
+                vec![(a, da)]
+            }
+            Op::MaxUnpoolMask => Vec::new(),
+            Op::Sqrt(a) => {
+                // y = sqrt(a); da = u / (2 y).
+                let half_u = self.scale(u, 0.5);
+                let da = self.div(half_u, node);
+                vec![(a, da)]
+            }
+            Op::Exp(a) => {
+                let da = self.mul(u, node);
+                vec![(a, da)]
+            }
+            Op::Ln(a) => {
+                let da = self.div(u, a);
+                vec![(a, da)]
+            }
+            Op::SumAll(a) => {
+                let dims = self.value(a).dims().to_vec();
+                let da = self.broadcast_to(u, &dims);
+                vec![(a, da)]
+            }
+            Op::BroadcastTo(a) => {
+                let s = self.sum_all(u);
+                let da = self.reshape_like(s, a);
+                vec![(a, da)]
+            }
+            Op::SumRows(a) => {
+                let m = self.value(a).dims()[0];
+                let da = self.broadcast_rows(u, m);
+                vec![(a, da)]
+            }
+            Op::BroadcastRows(a) => {
+                let da = self.sum_rows(u);
+                vec![(a, da)]
+            }
+            Op::SumCols(a) => {
+                let n = self.value(a).dims()[1];
+                let da = self.broadcast_cols(u, n);
+                vec![(a, da)]
+            }
+            Op::BroadcastCols(a) => {
+                let da = self.sum_cols(u);
+                vec![(a, da)]
+            }
+            Op::Reshape(a) => {
+                let da = self.reshape_like(u, a);
+                vec![(a, da)]
+            }
+            Op::Im2col(a, geo) => {
+                let folded = self.col2im(u, geo);
+                let da = self.reshape_like(folded, a);
+                vec![(a, da)]
+            }
+            Op::Col2im(a, geo) => {
+                let cols = self.im2col(u, geo);
+                let da = self.reshape_like(cols, a);
+                vec![(a, da)]
+            }
+            Op::AvgPool(a, PoolGeo { c, h, w, k }) => {
+                let up = self.avg_unpool2d(u, c, h / k, w / k, k);
+                let da = self.reshape_like(up, a);
+                vec![(a, da)]
+            }
+            Op::AvgUnpool(a, PoolGeo { c, h, w, k }) => {
+                // Forward input was (N, C, h, w) with output (N, C, h*k, w*k).
+                let down = self.avg_pool2d(u, c, h * k, w * k, k);
+                let da = self.reshape_like(down, a);
+                vec![(a, da)]
+            }
+            Op::RowsToNchw(a, [n, c, oh, ow]) => {
+                let rows = self.nchw_to_rows(u, n, c, oh, ow);
+                let da = self.reshape_like(rows, a);
+                vec![(a, da)]
+            }
+            Op::NchwToRows(a, [n, c, oh, ow]) => {
+                let img = self.rows_to_nchw(u, n, c, oh, ow);
+                let da = self.reshape_like(img, a);
+                vec![(a, da)]
+            }
+            Op::SpatialSum(a, [c, h, w]) => {
+                let bc = self.spatial_broadcast(u, c, h, w);
+                let da = self.reshape_like(bc, a);
+                vec![(a, da)]
+            }
+            Op::SpatialBroadcast(a, [c, h, w]) => {
+                let s = self.spatial_sum(u, c, h, w);
+                let da = self.reshape_like(s, a);
+                vec![(a, da)]
+            }
+            Op::ChannelSum(a, [c, h, w]) => {
+                let n = self.value(a).len() / (c * h * w);
+                let bc = self.channel_broadcast(u, n, h, w);
+                let da = self.reshape_like(bc, a);
+                vec![(a, da)]
+            }
+            Op::ChannelBroadcast(a, [_, c, h, w]) => {
+                let s = self.channel_sum(u, c, h, w);
+                let da = self.reshape_like(s, a);
+                vec![(a, da)]
+            }
+            Op::LogSoftmax(a) => {
+                // y = log_softmax(x); da = u - softmax(x) * rowsum(u).
+                let n = self.value(a).dims()[1];
+                let soft = self.exp(node);
+                let row = self.sum_cols(u);
+                let bc = self.broadcast_cols(row, n);
+                let sub = self.mul(soft, bc);
+                let da = self.sub(u, sub);
+                vec![(a, da)]
+            }
+        }
+    }
+
+    /// Reshapes `v` to the dims of `like` if they differ (no-op otherwise).
+    fn reshape_like(&mut self, v: Var, like: Var) -> Var {
+        let want = self.value(like).dims().to_vec();
+        if self.value(v).dims() == want.as_slice() {
+            v
+        } else {
+            self.reshape(v, &want)
+        }
+    }
+}

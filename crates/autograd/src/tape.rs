@@ -1,0 +1,553 @@
+//! The tape: eager op recording plus gradient construction.
+
+use crate::kernels;
+use qd_tensor::{avg_pool2d, avg_unpool2d, col2im, im2col, Conv2dGeometry, Tensor};
+
+/// Handle to a node on a [`Tape`].
+///
+/// `Var` is a plain index; it is only meaningful together with the tape
+/// that produced it. Using a `Var` with a different tape yields unspecified
+/// values or panics, like indexing into the wrong arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Var(pub(crate) usize);
+
+impl Var {
+    /// The node index inside the owning tape.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Geometry of a non-overlapping average pool recorded on the tape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct PoolGeo {
+    pub c: usize,
+    pub h: usize,
+    pub w: usize,
+    pub k: usize,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) enum Op {
+    Leaf,
+    Constant,
+    Add(Var, Var),
+    Sub(Var, Var),
+    Mul(Var, Var),
+    Div(Var, Var),
+    Neg(Var),
+    Scale(Var, f32),
+    AddScalar(Var),
+    MatMul(Var, Var),
+    Transpose2(Var),
+    Relu(Var),
+    ReluMask,
+    Tanh(Var),
+    Sigmoid(Var),
+    MaxPool(Var, PoolGeo),
+    MaxUnpoolMask,
+    Sqrt(Var),
+    Exp(Var),
+    Ln(Var),
+    SumAll(Var),
+    BroadcastTo(Var),
+    SumRows(Var),
+    BroadcastRows(Var),
+    SumCols(Var),
+    BroadcastCols(Var),
+    Reshape(Var),
+    Im2col(Var, Conv2dGeometry),
+    Col2im(Var, Conv2dGeometry),
+    AvgPool(Var, PoolGeo),
+    AvgUnpool(Var, PoolGeo),
+    RowsToNchw(Var, [usize; 4]),
+    NchwToRows(Var, [usize; 4]),
+    SpatialSum(Var, [usize; 3]),
+    SpatialBroadcast(Var, [usize; 3]),
+    ChannelSum(Var, [usize; 3]),
+    ChannelBroadcast(Var, [usize; 4]),
+    LogSoftmax(Var),
+}
+
+pub(crate) struct Node {
+    pub value: Tensor,
+    pub op: Op,
+    pub needs_grad: bool,
+}
+
+/// An eager autodiff tape.
+///
+/// Construct values with [`Tape::leaf`] (differentiable) or
+/// [`Tape::constant`] (treated as fixed), combine them with the op methods,
+/// and differentiate with [`Tape::grad`]. Because `grad` emits ordinary
+/// nodes, it can be nested for higher-order derivatives.
+///
+/// A tape only grows; for iterative training, create a fresh tape per step
+/// and re-insert parameters as leaves.
+///
+/// # Examples
+///
+/// ```
+/// use qd_autograd::Tape;
+/// use qd_tensor::Tensor;
+///
+/// let mut tape = Tape::new();
+/// let w = tape.leaf(Tensor::from_vec(vec![1.0, -2.0], &[1, 2]));
+/// let x = tape.constant(Tensor::from_vec(vec![3.0, 4.0], &[2, 1]));
+/// let y = tape.matmul(w, x); // 1*3 + -2*4 = -5
+/// let loss = tape.sum_all(y);
+/// let grads = tape.grad(loss, &[w]);
+/// assert_eq!(tape.value(grads[0]).data(), &[3.0, 4.0]);
+/// ```
+#[derive(Default)]
+pub struct Tape {
+    nodes: Vec<Node>,
+}
+
+impl std::fmt::Debug for Tape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Tape({} nodes)", self.nodes.len())
+    }
+}
+
+impl Tape {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Tape::default()
+    }
+
+    /// Number of nodes recorded so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` if no nodes have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The computed value of a variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` does not belong to this tape.
+    pub fn value(&self, v: Var) -> &Tensor {
+        &self.nodes[v.0].value
+    }
+
+    /// Inserts a differentiable leaf (e.g. a model parameter or a synthetic
+    /// sample being optimized).
+    pub fn leaf(&mut self, value: Tensor) -> Var {
+        self.push(value, Op::Leaf, true)
+    }
+
+    /// Inserts a non-differentiable constant (e.g. input data or labels).
+    pub fn constant(&mut self, value: Tensor) -> Var {
+        self.push(value, Op::Constant, false)
+    }
+
+    fn push(&mut self, value: Tensor, op: Op, needs_grad: bool) -> Var {
+        self.nodes.push(Node {
+            value,
+            op,
+            needs_grad,
+        });
+        Var(self.nodes.len() - 1)
+    }
+
+    fn push_unary(&mut self, a: Var, value: Tensor, op: Op) -> Var {
+        let needs = self.nodes[a.0].needs_grad;
+        self.push(value, op, needs)
+    }
+
+    fn push_binary(&mut self, a: Var, b: Var, value: Tensor, op: Op) -> Var {
+        let needs = self.nodes[a.0].needs_grad || self.nodes[b.0].needs_grad;
+        self.push(value, op, needs)
+    }
+
+    /// Elementwise sum of two same-shaped variables.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).add(self.value(b));
+        self.push_binary(a, b, v, Op::Add(a, b))
+    }
+
+    /// Elementwise difference `a - b`.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).sub(self.value(b));
+        self.push_binary(a, b, v, Op::Sub(a, b))
+    }
+
+    /// Elementwise product.
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).mul(self.value(b));
+        self.push_binary(a, b, v, Op::Mul(a, b))
+    }
+
+    /// Elementwise quotient `a / b`.
+    pub fn div(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).div(self.value(b));
+        self.push_binary(a, b, v, Op::Div(a, b))
+    }
+
+    /// Elementwise negation.
+    pub fn neg(&mut self, a: Var) -> Var {
+        let v = self.value(a).scale(-1.0);
+        self.push_unary(a, v, Op::Neg(a))
+    }
+
+    /// Multiplies every element by the constant `s`.
+    pub fn scale(&mut self, a: Var, s: f32) -> Var {
+        let v = self.value(a).scale(s);
+        self.push_unary(a, v, Op::Scale(a, s))
+    }
+
+    /// Adds the constant `s` to every element.
+    pub fn add_scalar(&mut self, a: Var, s: f32) -> Var {
+        let v = self.value(a).add_scalar(s);
+        self.push_unary(a, v, Op::AddScalar(a))
+    }
+
+    /// Matrix product of two rank-2 variables.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).matmul(self.value(b));
+        self.push_binary(a, b, v, Op::MatMul(a, b))
+    }
+
+    /// Transpose of a rank-2 variable.
+    pub fn transpose2(&mut self, a: Var) -> Var {
+        let v = self.value(a).transpose2();
+        self.push_unary(a, v, Op::Transpose2(a))
+    }
+
+    /// Rectified linear unit, elementwise `max(0, x)`.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(|x| x.max(0.0));
+        self.push_unary(a, v, Op::Relu(a))
+    }
+
+    /// The 0/1 activation mask of `relu(a)`. Treated as locally constant:
+    /// gradients do not flow through the mask (the second derivative of
+    /// ReLU is zero almost everywhere).
+    pub fn relu_mask(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(|x| if x > 0.0 { 1.0 } else { 0.0 });
+        // Deliberately needs_grad = false.
+        self.push(v, Op::ReluMask, false)
+    }
+
+    /// Elementwise hyperbolic tangent.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(f32::tanh);
+        self.push_unary(a, v, Op::Tanh(a))
+    }
+
+    /// Elementwise logistic sigmoid `1 / (1 + e^{-x})`.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(|x| 1.0 / (1.0 + (-x).exp()));
+        self.push_unary(a, v, Op::Sigmoid(a))
+    }
+
+    /// Non-overlapping max pooling over an `(N, C, H, W)` variable.
+    ///
+    /// The selection mask is treated as locally constant (like the ReLU
+    /// mask), so gradients route to the argmax positions only; second
+    /// derivatives through the selection are zero almost everywhere.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` or `w` is not divisible by `k`.
+    pub fn max_pool2d(&mut self, a: Var, c: usize, h: usize, w: usize, k: usize) -> Var {
+        assert!(k > 0 && h % k == 0 && w % k == 0, "pooling {h}x{w} by {k}");
+        let x = self.value(a);
+        let per_image = c * h * w;
+        assert!(
+            per_image > 0 && x.len() % per_image == 0,
+            "input is not a whole number of {c}x{h}x{w} images"
+        );
+        let n = x.len() / per_image;
+        let (oh, ow) = (h / k, w / k);
+        let mut out = vec![f32::NEG_INFINITY; n * c * oh * ow];
+        for b in 0..n {
+            for ch in 0..c {
+                let src = &x.data()[(b * c + ch) * h * w..(b * c + ch + 1) * h * w];
+                let base = (b * c + ch) * oh * ow;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        for ky in 0..k {
+                            for kx in 0..k {
+                                best = best.max(src[(oy * k + ky) * w + ox * k + kx]);
+                            }
+                        }
+                        out[base + oy * ow + ox] = best;
+                    }
+                }
+            }
+        }
+        let v = Tensor::from_vec(out, &[n, c, oh, ow]);
+        self.push_unary(a, v, Op::MaxPool(a, PoolGeo { c, h, w, k }))
+    }
+
+    /// Scatters a pooled adjoint back to the argmax positions of the
+    /// original input (ties send the gradient to the first maximum). The
+    /// resulting node is treated as locally constant with respect to its
+    /// inputs, mirroring [`Tape::relu_mask`].
+    pub(crate) fn max_unpool_scatter(
+        &mut self,
+        input: Var,
+        upstream: Var,
+        geo: PoolGeo,
+    ) -> Var {
+        let PoolGeo { c, h, w, k } = geo;
+        let x = self.value(input).clone();
+        let u = self.value(upstream);
+        let per_image = c * h * w;
+        let n = x.len() / per_image;
+        let (oh, ow) = (h / k, w / k);
+        let mut out = vec![0.0f32; x.len()];
+        for b in 0..n {
+            for ch in 0..c {
+                let src = &x.data()[(b * c + ch) * h * w..(b * c + ch + 1) * h * w];
+                let dst = &mut out[(b * c + ch) * h * w..(b * c + ch + 1) * h * w];
+                let ubase = (b * c + ch) * oh * ow;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut best = (f32::NEG_INFINITY, 0usize);
+                        for ky in 0..k {
+                            for kx in 0..k {
+                                let idx = (oy * k + ky) * w + ox * k + kx;
+                                if src[idx] > best.0 {
+                                    best = (src[idx], idx);
+                                }
+                            }
+                        }
+                        dst[best.1] += u.data()[ubase + oy * ow + ox];
+                    }
+                }
+            }
+        }
+        let dims = self.value(input).dims().to_vec();
+        let v = Tensor::from_vec(out, &dims);
+        // Like ReluMask: a function of (input, upstream) whose derivative
+        // w.r.t. the *selection* is zero a.e.; upstream linearity is
+        // handled by first-order use only.
+        self.push(v, Op::MaxUnpoolMask, false)
+    }
+
+    /// Elementwise square root.
+    pub fn sqrt(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(f32::sqrt);
+        self.push_unary(a, v, Op::Sqrt(a))
+    }
+
+    /// Elementwise exponential.
+    pub fn exp(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(f32::exp);
+        self.push_unary(a, v, Op::Exp(a))
+    }
+
+    /// Elementwise natural logarithm.
+    pub fn ln(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(f32::ln);
+        self.push_unary(a, v, Op::Ln(a))
+    }
+
+    /// Sum of all elements, yielding a scalar.
+    pub fn sum_all(&mut self, a: Var) -> Var {
+        let v = Tensor::scalar(self.value(a).sum());
+        self.push_unary(a, v, Op::SumAll(a))
+    }
+
+    /// Mean of all elements, yielding a scalar (composite of
+    /// [`Tape::sum_all`] and [`Tape::scale`]).
+    pub fn mean_all(&mut self, a: Var) -> Var {
+        let n = self.value(a).len().max(1);
+        let s = self.sum_all(a);
+        self.scale(s, 1.0 / n as f32)
+    }
+
+    /// Broadcasts a scalar variable to `shape`.
+    pub fn broadcast_to(&mut self, a: Var, shape: &[usize]) -> Var {
+        assert_eq!(self.value(a).len(), 1, "broadcast_to expects a scalar");
+        let v = Tensor::full(shape, self.value(a).item());
+        self.push_unary(a, v, Op::BroadcastTo(a))
+    }
+
+    /// Sums a matrix over rows: `(m, n) -> (n,)`.
+    pub fn sum_rows(&mut self, a: Var) -> Var {
+        let v = self.value(a).sum_rows();
+        self.push_unary(a, v, Op::SumRows(a))
+    }
+
+    /// Repeats a vector `(n,)` as `m` rows: `-> (m, n)`.
+    pub fn broadcast_rows(&mut self, a: Var, m: usize) -> Var {
+        let val = self.value(a);
+        assert_eq!(val.shape().rank(), 1, "broadcast_rows expects a vector");
+        let n = val.len();
+        let mut data = Vec::with_capacity(m * n);
+        for _ in 0..m {
+            data.extend_from_slice(val.data());
+        }
+        let v = Tensor::from_vec(data, &[m, n]);
+        self.push_unary(a, v, Op::BroadcastRows(a))
+    }
+
+    /// Sums a matrix over columns: `(m, n) -> (m,)`.
+    pub fn sum_cols(&mut self, a: Var) -> Var {
+        let v = self.value(a).sum_cols();
+        self.push_unary(a, v, Op::SumCols(a))
+    }
+
+    /// Repeats a vector `(m,)` as `n` columns: `-> (m, n)`.
+    pub fn broadcast_cols(&mut self, a: Var, n: usize) -> Var {
+        let val = self.value(a);
+        assert_eq!(val.shape().rank(), 1, "broadcast_cols expects a vector");
+        let m = val.len();
+        let mut data = Vec::with_capacity(m * n);
+        for &x in val.data() {
+            data.extend(std::iter::repeat(x).take(n));
+        }
+        let v = Tensor::from_vec(data, &[m, n]);
+        self.push_unary(a, v, Op::BroadcastCols(a))
+    }
+
+    /// Reinterprets a variable with a new shape (same element count).
+    pub fn reshape(&mut self, a: Var, shape: &[usize]) -> Var {
+        let v = self.value(a).reshape(shape);
+        self.push_unary(a, v, Op::Reshape(a))
+    }
+
+    /// Unfolds an image batch into convolution patch rows; see
+    /// [`qd_tensor::im2col`].
+    pub fn im2col(&mut self, a: Var, geo: Conv2dGeometry) -> Var {
+        let v = im2col(self.value(a), &geo);
+        self.push_unary(a, v, Op::Im2col(a, geo))
+    }
+
+    /// Folds patch rows back into an image batch; see
+    /// [`qd_tensor::col2im`].
+    pub fn col2im(&mut self, a: Var, geo: Conv2dGeometry) -> Var {
+        let v = col2im(self.value(a), &geo);
+        self.push_unary(a, v, Op::Col2im(a, geo))
+    }
+
+    /// Non-overlapping average pooling over an `(N, C, H, W)` variable.
+    pub fn avg_pool2d(&mut self, a: Var, c: usize, h: usize, w: usize, k: usize) -> Var {
+        let v = avg_pool2d(self.value(a), c, h, w, k);
+        self.push_unary(a, v, Op::AvgPool(a, PoolGeo { c, h, w, k }))
+    }
+
+    /// Adjoint of [`Tape::avg_pool2d`]; input is `(N, C, OH, OW)`.
+    pub fn avg_unpool2d(&mut self, a: Var, c: usize, oh: usize, ow: usize, k: usize) -> Var {
+        let v = avg_unpool2d(self.value(a), c, oh, ow, k);
+        self.push_unary(
+            a,
+            v,
+            Op::AvgUnpool(
+                a,
+                PoolGeo {
+                    c,
+                    h: oh,
+                    w: ow,
+                    k,
+                },
+            ),
+        )
+    }
+
+    /// Permutes conv output rows `(N*OH*OW, C)` into `(N, C, OH, OW)`.
+    pub fn rows_to_nchw(&mut self, a: Var, n: usize, c: usize, oh: usize, ow: usize) -> Var {
+        let v = kernels::rows_to_nchw(self.value(a), n, c, oh, ow);
+        self.push_unary(a, v, Op::RowsToNchw(a, [n, c, oh, ow]))
+    }
+
+    /// Permutes `(N, C, OH, OW)` into rows `(N*OH*OW, C)`.
+    pub fn nchw_to_rows(&mut self, a: Var, n: usize, c: usize, oh: usize, ow: usize) -> Var {
+        let v = kernels::nchw_to_rows(self.value(a), n, c, oh, ow);
+        self.push_unary(a, v, Op::NchwToRows(a, [n, c, oh, ow]))
+    }
+
+    /// Sums each `(n, c)` plane over its spatial extent:
+    /// `(N, C, H, W) -> (N*C,)`.
+    pub fn spatial_sum(&mut self, a: Var, c: usize, h: usize, w: usize) -> Var {
+        let v = kernels::spatial_sum(self.value(a), c, h, w);
+        self.push_unary(a, v, Op::SpatialSum(a, [c, h, w]))
+    }
+
+    /// Replicates a per-plane vector `(N*C,)` over spatial positions:
+    /// `-> (N, C, H, W)`.
+    pub fn spatial_broadcast(&mut self, a: Var, c: usize, h: usize, w: usize) -> Var {
+        let v = kernels::spatial_broadcast(self.value(a), c, h, w);
+        self.push_unary(a, v, Op::SpatialBroadcast(a, [c, h, w]))
+    }
+
+    /// Sums an `(N, C, H, W)` variable over batch and spatial axes:
+    /// `-> (C,)`.
+    pub fn channel_sum(&mut self, a: Var, c: usize, h: usize, w: usize) -> Var {
+        let v = kernels::channel_sum(self.value(a), c, h, w);
+        self.push_unary(a, v, Op::ChannelSum(a, [c, h, w]))
+    }
+
+    /// Replicates a per-channel vector `(C,)` over batch and spatial axes:
+    /// `-> (N, C, H, W)`.
+    pub fn channel_broadcast(&mut self, a: Var, n: usize, h: usize, w: usize) -> Var {
+        let c = self.value(a).len();
+        let v = kernels::channel_broadcast(self.value(a), n, h, w);
+        self.push_unary(a, v, Op::ChannelBroadcast(a, [n, c, h, w]))
+    }
+
+    /// Numerically-stable row-wise log-softmax of a rank-2 variable.
+    pub fn log_softmax(&mut self, a: Var) -> Var {
+        let v = self.value(a).log_softmax_rows();
+        self.push_unary(a, v, Op::LogSoftmax(a))
+    }
+
+    /// Builds the gradients of scalar `y` with respect to each variable in
+    /// `xs`, **as new differentiable nodes** on this tape.
+    ///
+    /// Variables in `xs` that `y` does not depend on receive zero tensors.
+    /// Applying `grad` to one of the returned variables yields exact
+    /// second-order derivatives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y` is not a single-element variable.
+    pub fn grad(&mut self, y: Var, xs: &[Var]) -> Vec<Var> {
+        assert_eq!(
+            self.value(y).len(),
+            1,
+            "grad target must be scalar, got shape {}",
+            self.value(y).shape()
+        );
+        let horizon = y.0 + 1;
+        let mut adjoint: Vec<Option<Var>> = vec![None; horizon];
+        let seed = self.constant(Tensor::ones(self.value(y).dims()));
+        adjoint[y.0] = Some(seed);
+        for id in (0..horizon).rev() {
+            let Some(upstream) = adjoint[id] else {
+                continue;
+            };
+            if !self.nodes[id].needs_grad {
+                continue;
+            }
+            let op = self.nodes[id].op.clone();
+            for (input, contribution) in self.vjp(Var(id), &op, upstream) {
+                if input.0 >= horizon || !self.nodes[input.0].needs_grad {
+                    continue;
+                }
+                adjoint[input.0] = Some(match adjoint[input.0] {
+                    Some(acc) => self.add(acc, contribution),
+                    None => contribution,
+                });
+            }
+        }
+        xs.iter()
+            .map(|x| {
+                adjoint
+                    .get(x.0)
+                    .copied()
+                    .flatten()
+                    .unwrap_or_else(|| self.constant(Tensor::zeros(self.value(*x).dims())))
+            })
+            .collect()
+    }
+}

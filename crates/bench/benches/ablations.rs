@@ -1,0 +1,97 @@
+//! Ablations of QuickDrop's design decisions (DESIGN.md Section 4):
+//! synthetic-sample initialization, in-situ matching, recovery
+//! augmentation, and ascent strength.
+
+use qd_bench::{bench_config, print_paper_reference, run_method, Setup, Split};
+use qd_core::{QuickDrop, QuickDropConfig};
+use qd_data::SyntheticDataset;
+use qd_unlearn::UnlearnRequest;
+
+struct Variant {
+    name: &'static str,
+    tweak: fn(QuickDropConfig) -> QuickDropConfig,
+}
+
+fn main() {
+    let variants = [
+        Variant {
+            name: "default (real init, matching, augment)",
+            tweak: |c| c,
+        },
+        Variant {
+            name: "init from Gaussian noise",
+            tweak: |mut c| {
+                c.distill.init_from_real = false;
+                c
+            },
+        },
+        Variant {
+            name: "no gradient matching (coreset only)",
+            tweak: |mut c| {
+                c.distill.classes_per_step = 0;
+                c
+            },
+        },
+        Variant {
+            name: "no recovery augmentation",
+            tweak: |mut c| {
+                c.augment = false;
+                c
+            },
+        },
+        Variant {
+            name: "strong ascent (2x lr, 8 steps)",
+            tweak: |mut c| {
+                c.unlearn_phase.lr *= 2.0;
+                c.unlearn_phase.local_steps = 8;
+                c
+            },
+        },
+        Variant {
+            name: "class-blind matching (all classes/step)",
+            tweak: |mut c| {
+                c.distill.classes_per_step = usize::MAX;
+                c
+            },
+        },
+        Variant {
+            name: "distribution matching (vs gradient)",
+            tweak: |mut c| {
+                c.distill.objective = qd_distill::MatchObjective::Distribution;
+                c
+            },
+        },
+    ];
+
+    println!("=== Ablations: QuickDrop design decisions (SynthCifar, class 9) ===");
+    println!(
+        "{:<42} | {:>8} | {:>8} | {:>10}",
+        "variant", "F-final", "R-final", "total time"
+    );
+    let request = UnlearnRequest::Class(9);
+    for v in &variants {
+        let mut setup =
+            Setup::build(SyntheticDataset::Cifar, 10, Split::Dirichlet(0.1), 1500, 600, 301);
+        // Scale 200 (fewer synthetic samples than the default 100) makes
+        // recovery quality depend visibly on synthetic-data quality, which
+        // is what these ablations probe.
+        let cfg = (v.tweak)(bench_config(10).with_scale(200));
+        let (mut qd, _report) = QuickDrop::train(&mut setup.fed, cfg, &mut setup.rng);
+        let trained = setup.fed.global().to_vec();
+        let row = run_method(&mut setup, &trained, &mut qd, request);
+        println!(
+            "{:<42} | {:>7.2}% | {:>7.2}% | {:>9.2}s",
+            v.name,
+            row.f_final * 100.0,
+            row.r_final * 100.0,
+            row.total_time().as_secs_f64()
+        );
+    }
+
+    print_paper_reference(&[
+        "expected shape (paper Sections 3.3, 4.1, 4.4): real-sample init beats",
+        "Gaussian init; matching beats a pure random coreset on recovery quality;",
+        "augmentation lifts R-Set accuracy; over-aggressive ascent leaves damage",
+        "recovery cannot repair within two rounds.",
+    ]);
+}

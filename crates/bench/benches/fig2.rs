@@ -1,0 +1,53 @@
+//! Figure 2: class-wise testing accuracy round by round while QuickDrop
+//! unlearns class 9 (SynthCifar, 10 clients, alpha=0.1): two pre-rounds
+//! of context, one unlearning round, then recovery rounds.
+
+use qd_bench::{bench_config, print_paper_reference, train_system, Setup, Split};
+use qd_data::SyntheticDataset;
+use qd_eval::per_class_accuracy;
+use qd_unlearn::{UnlearnRequest, UnlearningMethod};
+
+fn print_row(label: &str, acc: &[f32]) {
+    let cells: Vec<String> = acc.iter().map(|a| format!("{:>5.1}", a * 100.0)).collect();
+    println!("{label:<22} | {}", cells.join(" "));
+}
+
+fn main() {
+    let mut setup = Setup::build(SyntheticDataset::Cifar, 10, Split::Dirichlet(0.1), 1500, 600, 42);
+    let mut cfg = bench_config(10);
+    // Run recovery one round at a time so every round is observable, and
+    // pin unlearning to the paper's single round for a clean round-3 view.
+    let recover_one = qd_fed::Phase {
+        rounds: 1,
+        ..cfg.recover_phase
+    };
+    cfg.recover_phase.rounds = 0; // `unlearn` performs only the ascent stage
+    cfg.max_unlearn_rounds = 1;
+    let (mut qd, _report, _trained) = train_system(&mut setup, cfg);
+
+    println!("=== Figure 2: class-wise accuracy per round (unlearning class 9) ===");
+    println!(
+        "{:<22} | {}",
+        "stage",
+        (0..10).map(|c| format!("  c{c}  ")).collect::<String>()
+    );
+    let acc = per_class_accuracy(setup.model.as_ref(), setup.fed.global(), &setup.test);
+    print_row("round 1 (trained)", &acc);
+    print_row("round 2 (trained)", &acc); // model is static until the request arrives
+
+    qd.unlearn(&mut setup.fed, UnlearnRequest::Class(9), &mut setup.rng);
+    let acc = per_class_accuracy(setup.model.as_ref(), setup.fed.global(), &setup.test);
+    print_row("round 3 (unlearn)", &acc);
+
+    for round in 0..3 {
+        qd.recover(&mut setup.fed, &recover_one, &mut setup.rng);
+        let acc = per_class_accuracy(setup.model.as_ref(), setup.fed.global(), &setup.test);
+        print_row(&format!("round {} (recovery)", 4 + round), &acc);
+    }
+
+    print_paper_reference(&[
+        "paper: target class 9 drops to 0.82% within ONE unlearning round; the",
+        "non-target classes dip from SGA noise and are restored to near their",
+        "original accuracy within TWO recovery rounds; extra rounds don't help.",
+    ]);
+}

@@ -1,0 +1,71 @@
+//! Figure 3: membership-inference-attack accuracy on the F-Set and R-Set
+//! after unlearning, for every method (SynthCifar, 10 clients,
+//! alpha=0.1, class 9).
+
+use qd_bench::{bench_config, print_paper_reference, train_system, Setup, Split};
+use qd_data::{Dataset, SyntheticDataset};
+use qd_eval::MiaAttack;
+use qd_fed::Federation;
+use qd_tensor::Tensor;
+use qd_unlearn::{
+    FedEraser, FuMp, RetrainOracle, SgaOriginal, UnlearnRequest, UnlearningMethod,
+};
+
+/// The training-data F/R split for the attack: forget-class training
+/// samples vs retained training samples.
+fn train_split(fed: &Federation, class: usize) -> (Dataset, Dataset) {
+    let mut f = fed.client_data(0).empty_like();
+    let mut r = fed.client_data(0).empty_like();
+    for i in 0..fed.n_clients() {
+        f.extend(&fed.client_data(i).only_class(class));
+        r.extend(&fed.client_data(i).without_class(class));
+    }
+    (f, r)
+}
+
+fn main() {
+    let mut setup = Setup::build(SyntheticDataset::Cifar, 10, Split::Dirichlet(0.1), 1500, 600, 21);
+    let cfg = bench_config(10);
+    let train_phase = cfg.train_phase;
+    let unlearn_phase = cfg.unlearn_phase;
+    let recover_phase = cfg.recover_phase;
+    let (quickdrop, _report, trained) = train_system(&mut setup, cfg);
+    let class = 9;
+    let request = UnlearnRequest::Class(class);
+    let (f_train, r_train) = train_split(&setup.fed, class);
+
+    let mut methods: Vec<Box<dyn UnlearningMethod>> = vec![
+        Box::new(RetrainOracle::new(train_phase)),
+        Box::new(FedEraser::new(2, 16, 0.08, recover_phase)),
+        Box::new(SgaOriginal::new(unlearn_phase, recover_phase)),
+        Box::new(FuMp::new(setup.convnet.clone(), 0.3, 16, recover_phase)),
+        Box::new(quickdrop),
+    ];
+
+    println!("=== Figure 3: MIA accuracy after unlearning (class 9) ===");
+    println!("{:<12} | {:>10} | {:>10}", "method", "F-Set MIA", "R-Set MIA");
+    for method in &mut methods {
+        setup.fed.set_global(trained.to_vec());
+        method.unlearn(&mut setup.fed, request, &mut setup.rng);
+        let params: Vec<Tensor> = setup.fed.global().to_vec();
+        // Calibrate on retained members vs held-out non-members, then ask
+        // whether forgotten samples still look like members.
+        let nonmembers = setup.test.without_class(class);
+        let attack =
+            MiaAttack::fit_on_model(setup.model.as_ref(), &params, &r_train, &nonmembers);
+        let f_rate = attack.member_rate_on(setup.model.as_ref(), &params, &f_train);
+        let r_rate = attack.member_rate_on(setup.model.as_ref(), &params, &r_train);
+        println!(
+            "{:<12} | {:>9.2}% | {:>9.2}%",
+            method.name(),
+            f_rate * 100.0,
+            r_rate * 100.0
+        );
+    }
+
+    print_paper_reference(&[
+        "paper: F-Set MIA accuracy < 1% for every method (forgotten samples no",
+        "longer look like members); R-Set MIA 67.28-74.21% for the baselines,",
+        "71.62% for QuickDrop, 77.25% for the oracle.",
+    ]);
+}

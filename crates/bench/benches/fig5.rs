@@ -1,0 +1,58 @@
+//! Figure 5: impact of fine-tuning steps `F` on the R-Set accuracy after
+//! recovery (left) and the gradient-computation cost split between FL
+//! training and fine-tuning (right).
+
+use qd_bench::{bench_config, print_paper_reference, run_method, train_system, Setup, Split};
+use qd_data::SyntheticDataset;
+use qd_distill::FinetuneConfig;
+use qd_unlearn::UnlearnRequest;
+
+fn main() {
+    let sweep = [0usize, 2, 5, 10];
+    let mut setup = Setup::build(SyntheticDataset::Cifar, 10, Split::Dirichlet(0.1), 1500, 600, 33);
+    let (qd0, report, trained) = train_system(&mut setup, bench_config(10));
+    let fl_grads = report.fl_stats.samples_processed;
+    let request = UnlearnRequest::Class(9);
+
+    println!("=== Figure 5: fine-tuning steps F vs recovery accuracy and cost ===");
+    println!(
+        "{:<6} | {:>14} | {:>14} | {:>16} | {:>16}",
+        "F", "R-Set final", "F-Set final", "FL grads", "finetune grads"
+    );
+    let mut prev_f = 0usize;
+    let mut qd = qd0.clone();
+    let mut finetune_grads = 0usize;
+    for &f_steps in &sweep {
+        // Fine-tuning is incremental: apply only the delta outer steps.
+        let delta = f_steps - prev_f;
+        if delta > 0 {
+            let cfg = FinetuneConfig {
+                outer_steps: delta,
+                inner_steps: 5,
+                model_steps: 2,
+                lr_model: 0.08,
+                lr_syn: 0.5,
+                real_batch_per_class: 16,
+            };
+            finetune_grads += qd.finetune_more(&setup.fed, &cfg, &mut setup.rng);
+        }
+        prev_f = f_steps;
+        let mut probe = qd.clone(); // keep `qd`'s forgotten-state clean
+        let row = run_method(&mut setup, &trained, &mut probe, request);
+        println!(
+            "{:<6} | {:>13.2}% | {:>13.2}% | {:>16} | {:>16}",
+            f_steps,
+            row.r_final * 100.0,
+            row.f_final * 100.0,
+            fl_grads,
+            finetune_grads
+        );
+    }
+
+    print_paper_reference(&[
+        "paper (F swept 0..200): R-Set accuracy after recovery rises from 70.48%",
+        "(F=0) to 74.55% (F=200), nearly matching Retrain-Or's 74.95%; at F=200",
+        "the fine-tuning gradient count (~10k) equals the FL-training gradient",
+        "count, i.e. parity costs at most one extra training run's gradients.",
+    ]);
+}

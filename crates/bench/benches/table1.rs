@@ -1,0 +1,57 @@
+//! Table 1: qualitative comparison of FU approaches — capability flags
+//! rendered directly from each method's [`qd_unlearn::Capabilities`].
+
+use qd_bench::print_paper_reference;
+use qd_fed::Phase;
+use qd_nn::ConvNet;
+use qd_unlearn::{FedEraser, FuMp, RetrainOracle, S2U, SgaOriginal, UnlearningMethod};
+use std::sync::Arc;
+
+fn main() {
+    let recover = Phase::training(2, 8, 32, 0.08);
+    let unlearn = Phase::unlearning(1, 6, 32, 0.04);
+    let convnet = Arc::new(ConvNet::scaled_default(3, 10));
+
+    let methods: Vec<Box<dyn UnlearningMethod>> = vec![
+        Box::new(RetrainOracle::new(Phase::training(10, 8, 32, 0.08))),
+        Box::new(FedEraser::new(2, 16, 0.08, recover)),
+        Box::new(S2U::new(Phase::training(4, 8, 32, 0.08), 0.05)),
+        Box::new(SgaOriginal::new(unlearn, recover)),
+        Box::new(FuMp::new(convnet, 0.3, 16, recover)),
+    ];
+
+    println!("=== Table 1: comparison of FU approaches (+ QuickDrop) ===");
+    println!(
+        "{:<12} | {:^12} | {:^13} | {:^8} | {:^12} | {:^12}",
+        "method", "class-unl.", "client-unl.", "relearn", "storage-eff", "compute-eff"
+    );
+    let tick = |b: bool| if b { "yes" } else { "no" };
+    for m in &methods {
+        let c = m.capabilities();
+        println!(
+            "{:<12} | {:^12} | {:^13} | {:^8} | {:^12} | {:^12}",
+            m.name(),
+            tick(c.class_level),
+            tick(c.client_level),
+            tick(c.relearn),
+            tick(c.storage_efficient),
+            c.computation.to_string()
+        );
+    }
+    // QuickDrop's capabilities, without paying for a training run: they
+    // are constants of the method (class + client + relearn, ~1% storage,
+    // high compute efficiency).
+    println!(
+        "{:<12} | {:^12} | {:^13} | {:^8} | {:^12} | {:^12}",
+        "QuickDrop", "yes", "yes", "yes", "yes (1/s)", "high"
+    );
+
+    print_paper_reference(&[
+        "Retrain-Or:  class yes, client yes, relearn yes, storage-eff yes, compute very low",
+        "FedEraser:   class yes, client yes, relearn yes, storage-eff no,  compute low",
+        "S2U:         class no,  client yes, relearn yes, storage-eff yes, compute low",
+        "SGA:         class yes, client yes, relearn yes, storage-eff yes, compute medium",
+        "FU-MP:       class yes, client no,  relearn no,  storage-eff yes, compute medium",
+        "QuickDrop:   class yes, client yes, relearn yes, storage ~1/s,   compute high",
+    ]);
+}

@@ -1,0 +1,61 @@
+//! Table 3: class-level unlearning in a 100-client network on SynthSvhn
+//! (SVHN stand-in) with 10% participation during training and recovery
+//! and 100% participation during unlearning.
+
+use qd_bench::{
+    bench_config, print_comparison, print_paper_reference, run_method, train_system, Setup, Split,
+};
+use qd_data::SyntheticDataset;
+use qd_unlearn::{FedEraser, FuMp, RetrainOracle, SgaOriginal, UnlearnRequest, UnlearningMethod};
+
+fn main() {
+    let mut setup =
+        Setup::build(SyntheticDataset::Svhn, 100, Split::Dirichlet(0.1), 4000, 800, 77);
+    let mut cfg = bench_config(10);
+    // 10% of clients per round during training and recovery; unlearning
+    // keeps full participation (Section 4.5).
+    cfg.train_phase = cfg.train_phase.with_participation(0.1);
+    cfg.recover_phase = cfg.recover_phase.with_participation(0.1);
+    let train_phase = cfg.train_phase;
+    let unlearn_phase = cfg.unlearn_phase;
+    let recover_phase = cfg.recover_phase;
+    let (quickdrop, report, trained) = train_system(&mut setup, cfg);
+    println!(
+        "trained 100-client federation: {} synthetic samples ({:.1}% storage)",
+        report.synthetic_samples,
+        report.storage_fraction() * 100.0
+    );
+
+    let request = UnlearnRequest::Class(9);
+    let mut rows = Vec::new();
+
+    let mut retrain = RetrainOracle::new(train_phase);
+    rows.push(run_method(&mut setup, &trained, &mut retrain, request));
+
+    let mut federaser = FedEraser::new(2, 16, 0.08, recover_phase);
+    rows.push(run_method(&mut setup, &trained, &mut federaser, request));
+
+    let mut sga = SgaOriginal::new(unlearn_phase, recover_phase);
+    rows.push(run_method(&mut setup, &trained, &mut sga, request));
+
+    let mut fump = FuMp::new(setup.convnet.clone(), 0.3, 8, recover_phase);
+    rows.push(run_method(&mut setup, &trained, &mut fump, request));
+
+    let mut qd: Box<dyn UnlearningMethod> = Box::new(quickdrop);
+    rows.push(run_method(&mut setup, &trained, qd.as_mut(), request));
+
+    print_comparison(
+        "Table 3: class-level unlearning, SynthSvhn, 100 clients, 10% participation",
+        &rows,
+    );
+
+    print_paper_reference(&[
+        "Retrain-Or: F 0.34%, R 88.39%, 10483.51s, 1x",
+        "FedEraser:  F 0.38%, R 82.98%,  2447.80s, 4.28x",
+        "SGA-Or:     F 0.66%, R 86.47%,  1276.13s, 8.21x",
+        "FU-MP:      F 0.73%, R 85.63%,  1927.43s, 5.43x",
+        "QuickDrop:  F 0.81%, R 84.96%,    32.09s, 326.69x",
+        "shape: QuickDrop still forgets at 100 clients; its R-Set is within a few",
+        "points of the baselines while being two orders of magnitude faster.",
+    ]);
+}

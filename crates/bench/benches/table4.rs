@@ -1,0 +1,106 @@
+//! Table 4: client-level unlearning on SynthCifar with 20 clients, under
+//! non-IID (alpha = 0.1) and IID distributions.
+
+use qd_bench::{
+    bench_config, print_paper_reference, run_method, train_system, MethodRow, Setup, Split,
+};
+use qd_data::SyntheticDataset;
+use qd_fed::Phase;
+use qd_unlearn::{
+    FedEraser, PgaHalimi, RetrainOracle, S2U, SgaOriginal, UnlearnRequest, UnlearningMethod,
+};
+
+fn run_condition(title: &str, split: Split, seed: u64) -> Vec<MethodRow> {
+    let mut setup = Setup::build(SyntheticDataset::Cifar, 20, split, 1500, 600, seed);
+    let cfg = bench_config(8);
+    let train_phase = cfg.train_phase;
+    let unlearn_phase = cfg.unlearn_phase;
+    let recover_phase = cfg.recover_phase;
+    let (quickdrop, _report, trained) = train_system(&mut setup, cfg);
+
+    // The paper unlearns a random client; with real CIFAR every client's
+    // data is individually distinctive. Our procedural stand-in has less
+    // intra-class diversity, so to preserve the paper's mechanism (the
+    // forgotten client's data is only represented by that client) we pick
+    // the client whose samples are most exclusively owned: argmax over
+    // clients of sum_c count(i,c) * (count(i,c) / count(c)).
+    let class_totals: Vec<usize> = {
+        let mut t = vec![0usize; 10];
+        for i in 0..setup.fed.n_clients() {
+            for (c, n) in setup.fed.client_data(i).class_counts().iter().enumerate() {
+                t[c] += n;
+            }
+        }
+        t
+    };
+    let target = (0..setup.fed.n_clients())
+        .max_by(|&a, &b| {
+            let score = |i: usize| -> f32 {
+                setup
+                    .fed
+                    .client_data(i)
+                    .class_counts()
+                    .iter()
+                    .enumerate()
+                    .map(|(c, &n)| {
+                        if class_totals[c] == 0 {
+                            0.0
+                        } else {
+                            n as f32 * n as f32 / class_totals[c] as f32
+                        }
+                    })
+                    .sum()
+            };
+            score(a).total_cmp(&score(b))
+        })
+        .expect("at least one client");
+    let request = UnlearnRequest::Client(target);
+    println!("[{title}] unlearning client {target} (most exclusive data)");
+
+    let mut rows = Vec::new();
+    let mut retrain = RetrainOracle::new(train_phase);
+    rows.push(run_method(&mut setup, &trained, &mut retrain, request));
+    let mut federaser = FedEraser::new(2, 16, 0.08, recover_phase);
+    rows.push(run_method(&mut setup, &trained, &mut federaser, request));
+    let mut s2u = S2U::new(Phase::training(3, 8, 32, 0.08), 0.0);
+    rows.push(run_method(&mut setup, &trained, &mut s2u, request));
+    let mut sga = SgaOriginal::new(unlearn_phase, recover_phase);
+    rows.push(run_method(&mut setup, &trained, &mut sga, request));
+    // Extra SGA-family baseline from the paper's related work (Halimi et
+    // al. 2022): projected gradient ascent by the forgetting client.
+    let mut pga = PgaHalimi::new(10, 32, 0.05, 0.3, recover_phase);
+    rows.push(run_method(&mut setup, &trained, &mut pga, request));
+    let mut qd: Box<dyn UnlearningMethod> = Box::new(quickdrop);
+    rows.push(run_method(&mut setup, &trained, qd.as_mut(), request));
+    rows
+}
+
+fn main() {
+    println!("=== Table 4: client-level unlearning, SynthCifar, 20 clients ===");
+    for (title, split, seed) in [
+        ("non-IID alpha=0.1", Split::Dirichlet(0.1), 91),
+        ("IID", Split::Iid, 92),
+    ] {
+        let rows = run_condition(title, split, seed);
+        println!("\n[{title}]");
+        println!("{:<12} | {:>10} | {:>10}", "method", "F-Set", "R-Set");
+        for r in &rows {
+            println!(
+                "{:<12} | {:>9.2}% | {:>9.2}%",
+                r.method,
+                r.f_final * 100.0,
+                r.r_final * 100.0
+            );
+        }
+    }
+
+    print_paper_reference(&[
+        "non-IID: Retrain-Or F 10.48% / R 73.69%; FedEraser 16.57/69.85;",
+        "         S2U 19.72/70.25; SGA-Or 9.58/72.63; QuickDrop 11.57/70.89",
+        "IID:     Retrain-Or F 70.81% / R 71.64%; FedEraser 65.29/66.04;",
+        "         S2U 70.63/71.28; SGA-Or 69.32/70.25; QuickDrop 68.59/68.48",
+        "shape: under non-IID the forgotten client's data becomes inaccurate but",
+        "not zero (shared features survive); under IID forgetting barely moves",
+        "F-Set accuracy because other clients hold near-identical data.",
+    ]);
+}

@@ -1,0 +1,337 @@
+//! The CLI subcommands.
+
+use crate::{Args, ParseError};
+use qd_core::{Checkpoint, QuickDrop, QuickDropConfig};
+use qd_data::{ascii_samples, partition_dirichlet, partition_iid, Dataset, SyntheticDataset};
+use qd_eval::{per_class_accuracy, split_accuracy};
+use qd_fed::{Federation, Phase};
+use qd_nn::{ConvNet, Module};
+use qd_tensor::rng::Rng;
+use qd_unlearn::{UnlearnRequest, UnlearningMethod};
+use std::fmt;
+use std::sync::Arc;
+
+/// Errors surfaced to the CLI user.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad command line.
+    Parse(ParseError),
+    /// Checkpoint or filesystem failure.
+    Io(std::io::Error),
+    /// Anything else (unknown subcommand, inconsistent request, ...).
+    Usage(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Parse(e) => write!(f, "{e}"),
+            CliError::Io(e) => write!(f, "{e}"),
+            CliError::Usage(m) => f.write_str(m),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ParseError> for CliError {
+    fn from(e: ParseError) -> Self {
+        CliError::Parse(e)
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+/// Usage text printed by `help` and on errors.
+pub const USAGE: &str = "\
+quickdrop-cli — federated unlearning via synthetic data
+
+USAGE:
+  quickdrop-cli train   --out ckpt.json [--dataset digits|cifar|svhn]
+                        [--clients N] [--alpha A | --iid] [--samples N]
+                        [--rounds K] [--steps T] [--batch B] [--lr LR]
+                        [--scale S] [--seed X]
+  quickdrop-cli unlearn --ckpt ckpt.json (--class C | --client I)
+                        [--out ckpt.json] [--dataset D] [--seed X]
+  quickdrop-cli relearn --ckpt ckpt.json (--class C | --client I)
+                        [--out ckpt.json] [--dataset D] [--seed X]
+  quickdrop-cli eval    --ckpt ckpt.json [--dataset D] [--samples N] [--seed X]
+  quickdrop-cli show    --ckpt ckpt.json [--client I] [--limit N]
+  quickdrop-cli help
+";
+
+fn dataset_by_name(name: &str) -> Result<SyntheticDataset, CliError> {
+    match name {
+        "digits" => Ok(SyntheticDataset::Digits),
+        "cifar" => Ok(SyntheticDataset::Cifar),
+        "svhn" => Ok(SyntheticDataset::Svhn),
+        other => Err(CliError::Usage(format!(
+            "unknown dataset {other:?} (expected digits|cifar|svhn)"
+        ))),
+    }
+}
+
+/// The architecture every CLI deployment uses; channels/classes are
+/// recovered from the checkpoint's synthetic geometry on reload.
+fn model_for(dataset: SyntheticDataset) -> Arc<ConvNet> {
+    Arc::new(ConvNet::scaled_default(dataset.channels(), dataset.classes()))
+}
+
+fn request_from(args: &Args) -> Result<UnlearnRequest, CliError> {
+    match (args.get_opt_usize("class")?, args.get_opt_usize("client")?) {
+        (Some(c), None) => Ok(UnlearnRequest::Class(c)),
+        (None, Some(i)) => Ok(UnlearnRequest::Client(i)),
+        _ => Err(CliError::Usage(
+            "exactly one of --class or --client is required".into(),
+        )),
+    }
+}
+
+/// A federation stub whose clients hold no real data — everything the
+/// serving path needs lives in the checkpoint's synthetic sets.
+fn stub_federation(ckpt_model: Arc<dyn Module>, qd: &QuickDrop, params: Vec<qd_tensor::Tensor>) -> Federation {
+    let n = qd.synthetic_sets().len().max(1);
+    let (c, h, w) = qd.synthetic_sets()[0].sample_dims();
+    let classes = qd.synthetic_sets()[0].classes();
+    let empty = Dataset::new(Vec::new(), Vec::new(), classes, c, h, w);
+    Federation::with_params(ckpt_model, vec![empty; n], params)
+}
+
+/// Executes a parsed command line, returning the text to print.
+///
+/// # Errors
+///
+/// Returns [`CliError`] for unknown subcommands, malformed options, or
+/// checkpoint I/O failures.
+pub fn run(args: &Args) -> Result<String, CliError> {
+    match args.command() {
+        "help" | "usage" => Ok(USAGE.to_string()),
+        "train" => train(args),
+        "unlearn" => serve(args, ServeMode::Unlearn),
+        "relearn" => serve(args, ServeMode::Relearn),
+        "eval" => eval(args),
+        "show" => show(args),
+        other => Err(CliError::Usage(format!(
+            "unknown subcommand {other:?}\n\n{USAGE}"
+        ))),
+    }
+}
+
+fn train(args: &Args) -> Result<String, CliError> {
+    let dataset = dataset_by_name(&args.get_str("dataset", "digits"))?;
+    let out = args.require_str("out")?;
+    let clients = args.get_usize("clients", 4)?;
+    let samples = args.get_usize("samples", 800)?;
+    let rounds = args.get_usize("rounds", 8)?;
+    let steps = args.get_usize("steps", 8)?;
+    let batch = args.get_usize("batch", 32)?;
+    let lr = args.get_f32("lr", 0.08)?;
+    let scale = args.get_usize("scale", 100)?;
+    let seed = args.get_u64("seed", 42)?;
+
+    let mut rng = Rng::seed_from(seed);
+    let data = dataset.generate(samples, &mut rng);
+    let parts = if args.flag("iid") {
+        partition_iid(data.len(), clients, &mut rng)
+    } else {
+        let alpha = args.get_f32("alpha", 0.1)?;
+        partition_dirichlet(data.labels(), data.classes(), clients, alpha, &mut rng)
+    };
+    let client_data: Vec<Dataset> = parts.iter().map(|p| data.subset(p)).collect();
+    let model = model_for(dataset);
+    let mut fed = Federation::new(model, client_data, &mut rng);
+
+    let mut config = QuickDropConfig::paper_shaped(rounds, steps, batch, lr);
+    config.distill.scale = scale;
+    config.distill.classes_per_step = 2;
+    config.distill.lr_syn = 0.5;
+    config.unlearn_phase = Phase::unlearning(1, steps.min(6), batch, lr / 2.0);
+    config.max_unlearn_rounds = 4;
+    let (qd, report) = QuickDrop::train(&mut fed, config, &mut rng);
+
+    Checkpoint::capture(fed.global(), &qd).save(&out)?;
+    Ok(format!(
+        "trained {} on {} clients ({} samples); synthetic storage {:.1}%, \
+         DD overhead {:.0}%; checkpoint written to {out}\n",
+        dataset.name(),
+        clients,
+        samples,
+        report.storage_fraction() * 100.0,
+        report.dd_overhead() * 100.0,
+    ))
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum ServeMode {
+    Unlearn,
+    Relearn,
+}
+
+fn serve(args: &Args, mode: ServeMode) -> Result<String, CliError> {
+    let dataset = dataset_by_name(&args.get_str("dataset", "digits"))?;
+    let path = args.require_str("ckpt")?;
+    let out = args.get_str("out", &path);
+    let seed = args.get_u64("seed", 42)?;
+    let request = request_from(args)?;
+
+    let (params, mut qd) = Checkpoint::load(&path)?.restore();
+    let model = model_for(dataset);
+    let mut fed = stub_federation(model.clone(), &qd, params);
+    // Serving RNG is independent of the training seed.
+    let mut rng = Rng::seed_from(seed ^ 0x5EED);
+    let test = dataset.generate(args.get_usize("samples", 400)?, &mut Rng::seed_from(seed + 1));
+    let (f_set, r_set) = match request {
+        UnlearnRequest::Class(c) => (test.only_class(c), test.without_class(c)),
+        UnlearnRequest::Client(_) => {
+            // Client-level evaluation data is not reconstructible from a
+            // stub federation; report whole-test accuracy instead.
+            (test.clone(), test.clone())
+        }
+    };
+    let report = match mode {
+        ServeMode::Unlearn => {
+            let outcome = qd.unlearn(&mut fed, request, &mut rng);
+            let (fa, ra) = split_accuracy(model.as_ref(), fed.global(), &f_set, &r_set);
+            format!(
+                "unlearned {request} in {:.0} ms over {} synthetic samples; \
+                 F-Set {:.1}%, R-Set {:.1}%\n",
+                outcome.total().wall.as_secs_f64() * 1000.0,
+                outcome.unlearn.data_size,
+                fa * 100.0,
+                ra * 100.0
+            )
+        }
+        ServeMode::Relearn => {
+            let phase = qd.config().relearn_phase;
+            let stats = qd
+                .relearn(&mut fed, request, &phase, &mut rng)
+                .expect("QuickDrop supports relearning");
+            let (fa, ra) = split_accuracy(model.as_ref(), fed.global(), &f_set, &r_set);
+            format!(
+                "relearned {request} in {:.0} ms; F-Set {:.1}%, R-Set {:.1}%\n",
+                stats.wall.as_secs_f64() * 1000.0,
+                fa * 100.0,
+                ra * 100.0
+            )
+        }
+    };
+    Checkpoint::capture(fed.global(), &qd).save(&out)?;
+    Ok(format!("{report}checkpoint written to {out}\n"))
+}
+
+fn eval(args: &Args) -> Result<String, CliError> {
+    let dataset = dataset_by_name(&args.get_str("dataset", "digits"))?;
+    let path = args.require_str("ckpt")?;
+    let seed = args.get_u64("seed", 42)?;
+    let (params, qd) = Checkpoint::load(&path)?.restore();
+    let model = model_for(dataset);
+    let test = dataset.generate(args.get_usize("samples", 400)?, &mut Rng::seed_from(seed + 1));
+    let pc = per_class_accuracy(model.as_ref(), &params, &test);
+    let mut out = String::from("per-class accuracy:\n");
+    for (c, a) in pc.iter().enumerate() {
+        let marker = if qd.unlearned_classes().any(|u| u == c) {
+            " (unlearned)"
+        } else {
+            ""
+        };
+        out.push_str(&format!("  class {c}: {:>5.1}%{marker}\n", a * 100.0));
+    }
+    Ok(out)
+}
+
+fn show(args: &Args) -> Result<String, CliError> {
+    let path = args.require_str("ckpt")?;
+    let client = args.get_usize("client", 0)?;
+    let limit = args.get_usize("limit", 5)?;
+    let (_, qd) = Checkpoint::load(&path)?.restore();
+    let sets = qd.synthetic_sets();
+    if client >= sets.len() {
+        return Err(CliError::Usage(format!(
+            "client {client} out of range (deployment has {} clients)",
+            sets.len()
+        )));
+    }
+    let ds = sets[client].to_dataset();
+    Ok(format!(
+        "client {client}: {} synthetic samples across classes {:?}\n{}",
+        ds.len(),
+        sets[client].owned_classes(),
+        ascii_samples(&ds, limit)
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(tokens: &[&str]) -> Args {
+        Args::parse(tokens.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("qd_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run(&args(&["help"])).unwrap();
+        assert!(out.contains("USAGE"));
+    }
+
+    #[test]
+    fn unknown_subcommand_errors_with_usage() {
+        let err = run(&args(&["frobnicate"])).unwrap_err();
+        assert!(err.to_string().contains("unknown subcommand"));
+    }
+
+    #[test]
+    fn unlearn_requires_exactly_one_target() {
+        let err = request_from(&args(&["unlearn", "--ckpt", "x"])).unwrap_err();
+        assert!(err.to_string().contains("exactly one"));
+        let err =
+            request_from(&args(&["unlearn", "--class", "1", "--client", "2"])).unwrap_err();
+        assert!(err.to_string().contains("exactly one"));
+        let ok = request_from(&args(&["unlearn", "--class", "3"])).unwrap();
+        assert_eq!(ok, UnlearnRequest::Class(3));
+    }
+
+    #[test]
+    fn full_cli_lifecycle() {
+        let ckpt = tmp("lifecycle.json");
+        // Tiny but real: train -> show -> unlearn -> eval -> relearn.
+        let out = run(&args(&[
+            "train", "--out", &ckpt, "--clients", "2", "--samples", "200", "--rounds", "3",
+            "--steps", "4", "--scale", "20", "--iid", "--seed", "7",
+        ]))
+        .unwrap();
+        assert!(out.contains("checkpoint written"));
+
+        let out = run(&args(&["show", "--ckpt", &ckpt, "--limit", "2"])).unwrap();
+        assert!(out.contains("synthetic samples"));
+
+        let out = run(&args(&["unlearn", "--ckpt", &ckpt, "--class", "3", "--seed", "7"]))
+            .unwrap();
+        assert!(out.contains("unlearned class 3"));
+
+        let out = run(&args(&["eval", "--ckpt", &ckpt, "--seed", "7"])).unwrap();
+        assert!(out.contains("class 3") && out.contains("(unlearned)"));
+
+        let out = run(&args(&["relearn", "--ckpt", &ckpt, "--class", "3", "--seed", "7"]))
+            .unwrap();
+        assert!(out.contains("relearned class 3"));
+        std::fs::remove_file(&ckpt).ok();
+    }
+
+    #[test]
+    fn bad_dataset_is_reported() {
+        let err = run(&args(&["train", "--out", "/tmp/x.json", "--dataset", "imagenet"]))
+            .unwrap_err();
+        assert!(err.to_string().contains("unknown dataset"));
+    }
+}

@@ -1,0 +1,25 @@
+//! `quickdrop-cli`: train and serve QuickDrop federated-unlearning
+//! deployments from the command line. Run `quickdrop-cli help` for usage.
+
+use qd_cli::{run, Args};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args = match Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", qd_cli::commands_usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&args) {
+        Ok(report) => {
+            print!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,517 @@
+//! The QuickDrop system: training-time synthesis and request serving.
+
+use crate::QuickDropConfig;
+use qd_data::Dataset;
+use qd_distill::{augment_with_real, distilling_trainers, finetune, SyntheticSet};
+use qd_fed::{sgd_trainers, Federation, Phase, PhaseStats};
+use qd_tensor::rng::Rng;
+use qd_unlearn::{Capabilities, Efficiency, MethodOutcome, UnlearnRequest, UnlearningMethod};
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+/// Costs and artifacts of QuickDrop's training stage (steps 1–2 of
+/// Figure 1), feeding Table 6 (distillation overhead) and the storage
+/// discussion of Section 5.1.
+#[derive(Debug, Clone)]
+pub struct TrainReport {
+    /// FedAvg statistics of the FL training run.
+    pub fl_stats: PhaseStats,
+    /// Total client compute (training + distillation), summed over
+    /// clients.
+    pub total_compute: Duration,
+    /// Portion of [`TrainReport::total_compute`] spent on distillation.
+    pub dd_compute: Duration,
+    /// Real-data gradient evaluations spent on optional fine-tuning.
+    pub finetune_real_grads: usize,
+    /// Total synthetic samples across clients.
+    pub synthetic_samples: usize,
+    /// Total real samples across clients.
+    pub real_samples: usize,
+}
+
+impl TrainReport {
+    /// Distillation overhead as a fraction of total compute (Table 6's
+    /// last column).
+    pub fn dd_overhead(&self) -> f64 {
+        if self.total_compute.is_zero() {
+            0.0
+        } else {
+            self.dd_compute.as_secs_f64() / self.total_compute.as_secs_f64()
+        }
+    }
+
+    /// Storage overhead: synthetic volume relative to the original data
+    /// (`1/s` by construction, ~1% at `s = 100`).
+    pub fn storage_fraction(&self) -> f64 {
+        if self.real_samples == 0 {
+            0.0
+        } else {
+            self.synthetic_samples as f64 / self.real_samples as f64
+        }
+    }
+}
+
+/// A trained QuickDrop deployment: per-client synthetic datasets plus the
+/// phase schedules for serving unlearning, recovery and relearning
+/// requests.
+///
+/// Implements [`UnlearningMethod`], so harnesses treat it exactly like
+/// the baselines. Unlike them, it keeps *state across requests*
+/// (which classes/clients are currently forgotten), supporting the
+/// paper's sequential-request evaluation (Figure 4) and relearning
+/// (Section 4.7).
+#[derive(Clone)]
+pub struct QuickDrop {
+    config: QuickDropConfig,
+    synthetic: Vec<SyntheticSet>,
+    recovery_data: Vec<Dataset>,
+    unlearned_classes: BTreeSet<usize>,
+    unlearned_clients: BTreeSet<usize>,
+}
+
+impl std::fmt::Debug for QuickDrop {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "QuickDrop({} clients, {} synthetic samples, {} classes unlearned)",
+            self.synthetic.len(),
+            self.synthetic.iter().map(SyntheticSet::len).sum::<usize>(),
+            self.unlearned_classes.len()
+        )
+    }
+}
+
+impl QuickDrop {
+    /// Step 1 + 2 of the workflow: runs FL training with in-situ
+    /// distillation on `fed`, then (optionally) fine-tunes and augments
+    /// the synthetic sets. Returns the ready-to-serve system and a cost
+    /// report.
+    pub fn train(
+        fed: &mut Federation,
+        config: QuickDropConfig,
+        rng: &mut Rng,
+    ) -> (QuickDrop, TrainReport) {
+        let model = fed.model().clone();
+        let n = fed.n_clients();
+        let mut trainers = distilling_trainers(model.clone(), config.distill, n);
+        let fl_stats = fed.run_phase(&mut trainers, None, &config.train_phase, rng);
+
+        let mut total_compute = Duration::ZERO;
+        let mut dd_compute = Duration::ZERO;
+        let mut synthetic = Vec::with_capacity(n);
+        for (i, trainer) in trainers.iter_mut().enumerate() {
+            total_compute += trainer.total_time();
+            dd_compute += trainer.dd_time();
+            let syn = trainer.take_synthetic().unwrap_or_else(|| {
+                SyntheticSet::init_from_real(fed.client_data(i), config.distill.scale, rng)
+            });
+            synthetic.push(syn);
+        }
+
+        // Step 2a: optional fine-tuning for recovery quality (Fig. 5).
+        let mut finetune_real_grads = 0usize;
+        if let Some(ft) = &config.finetune {
+            for (i, syn) in synthetic.iter_mut().enumerate() {
+                finetune_real_grads +=
+                    finetune(model.as_ref(), syn, fed.client_data(i), ft, rng);
+            }
+        }
+
+        // Step 2b: data augmentation with original samples (1:1).
+        let recovery_data: Vec<Dataset> = synthetic
+            .iter()
+            .enumerate()
+            .map(|(i, syn)| {
+                if config.augment {
+                    augment_with_real(syn, fed.client_data(i), rng)
+                } else {
+                    syn.to_dataset()
+                }
+            })
+            .collect();
+
+        let synthetic_samples = synthetic.iter().map(SyntheticSet::len).sum();
+        let real_samples = fed.clients().iter().map(Dataset::len).sum();
+        let report = TrainReport {
+            fl_stats,
+            total_compute,
+            dd_compute,
+            finetune_real_grads,
+            synthetic_samples,
+            real_samples,
+        };
+        let system = QuickDrop {
+            config,
+            synthetic,
+            recovery_data,
+            unlearned_classes: BTreeSet::new(),
+            unlearned_clients: BTreeSet::new(),
+        };
+        (system, report)
+    }
+
+    /// The per-client synthetic sets.
+    pub fn synthetic_sets(&self) -> &[SyntheticSet] {
+        &self.synthetic
+    }
+
+    /// Classes currently in the forgotten state.
+    pub fn unlearned_classes(&self) -> impl Iterator<Item = usize> + '_ {
+        self.unlearned_classes.iter().copied()
+    }
+
+    /// The configuration this system was trained with.
+    pub fn config(&self) -> &QuickDropConfig {
+        &self.config
+    }
+
+    /// Deconstructs the serializable state for
+    /// [`crate::Checkpoint::capture`].
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn state_for_checkpoint(
+        &self,
+    ) -> (
+        QuickDropConfig,
+        Vec<SyntheticSet>,
+        Vec<Dataset>,
+        BTreeSet<usize>,
+        BTreeSet<usize>,
+    ) {
+        (
+            self.config.clone(),
+            self.synthetic.clone(),
+            self.recovery_data.clone(),
+            self.unlearned_classes.clone(),
+            self.unlearned_clients.clone(),
+        )
+    }
+
+    /// Rebuilds a system from checkpoint state (see [`crate::Checkpoint`]).
+    pub(crate) fn from_checkpoint_state(
+        config: QuickDropConfig,
+        synthetic: Vec<SyntheticSet>,
+        recovery_data: Vec<Dataset>,
+        unlearned_classes: BTreeSet<usize>,
+        unlearned_clients: BTreeSet<usize>,
+    ) -> Self {
+        QuickDrop {
+            config,
+            synthetic,
+            recovery_data,
+            unlearned_classes,
+            unlearned_clients,
+        }
+    }
+
+    /// Runs extra recovery rounds on the synthetic retain set — exposed so
+    /// harnesses can observe the model round by round (Figure 2).
+    pub fn recover(&self, fed: &mut Federation, phase: &Phase, rng: &mut Rng) -> PhaseStats {
+        let retain = self.synthetic_retain();
+        let mut trainers = sgd_trainers(fed.model().clone(), fed.n_clients());
+        fed.run_phase(&mut trainers, Some(&retain), phase, rng)
+    }
+
+    /// Applies additional fine-tuning steps to the synthetic sets
+    /// (Section 3.3.2) and rebuilds the recovery datasets. Returns the
+    /// number of real-data gradient evaluations spent (Figure 5's cost
+    /// axis).
+    pub fn finetune_more(
+        &mut self,
+        fed: &Federation,
+        cfg: &qd_distill::FinetuneConfig,
+        rng: &mut Rng,
+    ) -> usize {
+        let model = fed.model().clone();
+        let mut real_grads = 0usize;
+        for (i, syn) in self.synthetic.iter_mut().enumerate() {
+            real_grads += finetune(model.as_ref(), syn, fed.client_data(i), cfg, rng);
+        }
+        self.recovery_data = self
+            .synthetic
+            .iter()
+            .enumerate()
+            .map(|(i, syn)| {
+                if self.config.augment {
+                    augment_with_real(syn, fed.client_data(i), rng)
+                } else {
+                    syn.to_dataset()
+                }
+            })
+            .collect();
+        real_grads
+    }
+
+    /// Per-client synthetic forget sets for a request (`S_f`).
+    fn synthetic_forget(&self, request: UnlearnRequest) -> Vec<Option<Dataset>> {
+        self.synthetic
+            .iter()
+            .enumerate()
+            .map(|(i, syn)| match request {
+                UnlearnRequest::Class(c) => {
+                    let d = syn.class_dataset(c);
+                    (!d.is_empty()).then_some(d)
+                }
+                UnlearnRequest::Client(t) => {
+                    (i == t && !syn.is_empty()).then(|| syn.to_dataset())
+                }
+            })
+            .collect()
+    }
+
+    /// Per-client recovery sets: the (augmented) synthetic data minus
+    /// everything currently forgotten (`S \ S_f`).
+    fn synthetic_retain(&self) -> Vec<Option<Dataset>> {
+        self.recovery_data
+            .iter()
+            .enumerate()
+            .map(|(i, mixed)| {
+                if self.unlearned_clients.contains(&i) {
+                    return None;
+                }
+                let mut d = mixed.clone();
+                for &c in &self.unlearned_classes {
+                    d = d.without_class(c);
+                }
+                (!d.is_empty()).then_some(d)
+            })
+            .collect()
+    }
+}
+
+impl UnlearningMethod for QuickDrop {
+    fn name(&self) -> &'static str {
+        "QuickDrop"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            class_level: true,
+            client_level: true,
+            relearn: true,
+            storage_efficient: true, // ~1/s of the dataset (s = 100 ⇒ 1%)
+            computation: Efficiency::High,
+        }
+    }
+
+    fn unlearn(
+        &mut self,
+        fed: &mut Federation,
+        request: UnlearnRequest,
+        rng: &mut Rng,
+    ) -> MethodOutcome {
+        // Step 3: SGA on the synthetic forget set. The paper's regime
+        // needs exactly one round; under long sequential-request streams
+        // the target's logit margin can exceed what one round reverses,
+        // so repeat (up to the configured cap) until the synthetic forget
+        // set is actually forgotten.
+        let forget = self.synthetic_forget(request);
+        let mut trainers = sgd_trainers(fed.model().clone(), fed.n_clients());
+        let one_round = Phase {
+            rounds: 1,
+            ..self.config.unlearn_phase
+        };
+        // Stop-criterion probe: the *augmented* forget data (synthetic
+        // plus the 1:1 real samples stored for recovery). Pure synthetic
+        // samples can be misclassified long before the real class is
+        // forgotten, so they alone are a poor stopping proxy.
+        let forget_eval: Dataset = {
+            let mut all: Option<Dataset> = None;
+            let mut add = |d: &Dataset| match &mut all {
+                Some(acc) => acc.extend(d),
+                None => all = Some(d.clone()),
+            };
+            match request {
+                UnlearnRequest::Class(c) => {
+                    for mixed in &self.recovery_data {
+                        let part = mixed.only_class(c);
+                        if !part.is_empty() {
+                            add(&part);
+                        }
+                    }
+                }
+                UnlearnRequest::Client(t) => {
+                    if let Some(mixed) = self.recovery_data.get(t) {
+                        add(mixed);
+                    }
+                }
+            }
+            for d in forget.iter().flatten() {
+                add(d);
+            }
+            all.unwrap_or_else(|| {
+                self.recovery_data
+                    .first()
+                    .map(|d| d.empty_like())
+                    .expect("at least one client")
+            })
+        };
+        // Adaptive rounds apply to class-level requests only: a class's
+        // test accuracy is *supposed* to collapse. A forgotten client's
+        // data stays partially recognizable through shared features
+        // (Section 4.6) — especially under IID — so driving its accuracy
+        // to zero would destroy the model rather than unlearn.
+        let round_cap = match request {
+            UnlearnRequest::Class(_) => self.config.max_unlearn_rounds.max(1),
+            UnlearnRequest::Client(_) => 1,
+        };
+        let mut unlearn = PhaseStats::default();
+        for _ in 0..round_cap {
+            let stats = fed.run_phase(&mut trainers, Some(&forget), &one_round, rng);
+            unlearn.merge(&stats);
+            if stats.rounds == 0 || forget_eval.is_empty() {
+                break;
+            }
+            let acc = qd_eval::accuracy(fed.model().as_ref(), fed.global(), &forget_eval);
+            if acc <= self.config.unlearn_stop_accuracy {
+                break;
+            }
+        }
+        let post_unlearn_params = fed.global().to_vec();
+        match request {
+            UnlearnRequest::Class(c) => {
+                self.unlearned_classes.insert(c);
+            }
+            UnlearnRequest::Client(t) => {
+                self.unlearned_clients.insert(t);
+            }
+        }
+
+        // Step 4: recovery on the synthetic retain set.
+        let retain = self.synthetic_retain();
+        let recovery = fed.run_phase(&mut trainers, Some(&retain), &self.config.recover_phase, rng);
+        MethodOutcome {
+            unlearn,
+            recovery,
+            post_unlearn_params,
+        }
+    }
+
+    fn relearn(
+        &mut self,
+        fed: &mut Federation,
+        request: UnlearnRequest,
+        phase: &Phase,
+        rng: &mut Rng,
+    ) -> Option<PhaseStats> {
+        // Step 5: SGD on the synthetic forget set (QuickDrop never needs
+        // the original data back), followed by a consolidation pass over
+        // the full synthetic retain set so relearning one class does not
+        // drift the others — still synthetic-scale work.
+        let forget = self.synthetic_forget(request);
+        let mut trainers = sgd_trainers(fed.model().clone(), fed.n_clients());
+        let mut stats = fed.run_phase(&mut trainers, Some(&forget), phase, rng);
+        match request {
+            UnlearnRequest::Class(c) => {
+                self.unlearned_classes.remove(&c);
+            }
+            UnlearnRequest::Client(t) => {
+                self.unlearned_clients.remove(&t);
+            }
+        }
+        let retain = self.synthetic_retain();
+        let consolidation =
+            fed.run_phase(&mut trainers, Some(&retain), &self.config.recover_phase, rng);
+        stats.merge(&consolidation);
+        Some(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qd_data::{partition_dirichlet, SyntheticDataset};
+    use qd_eval::split_accuracy;
+    use qd_nn::{Mlp, Module};
+    use qd_unlearn::fr_eval_sets;
+    use std::sync::Arc;
+
+    fn trained_system() -> (Federation, QuickDrop, Dataset, Rng, Arc<dyn Module>) {
+        let mut rng = Rng::seed_from(0);
+        let model: Arc<dyn Module> = Arc::new(Mlp::new(&[256, 32, 10]));
+        let data = SyntheticDataset::Digits.generate(600, &mut rng);
+        let test = SyntheticDataset::Digits.generate(300, &mut rng);
+        let parts = partition_dirichlet(data.labels(), 10, 4, 0.5, &mut rng);
+        let clients: Vec<_> = parts.iter().map(|p| data.subset(p)).collect();
+        let mut fed = Federation::new(model.clone(), clients, &mut rng);
+        let mut cfg = QuickDropConfig::scaled_test();
+        cfg.train_phase = Phase::training(8, 8, 32, 0.1);
+        cfg.unlearn_phase = Phase::unlearning(1, 4, 32, 0.05);
+        cfg.recover_phase = Phase::training(2, 6, 32, 0.1);
+        cfg.relearn_phase = Phase::training(3, 6, 32, 0.1);
+        let (qd, report) = QuickDrop::train(&mut fed, cfg, &mut rng);
+        assert!(report.dd_compute > Duration::ZERO);
+        assert!(report.dd_overhead() > 0.0 && report.dd_overhead() < 1.0);
+        assert!(report.storage_fraction() < 0.2);
+        (fed, qd, test, rng, model)
+    }
+
+    #[test]
+    fn quickdrop_unlearns_class_with_tiny_data() {
+        let (mut fed, mut qd, test, mut rng, model) = trained_system();
+        let request = UnlearnRequest::Class(4);
+        let (f, r) = fr_eval_sets(&fed, request, &test);
+        let (fa0, ra0) = split_accuracy(model.as_ref(), fed.global(), &f, &r);
+        assert!(fa0 > 0.4, "class 4 learned before unlearning ({fa0})");
+
+        let real_total: usize = fed.clients().iter().map(Dataset::len).sum();
+        let outcome = qd.unlearn(&mut fed, request, &mut rng);
+        assert!(
+            outcome.unlearn.data_size < real_total / 5,
+            "unlearning must touch only synthetic volumes ({} vs {real_total})",
+            outcome.unlearn.data_size
+        );
+
+        let (fa, ra) = split_accuracy(model.as_ref(), fed.global(), &f, &r);
+        assert!(fa < 0.15, "forget accuracy after unlearning {fa}");
+        assert!(ra > ra0 - 0.2, "retain accuracy {ra0} -> {ra}");
+    }
+
+    #[test]
+    fn quickdrop_supports_relearning() {
+        let (mut fed, mut qd, test, mut rng, model) = trained_system();
+        let request = UnlearnRequest::Class(2);
+        let (f, r) = fr_eval_sets(&fed, request, &test);
+        qd.unlearn(&mut fed, request, &mut rng);
+        let (fa_unlearned, _) = split_accuracy(model.as_ref(), fed.global(), &f, &r);
+        assert!(fa_unlearned < 0.2);
+
+        let phase = qd.config().relearn_phase;
+        qd.relearn(&mut fed, request, &phase, &mut rng)
+            .expect("QuickDrop supports relearning");
+        let (fa_back, _) = split_accuracy(model.as_ref(), fed.global(), &f, &r);
+        assert!(
+            fa_back > 0.4,
+            "relearning should restore class 2: {fa_unlearned} -> {fa_back}"
+        );
+        assert_eq!(qd.unlearned_classes().count(), 0);
+    }
+
+    #[test]
+    fn quickdrop_client_level_unlearning() {
+        let (mut fed, mut qd, test, mut rng, model) = trained_system();
+        let request = UnlearnRequest::Client(1);
+        let (f, r) = fr_eval_sets(&fed, request, &test);
+        let (fa0, _) = split_accuracy(model.as_ref(), fed.global(), &f, &r);
+        let outcome = qd.unlearn(&mut fed, request, &mut rng);
+        let (fa, ra) = split_accuracy(model.as_ref(), fed.global(), &f, &r);
+        // Client influence drops (not to zero: shared features remain,
+        // Section 4.6), retained data stays usable.
+        assert!(fa < fa0, "client influence should drop: {fa0} -> {fa}");
+        assert!(ra > 0.3, "retain accuracy {ra}");
+        assert!(outcome.recovery.rounds == 2);
+    }
+
+    #[test]
+    fn sequential_requests_keep_prior_classes_forgotten() {
+        let (mut fed, mut qd, test, mut rng, model) = trained_system();
+        qd.unlearn(&mut fed, UnlearnRequest::Class(1), &mut rng);
+        qd.unlearn(&mut fed, UnlearnRequest::Class(6), &mut rng);
+        let (f1, _) = fr_eval_sets(&fed, UnlearnRequest::Class(1), &test);
+        let (f6, _) = fr_eval_sets(&fed, UnlearnRequest::Class(6), &test);
+        let a1 = qd_eval::accuracy(model.as_ref(), fed.global(), &f1);
+        let a6 = qd_eval::accuracy(model.as_ref(), fed.global(), &f6);
+        assert!(a1 < 0.25, "class 1 stays forgotten after second request ({a1})");
+        assert!(a6 < 0.25, "class 6 forgotten ({a6})");
+        assert_eq!(qd.unlearned_classes().count(), 2);
+    }
+}

@@ -1,0 +1,180 @@
+//! Federated data partitioners: Dirichlet non-IID and IID.
+
+use qd_tensor::rng::Rng;
+
+/// Splits sample indices across `n_clients` with Dirichlet-distributed
+/// per-class proportions (Hsu et al., 2019) — the paper's non-IID setup.
+///
+/// For every class, client shares are drawn from
+/// `Dirichlet(alpha, ..., alpha)`; smaller `alpha` concentrates each class
+/// on fewer clients. The paper fixes `alpha = 0.1`, a highly non-IID
+/// regime.
+///
+/// Every sample is assigned to exactly one client; clients may receive
+/// zero samples of some (or, for tiny datasets, all) classes.
+///
+/// # Panics
+///
+/// Panics if `n_clients == 0`, `classes == 0`, `alpha <= 0`, or any label
+/// is `>= classes`.
+///
+/// # Examples
+///
+/// ```
+/// use qd_data::partition_dirichlet;
+/// use qd_tensor::rng::Rng;
+///
+/// let labels = vec![0, 0, 1, 1, 2, 2, 0, 1];
+/// let parts = partition_dirichlet(&labels, 3, 4, 0.5, &mut Rng::seed_from(0));
+/// assert_eq!(parts.len(), 4);
+/// assert_eq!(parts.iter().map(Vec::len).sum::<usize>(), labels.len());
+/// ```
+pub fn partition_dirichlet(
+    labels: &[usize],
+    classes: usize,
+    n_clients: usize,
+    alpha: f32,
+    rng: &mut Rng,
+) -> Vec<Vec<usize>> {
+    assert!(n_clients > 0, "need at least one client");
+    assert!(classes > 0, "need at least one class");
+    let mut parts: Vec<Vec<usize>> = vec![Vec::new(); n_clients];
+    for class in 0..classes {
+        let mut members: Vec<usize> = labels
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &y)| {
+                assert!(y < classes, "label {y} out of range");
+                (y == class).then_some(i)
+            })
+            .collect();
+        if members.is_empty() {
+            continue;
+        }
+        rng.shuffle(&mut members);
+        let shares = rng.dirichlet(alpha, n_clients);
+        // Convert shares to cumulative cut points over the member list.
+        let m = members.len();
+        let mut start = 0usize;
+        let mut cum = 0.0f32;
+        for (client, &share) in shares.iter().enumerate() {
+            cum += share;
+            let end = if client + 1 == n_clients {
+                m
+            } else {
+                ((cum * m as f32).round() as usize).clamp(start, m)
+            };
+            parts[client].extend_from_slice(&members[start..end]);
+            start = end;
+        }
+    }
+    for p in &mut parts {
+        p.sort_unstable();
+    }
+    parts
+}
+
+/// Splits sample indices uniformly at random into `n_clients` nearly-equal
+/// shards (the IID control condition).
+///
+/// # Panics
+///
+/// Panics if `n_clients == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use qd_data::partition_iid;
+/// use qd_tensor::rng::Rng;
+///
+/// let parts = partition_iid(10, 3, &mut Rng::seed_from(0));
+/// let sizes: Vec<usize> = parts.iter().map(Vec::len).collect();
+/// assert_eq!(sizes.iter().sum::<usize>(), 10);
+/// assert!(sizes.iter().all(|&s| s == 3 || s == 4));
+/// ```
+pub fn partition_iid(n_samples: usize, n_clients: usize, rng: &mut Rng) -> Vec<Vec<usize>> {
+    assert!(n_clients > 0, "need at least one client");
+    let mut idx: Vec<usize> = (0..n_samples).collect();
+    rng.shuffle(&mut idx);
+    let mut parts: Vec<Vec<usize>> = vec![Vec::new(); n_clients];
+    for (i, sample) in idx.into_iter().enumerate() {
+        parts[i % n_clients].push(sample);
+    }
+    for p in &mut parts {
+        p.sort_unstable();
+    }
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels(n_per_class: usize, classes: usize) -> Vec<usize> {
+        (0..n_per_class * classes).map(|i| i % classes).collect()
+    }
+
+    #[test]
+    fn dirichlet_partition_is_complete_and_disjoint() {
+        let y = labels(50, 10);
+        let parts = partition_dirichlet(&y, 10, 8, 0.1, &mut Rng::seed_from(1));
+        let mut seen: Vec<usize> = parts.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..y.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn low_alpha_is_more_skewed_than_high_alpha() {
+        let y = labels(100, 10);
+        let skew = |alpha: f32| {
+            let parts = partition_dirichlet(&y, 10, 10, alpha, &mut Rng::seed_from(7));
+            // Average per-client max class share.
+            let mut total = 0.0;
+            let mut counted = 0;
+            for p in &parts {
+                if p.is_empty() {
+                    continue;
+                }
+                let mut counts = [0usize; 10];
+                for &i in p {
+                    counts[y[i]] += 1;
+                }
+                let max = *counts.iter().max().unwrap() as f32;
+                total += max / p.len() as f32;
+                counted += 1;
+            }
+            total / counted as f32
+        };
+        let s_low = skew(0.1);
+        let s_high = skew(100.0);
+        assert!(
+            s_low > s_high + 0.15,
+            "alpha=0.1 skew {s_low} not clearly above alpha=100 skew {s_high}"
+        );
+    }
+
+    #[test]
+    fn iid_partition_balances_sizes() {
+        let parts = partition_iid(103, 10, &mut Rng::seed_from(2));
+        assert_eq!(parts.iter().map(Vec::len).sum::<usize>(), 103);
+        for p in &parts {
+            assert!(p.len() == 10 || p.len() == 11);
+        }
+    }
+
+    #[test]
+    fn partitions_are_seed_deterministic() {
+        let y = labels(20, 5);
+        let a = partition_dirichlet(&y, 5, 4, 0.1, &mut Rng::seed_from(3));
+        let b = partition_dirichlet(&y, 5, 4, 0.1, &mut Rng::seed_from(3));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn dirichlet_handles_missing_classes() {
+        // Labels never use class 4 out of 5; partition must still succeed.
+        let y = vec![0, 1, 2, 3, 0, 1];
+        let parts = partition_dirichlet(&y, 5, 2, 1.0, &mut Rng::seed_from(4));
+        assert_eq!(parts.iter().map(Vec::len).sum::<usize>(), 6);
+    }
+}

@@ -1,0 +1,141 @@
+//! Terminal visualization of image samples.
+//!
+//! Distilled synthetic samples are the artifact QuickDrop stores and
+//! replays; being able to *look* at them (in examples, logs and bug
+//! reports) is worth more than it costs. Images render as ASCII
+//! luminance ramps, multi-channel images are averaged to grayscale.
+
+use crate::Dataset;
+
+/// Luminance ramp from dark to bright.
+const RAMP: &[u8] = b" .:-=+*#%@";
+
+/// Renders one CHW image as ASCII art (one text row per pixel row).
+///
+/// Pixel values are min-max normalized over the image, so any value range
+/// works. Multi-channel images are averaged to grayscale.
+///
+/// # Panics
+///
+/// Panics if `pixels.len() != c * h * w` or any dimension is zero.
+///
+/// # Examples
+///
+/// ```
+/// use qd_data::ascii_image;
+///
+/// let img = vec![0.0, 1.0, 1.0, 0.0];
+/// let art = ascii_image(&img, 1, 2, 2);
+/// assert_eq!(art.lines().count(), 2);
+/// ```
+pub fn ascii_image(pixels: &[f32], c: usize, h: usize, w: usize) -> String {
+    assert!(c > 0 && h > 0 && w > 0, "dimensions must be positive");
+    assert_eq!(pixels.len(), c * h * w, "pixel count mismatch");
+    // Average channels.
+    let mut gray = vec![0.0f32; h * w];
+    for ch in 0..c {
+        for (g, &p) in gray.iter_mut().zip(&pixels[ch * h * w..(ch + 1) * h * w]) {
+            *g += p / c as f32;
+        }
+    }
+    let min = gray.iter().cloned().fold(f32::INFINITY, f32::min);
+    let max = gray.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let span = (max - min).max(1e-12);
+    let mut out = String::with_capacity(h * (w + 1));
+    for y in 0..h {
+        for x in 0..w {
+            let v = (gray[y * w + x] - min) / span;
+            let idx = ((v * (RAMP.len() - 1) as f32).round() as usize).min(RAMP.len() - 1);
+            out.push(RAMP[idx] as char);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders up to `limit` samples of a dataset side by side, labelled.
+///
+/// # Examples
+///
+/// ```
+/// use qd_data::{ascii_samples, SyntheticDataset};
+/// use qd_tensor::rng::Rng;
+///
+/// let ds = SyntheticDataset::Digits.generate(4, &mut Rng::seed_from(0));
+/// let art = ascii_samples(&ds, 3);
+/// assert!(art.contains("label"));
+/// ```
+pub fn ascii_samples(data: &Dataset, limit: usize) -> String {
+    let n = limit.min(data.len());
+    if n == 0 {
+        return String::from("(no samples)\n");
+    }
+    let (c, h, w) = data.sample_dims();
+    let arts: Vec<Vec<String>> = (0..n)
+        .map(|i| {
+            ascii_image(data.image(i), c, h, w)
+                .lines()
+                .map(str::to_owned)
+                .collect()
+        })
+        .collect();
+    let mut out = String::new();
+    for i in 0..n {
+        out.push_str(&format!("{:<width$}", format!("label {}", data.label(i)), width = w + 2));
+    }
+    out.push('\n');
+    for row in 0..h {
+        for art in &arts {
+            out.push_str(&format!("{:<width$}", art[row], width = w + 2));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SyntheticDataset;
+    use qd_tensor::rng::Rng;
+
+    #[test]
+    fn ascii_image_maps_extremes_to_ramp_ends() {
+        let art = ascii_image(&[0.0, 1.0], 1, 1, 2);
+        assert_eq!(art, " @\n");
+    }
+
+    #[test]
+    fn constant_image_does_not_divide_by_zero() {
+        let art = ascii_image(&[0.5; 4], 1, 2, 2);
+        assert_eq!(art.lines().count(), 2);
+    }
+
+    #[test]
+    fn multichannel_images_average() {
+        // Channel 0 bright-left, channel 1 bright-right: average is flat.
+        let art = ascii_image(&[1.0, 0.0, 0.0, 1.0], 2, 1, 2);
+        assert_eq!(art.chars().next(), art.chars().nth(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "pixel count")]
+    fn rejects_wrong_pixel_count() {
+        let _ = ascii_image(&[0.0; 3], 1, 2, 2);
+    }
+
+    #[test]
+    fn grid_renders_requested_samples() {
+        let ds = SyntheticDataset::Digits.generate(5, &mut Rng::seed_from(1));
+        let art = ascii_samples(&ds, 2);
+        // Header + 16 pixel rows.
+        assert_eq!(art.lines().count(), 17);
+        assert_eq!(art.matches("label").count(), 2);
+    }
+
+    #[test]
+    fn empty_dataset_renders_placeholder() {
+        let ds = SyntheticDataset::Digits.generate(2, &mut Rng::seed_from(1)).subset(&[]);
+        assert_eq!(ascii_samples(&ds, 3), "(no samples)\n");
+    }
+}

@@ -1,0 +1,72 @@
+//! Recovery-time data augmentation: mixing real samples into the
+//! synthetic set (Section 3.3.1).
+
+use crate::SyntheticSet;
+use qd_data::Dataset;
+use qd_tensor::rng::Rng;
+
+/// Mixes randomly selected real samples into the synthetic set at a 1:1
+/// ratio per class (the paper's setting: the mixed set is ~2% of the
+/// original volume), returning the dataset used for recovery and
+/// relearning.
+///
+/// Classes without synthetic samples contribute nothing; classes with `m`
+/// synthetic samples receive `min(m, |Dᶜ|)` random real samples.
+///
+/// # Examples
+///
+/// ```
+/// use qd_data::SyntheticDataset;
+/// use qd_distill::{augment_with_real, SyntheticSet};
+/// use qd_tensor::rng::Rng;
+///
+/// let mut rng = Rng::seed_from(0);
+/// let data = SyntheticDataset::Digits.generate(300, &mut rng);
+/// let syn = SyntheticSet::init_from_real(&data, 100, &mut rng);
+/// let mixed = augment_with_real(&syn, &data, &mut rng);
+/// assert!(mixed.len() >= syn.len() && mixed.len() <= 2 * syn.len());
+/// ```
+pub fn augment_with_real(syn: &SyntheticSet, real: &Dataset, rng: &mut Rng) -> Dataset {
+    let mut mixed = syn.to_dataset();
+    for class in syn.owned_classes() {
+        let m = syn.class_samples(class).map_or(0, |t| t.dims()[0]);
+        let members = real.indices_of_class(class);
+        if members.is_empty() || m == 0 {
+            continue;
+        }
+        let take = m.min(members.len());
+        let picks = rng.choose_indices(members.len(), take);
+        for p in picks {
+            mixed.push(real.image(members[p]), class);
+        }
+    }
+    mixed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qd_data::SyntheticDataset;
+
+    #[test]
+    fn augmentation_doubles_each_owned_class() {
+        let mut rng = Rng::seed_from(1);
+        let data = SyntheticDataset::Digits.generate(400, &mut rng);
+        let syn = SyntheticSet::init_from_real(&data, 50, &mut rng);
+        let mixed = augment_with_real(&syn, &data, &mut rng);
+        for class in syn.owned_classes() {
+            let m = syn.class_samples(class).unwrap().dims()[0];
+            assert_eq!(mixed.indices_of_class(class).len(), 2 * m);
+        }
+    }
+
+    #[test]
+    fn augmentation_keeps_volume_small() {
+        let mut rng = Rng::seed_from(2);
+        let data = SyntheticDataset::Cifar.generate(500, &mut rng);
+        let syn = SyntheticSet::init_from_real(&data, 100, &mut rng);
+        let mixed = augment_with_real(&syn, &data, &mut rng);
+        // ~2% of the original volume, as claimed in Section 3.3.1.
+        assert!(mixed.len() <= data.len() / 10);
+    }
+}

@@ -1,0 +1,84 @@
+//! Property-based tests of the gradient-matching distance: bounds,
+//! identity, per-row scale invariance, and symmetry of the induced
+//! geometry.
+
+use proptest::prelude::*;
+use qd_autograd::Tape;
+use qd_distill::matching_distance;
+use qd_tensor::Tensor;
+
+fn mat(values: Vec<f32>, rows: usize, cols: usize) -> Tensor {
+    Tensor::from_vec(values, &[rows, cols])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn distance_is_within_cosine_bounds(
+        v in proptest::collection::vec(-2.0f32..2.0, 12),
+        w in proptest::collection::vec(-2.0f32..2.0, 12),
+    ) {
+        // Rows with non-trivial norms: shift away from zero.
+        let a = mat(v.iter().map(|x| x + 3.0).collect(), 3, 4);
+        let b = mat(w.iter().map(|x| x + 3.0).collect(), 3, 4);
+        let mut tape = Tape::new();
+        let av = tape.leaf(a);
+        let d = matching_distance(&mut tape, &[av], &[b]);
+        let val = tape.value(d).item();
+        // Each row contributes 1 - cos in [0, 2].
+        prop_assert!((-1e-3..=6.0 + 1e-3).contains(&val), "distance {val}");
+    }
+
+    #[test]
+    fn distance_to_self_is_zero(
+        v in proptest::collection::vec(0.5f32..2.0, 8),
+    ) {
+        let a = mat(v, 2, 4);
+        let mut tape = Tape::new();
+        let av = tape.leaf(a.clone());
+        let d = matching_distance(&mut tape, &[av], &[a]);
+        prop_assert!(tape.value(d).item().abs() < 1e-3);
+    }
+
+    #[test]
+    fn distance_is_invariant_to_positive_row_scaling(
+        v in proptest::collection::vec(0.5f32..2.0, 8),
+        s in 0.1f32..10.0,
+    ) {
+        let a = mat(v.clone(), 2, 4);
+        let scaled = a.scale(s);
+        let mut tape = Tape::new();
+        let av = tape.leaf(scaled);
+        let d = matching_distance(&mut tape, &[av], &[a]);
+        prop_assert!(tape.value(d).item().abs() < 1e-2);
+    }
+
+    #[test]
+    fn negating_one_layer_adds_two_per_row(
+        v in proptest::collection::vec(0.5f32..2.0, 8),
+    ) {
+        let a = mat(v, 2, 4);
+        let mut tape = Tape::new();
+        let av = tape.leaf(a.scale(-1.0));
+        let d = matching_distance(&mut tape, &[av], &[a]);
+        prop_assert!((tape.value(d).item() - 4.0).abs() < 1e-2); // 2 rows x 2
+    }
+
+    #[test]
+    fn multi_layer_distance_is_sum_of_layers(
+        v in proptest::collection::vec(0.5f32..2.0, 8),
+        w in proptest::collection::vec(0.5f32..2.0, 6),
+    ) {
+        let a1 = mat(v.clone(), 2, 4);
+        let a2 = mat(w.clone(), 2, 3);
+        let b1 = a1.scale(-1.0);
+        let b2 = a2.clone();
+        // Layer 1 contributes ~4 (opposite), layer 2 contributes ~0.
+        let mut tape = Tape::new();
+        let l1 = tape.leaf(b1);
+        let l2 = tape.leaf(b2);
+        let d = matching_distance(&mut tape, &[l1, l2], &[a1, a2]);
+        prop_assert!((tape.value(d).item() - 4.0).abs() < 1e-2);
+    }
+}

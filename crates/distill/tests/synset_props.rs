@@ -1,0 +1,65 @@
+//! Property-based tests of the synthetic-set size rule and dataset
+//! round-trips.
+
+use proptest::prelude::*;
+use qd_data::SyntheticDataset;
+use qd_distill::SyntheticSet;
+use qd_tensor::rng::Rng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn sizes_follow_the_ceil_rule_for_any_scale(
+        scale in 1usize..500,
+        n in 20usize..200,
+        seed in 0u64..500,
+    ) {
+        let mut rng = Rng::seed_from(seed);
+        let data = SyntheticDataset::Digits.generate(n, &mut rng);
+        let syn = SyntheticSet::init_from_real(&data, scale, &mut rng);
+        for class in 0..10 {
+            let real = data.indices_of_class(class).len();
+            let got = syn.class_samples(class).map_or(0, |t| t.dims()[0]);
+            prop_assert_eq!(got, real.div_ceil(scale), "class {} at scale {}", class, scale);
+        }
+    }
+
+    #[test]
+    fn synthetic_size_is_monotone_nonincreasing_in_scale(
+        n in 50usize..200,
+        seed in 0u64..500,
+    ) {
+        let mut rng = Rng::seed_from(seed);
+        let data = SyntheticDataset::Digits.generate(n, &mut rng);
+        let mut last = usize::MAX;
+        for scale in [1usize, 2, 5, 10, 50, 1000] {
+            let syn = SyntheticSet::init_from_real(&data, scale, &mut Rng::seed_from(seed));
+            prop_assert!(syn.len() <= last, "scale {} grew the set", scale);
+            last = syn.len();
+        }
+    }
+
+    #[test]
+    fn to_dataset_round_trips_membership(
+        n in 30usize..120,
+        scale in 1usize..50,
+        seed in 0u64..500,
+    ) {
+        let mut rng = Rng::seed_from(seed);
+        let data = SyntheticDataset::Cifar.generate(n, &mut rng);
+        let syn = SyntheticSet::init_from_real(&data, scale, &mut rng);
+        let ds = syn.to_dataset();
+        prop_assert_eq!(ds.len(), syn.len());
+        for class in syn.owned_classes() {
+            let m = syn.class_samples(class).unwrap().dims()[0];
+            prop_assert_eq!(ds.indices_of_class(class).len(), m);
+        }
+        // Class partition is exact.
+        let mut covered = 0;
+        for class in 0..ds.classes() {
+            covered += ds.indices_of_class(class).len();
+        }
+        prop_assert_eq!(covered, ds.len());
+    }
+}

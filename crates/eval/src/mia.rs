@@ -1,0 +1,166 @@
+//! A loss-threshold membership-inference attack.
+
+use qd_data::Dataset;
+use qd_nn::Module;
+use qd_tensor::Tensor;
+
+/// Loss-threshold membership-inference attack (Yeom et al. 2018), used as
+/// in the mixed-privacy forgetting setting of Golatkar et al. (2021) to
+/// audit unlearning: after fitting a threshold that separates known
+/// members from known non-members, the attack is asked whether *forgotten*
+/// samples still look like training members.
+///
+/// A successful unlearning method drives the member-rate on the forget set
+/// down to the retraining oracle's level, while the retain set stays
+/// recognizable as member data.
+///
+/// # Examples
+///
+/// ```
+/// use qd_eval::MiaAttack;
+///
+/// // Members have low loss, non-members high loss.
+/// let attack = MiaAttack::fit(&[0.1, 0.2, 0.15], &[1.9, 2.5, 3.0]);
+/// assert_eq!(attack.member_rate(&[0.12, 2.8]), 0.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MiaAttack {
+    threshold: f32,
+}
+
+impl MiaAttack {
+    /// Fits the threshold maximizing balanced accuracy between known
+    /// member losses (training data) and non-member losses (held-out
+    /// data).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either slice is empty.
+    pub fn fit(member_losses: &[f32], nonmember_losses: &[f32]) -> Self {
+        assert!(
+            !member_losses.is_empty() && !nonmember_losses.is_empty(),
+            "MIA calibration needs both member and non-member losses"
+        );
+        let mut candidates: Vec<f32> = member_losses
+            .iter()
+            .chain(nonmember_losses)
+            .copied()
+            .collect();
+        candidates.sort_by(f32::total_cmp);
+        candidates.dedup();
+        let mut best = (f32::NEG_INFINITY, candidates[0]);
+        for window in candidates.windows(2) {
+            let tau = 0.5 * (window[0] + window[1]);
+            let tpr = rate_below(member_losses, tau);
+            let tnr = 1.0 - rate_below(nonmember_losses, tau);
+            let balanced = 0.5 * (tpr + tnr);
+            if balanced > best.0 {
+                best = (balanced, tau);
+            }
+        }
+        MiaAttack { threshold: best.1 }
+    }
+
+    /// Convenience: fits directly from a model and calibration datasets.
+    ///
+    /// `member_data` should be training samples the model has seen (e.g.
+    /// the retain training set); `nonmember_data` held-out samples.
+    pub fn fit_on_model(
+        model: &dyn Module,
+        params: &[Tensor],
+        member_data: &Dataset,
+        nonmember_data: &Dataset,
+    ) -> Self {
+        let member = crate::sample_losses(model, params, member_data);
+        let nonmember = crate::sample_losses(model, params, nonmember_data);
+        MiaAttack::fit(&member, &nonmember)
+    }
+
+    /// The calibrated loss threshold: losses below it are classified as
+    /// members.
+    pub fn threshold(&self) -> f32 {
+        self.threshold
+    }
+
+    /// Fraction of `losses` classified as training members.
+    pub fn member_rate(&self, losses: &[f32]) -> f32 {
+        rate_below(losses, self.threshold)
+    }
+
+    /// Fraction of `data`'s samples classified as members under
+    /// `model(params)`.
+    pub fn member_rate_on(&self, model: &dyn Module, params: &[Tensor], data: &Dataset) -> f32 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        self.member_rate(&crate::sample_losses(model, params, data))
+    }
+}
+
+fn rate_below(losses: &[f32], tau: f32) -> f32 {
+    if losses.is_empty() {
+        return 0.0;
+    }
+    losses.iter().filter(|&&l| l < tau).count() as f32 / losses.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfectly_separable_losses_yield_perfect_attack() {
+        let attack = MiaAttack::fit(&[0.1, 0.2, 0.3], &[1.0, 1.5, 2.0]);
+        assert_eq!(attack.member_rate(&[0.05, 0.25]), 1.0);
+        assert_eq!(attack.member_rate(&[1.2, 5.0]), 0.0);
+        assert!(attack.threshold() > 0.3 && attack.threshold() < 1.0);
+    }
+
+    #[test]
+    fn overlapping_losses_yield_partial_rates() {
+        let members = [0.1, 0.3, 0.5, 0.7];
+        let nonmembers = [0.4, 0.6, 0.8, 1.0];
+        let attack = MiaAttack::fit(&members, &nonmembers);
+        let mr = attack.member_rate(&members);
+        let nr = attack.member_rate(&nonmembers);
+        assert!(mr > nr, "members {mr} should look more member than {nr}");
+    }
+
+    #[test]
+    #[should_panic(expected = "calibration")]
+    fn fit_rejects_empty_calibration() {
+        let _ = MiaAttack::fit(&[], &[1.0]);
+    }
+
+    #[test]
+    fn member_rate_of_empty_slice_is_zero() {
+        let attack = MiaAttack::fit(&[0.1], &[1.0]);
+        assert_eq!(attack.member_rate(&[]), 0.0);
+    }
+
+    #[test]
+    fn threshold_sits_between_separable_populations() {
+        let attack = MiaAttack::fit(&[0.0, 0.1, 0.2], &[5.0, 6.0]);
+        assert!(attack.threshold() > 0.2 && attack.threshold() < 5.0);
+    }
+
+    #[test]
+    fn fit_is_permutation_invariant() {
+        let a = MiaAttack::fit(&[0.1, 0.9, 0.5], &[1.1, 0.7, 2.0]);
+        let b = MiaAttack::fit(&[0.5, 0.1, 0.9], &[2.0, 1.1, 0.7]);
+        assert_eq!(a.threshold(), b.threshold());
+    }
+
+    #[test]
+    fn identical_populations_yield_chance_level_attack() {
+        let losses = [0.5f32, 1.0, 1.5, 2.0];
+        let attack = MiaAttack::fit(&losses, &losses);
+        let rate = attack.member_rate(&losses);
+        // Any threshold gives balanced accuracy 0.5; the attack cannot
+        // separate anything useful.
+        assert!((0.0..=1.0).contains(&rate));
+        let tpr = attack.member_rate(&losses);
+        let fpr = attack.member_rate(&losses);
+        assert_eq!(tpr, fpr);
+    }
+}

@@ -1,0 +1,621 @@
+//! The federation: global model, client datasets, round execution and
+//! FedAvg aggregation.
+
+use crate::{ClientTrainer, Phase};
+use qd_data::Dataset;
+use qd_nn::Module;
+use qd_tensor::rng::Rng;
+use qd_tensor::Tensor;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Everything retained about one training round when history recording is
+/// on — the storage FedEraser later consumes.
+#[derive(Debug, Clone)]
+pub struct RoundRecord {
+    /// Round index within the recorded phase.
+    pub round_index: usize,
+    /// Clients that participated, in aggregation order.
+    pub participants: Vec<usize>,
+    /// Global parameters at the start of the round.
+    pub global_before: Vec<Tensor>,
+    /// Per-participant parameter updates (`local - global_before`),
+    /// aligned with `participants`.
+    pub updates: Vec<Vec<Tensor>>,
+    /// FedAvg weights used, aligned with `participants`.
+    pub weights: Vec<f32>,
+}
+
+/// Cost accounting for one executed [`Phase`], feeding the paper's
+/// time / rounds / data-size tables.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseStats {
+    /// Rounds executed.
+    pub rounds: usize,
+    /// Total gradient evaluations, counted in samples.
+    pub samples_processed: usize,
+    /// Distinct samples held by the participants of a round (the paper's
+    /// "Data Size" column; last round's value).
+    pub data_size: usize,
+    /// Wall-clock time spent.
+    pub wall: Duration,
+    /// Scalars sent server → clients (each participant downloads the
+    /// global model every round).
+    pub download_scalars: usize,
+    /// Scalars sent clients → server (each *surviving* participant
+    /// uploads its parameters every round).
+    pub upload_scalars: usize,
+}
+
+impl PhaseStats {
+    /// Accumulates another phase's costs (used to total unlearning +
+    /// recovery).
+    pub fn merge(&mut self, other: &PhaseStats) {
+        self.rounds += other.rounds;
+        self.samples_processed += other.samples_processed;
+        self.data_size = self.data_size.max(other.data_size);
+        self.wall += other.wall;
+        self.download_scalars += other.download_scalars;
+        self.upload_scalars += other.upload_scalars;
+    }
+
+    /// Total scalars exchanged in both directions.
+    pub fn communication_scalars(&self) -> usize {
+        self.download_scalars + self.upload_scalars
+    }
+}
+
+/// A simulated FedAvg federation: `N` clients, their private datasets, and
+/// the global model parameters.
+///
+/// See the crate-level docs for an end-to-end example.
+pub struct Federation {
+    model: Arc<dyn Module>,
+    clients: Vec<Dataset>,
+    global: Vec<Tensor>,
+    record_history: bool,
+    history: Vec<RoundRecord>,
+}
+
+impl std::fmt::Debug for Federation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Federation({} clients, {} param tensors, {} recorded rounds)",
+            self.clients.len(),
+            self.global.len(),
+            self.history.len()
+        )
+    }
+}
+
+impl Federation {
+    /// Creates a federation with freshly initialized global parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clients` is empty.
+    pub fn new(model: Arc<dyn Module>, clients: Vec<Dataset>, rng: &mut Rng) -> Self {
+        assert!(!clients.is_empty(), "federation needs at least one client");
+        let global = model.init(rng);
+        Federation {
+            model,
+            clients,
+            global,
+            record_history: false,
+            history: Vec::new(),
+        }
+    }
+
+    /// Creates a federation with the given starting parameters (used by
+    /// retraining baselines that must restart from a fixed init).
+    pub fn with_params(model: Arc<dyn Module>, clients: Vec<Dataset>, global: Vec<Tensor>) -> Self {
+        assert!(!clients.is_empty(), "federation needs at least one client");
+        Federation {
+            model,
+            clients,
+            global,
+            record_history: false,
+            history: Vec::new(),
+        }
+    }
+
+    /// Number of clients.
+    pub fn n_clients(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// The architecture shared by all clients.
+    pub fn model(&self) -> &Arc<dyn Module> {
+        &self.model
+    }
+
+    /// Client `i`'s local dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn client_data(&self, i: usize) -> &Dataset {
+        &self.clients[i]
+    }
+
+    /// All client datasets.
+    pub fn clients(&self) -> &[Dataset] {
+        &self.clients
+    }
+
+    /// Current global parameters.
+    pub fn global(&self) -> &[Tensor] {
+        &self.global
+    }
+
+    /// Replaces the global parameters (e.g. restoring a checkpoint).
+    pub fn set_global(&mut self, params: Vec<Tensor>) {
+        assert_eq!(
+            params.len(),
+            self.global.len(),
+            "parameter tensor count mismatch"
+        );
+        self.global = params;
+    }
+
+    /// Enables or disables per-round update recording.
+    pub fn set_record_history(&mut self, on: bool) {
+        self.record_history = on;
+    }
+
+    /// Rounds recorded while history recording was enabled.
+    pub fn history(&self) -> &[RoundRecord] {
+        &self.history
+    }
+
+    /// Drops all recorded history (reclaiming memory).
+    pub fn clear_history(&mut self) {
+        self.history.clear();
+    }
+
+    /// Number of `f32` scalars held by the recorded history — the storage
+    /// FedEraser trades for unlearning speed, which grows linearly with
+    /// rounds x participants (Table 1's "storage efficiency" column).
+    pub fn history_storage_scalars(&self) -> usize {
+        self.history
+            .iter()
+            .map(|r| {
+                let per_model: usize = r.global_before.iter().map(Tensor::len).sum();
+                per_model * (1 + r.updates.len())
+            })
+            .sum()
+    }
+
+    /// Runs a federated phase.
+    ///
+    /// * `trainers` — one stateful [`ClientTrainer`] per client.
+    /// * `override_data` — optional per-client dataset replacing the
+    ///   client's own (e.g. the synthetic forget set `Sf` during
+    ///   unlearning, or the retain set during recovery). `None` entries
+    ///   exclude the client from the phase entirely.
+    /// * Clients are sampled per round according to
+    ///   [`Phase::participation`]; aggregation is FedAvg weighted by local
+    ///   dataset size (`|Zᵢ| / |Z|`, Algorithm 1).
+    ///
+    /// Returns cost statistics. If no client is eligible (all datasets
+    /// empty), the phase is a no-op with zero rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trainers.len() != self.n_clients()` or an override slice
+    /// of the wrong length is given.
+    pub fn run_phase<T: ClientTrainer>(
+        &mut self,
+        trainers: &mut [T],
+        override_data: Option<&[Option<Dataset>]>,
+        phase: &Phase,
+        rng: &mut Rng,
+    ) -> PhaseStats {
+        assert_eq!(
+            trainers.len(),
+            self.n_clients(),
+            "one trainer per client required"
+        );
+        if let Some(o) = override_data {
+            assert_eq!(o.len(), self.n_clients(), "override slice length mismatch");
+        }
+        let dataset_of = |i: usize| -> Option<&Dataset> {
+            match override_data {
+                Some(o) => o[i].as_ref(),
+                None => Some(&self.clients[i]),
+            }
+        };
+        let eligible: Vec<usize> = (0..self.n_clients())
+            .filter(|&i| dataset_of(i).is_some_and(|d| !d.is_empty()))
+            .collect();
+        let mut stats = PhaseStats::default();
+        if eligible.is_empty() {
+            return stats;
+        }
+        let start = Instant::now();
+        for round in 0..phase.rounds {
+            let participants: Vec<usize> = if phase.participation >= 1.0 {
+                eligible.clone()
+            } else {
+                let k = ((eligible.len() as f32 * phase.participation).round() as usize)
+                    .clamp(1, eligible.len());
+                let mut picks = rng.choose_indices(eligible.len(), k);
+                picks.sort_unstable();
+                picks.into_iter().map(|j| eligible[j]).collect()
+            };
+            let sizes: Vec<usize> = participants
+                .iter()
+                .map(|&i| dataset_of(i).expect("eligible client has data").len())
+                .collect();
+            let total: usize = sizes.iter().sum();
+            let weights: Vec<f32> = sizes.iter().map(|&s| s as f32 / total as f32).collect();
+            stats.data_size = total;
+
+            // Failure injection: each sampled client may crash mid-round
+            // and deliver no update (drawn up-front for determinism).
+            let failed: Vec<bool> = participants
+                .iter()
+                .map(|_| phase.dropout > 0.0 && rng.uniform(0.0, 1.0) < phase.dropout)
+                .collect();
+            let survivor_weight: f32 = weights
+                .iter()
+                .zip(&failed)
+                .filter(|(_, &f)| !f)
+                .map(|(w, _)| w)
+                .sum();
+
+            // Pre-fork one RNG per participant so results are independent
+            // of execution interleaving.
+            let seeds: Vec<Rng> = participants.iter().map(|&i| rng.fork(i as u64)).collect();
+
+            let global_before = self.global.clone();
+            let mut outcomes: Vec<Option<crate::LocalOutcome>> = Vec::new();
+            outcomes.resize_with(participants.len(), || None);
+
+            // Hand each participating trainer to a worker thread.
+            let mut jobs: Vec<_> = trainers
+                .iter_mut()
+                .enumerate()
+                .filter(|(i, _)| participants.contains(i))
+                .collect();
+            let slot_of = |client: usize| participants.iter().position(|&p| p == client).unwrap();
+            let parallelism = std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(4);
+            for chunk in jobs.chunks_mut(parallelism) {
+                std::thread::scope(|scope| {
+                    let mut handles = Vec::new();
+                    for (client, trainer) in chunk.iter_mut() {
+                        let slot = slot_of(*client);
+                        let data = dataset_of(*client).expect("participant has data");
+                        let params = global_before.clone();
+                        let mut crng = seeds[slot].clone();
+                        let phase = *phase;
+                        handles.push((
+                            slot,
+                            scope.spawn(move || trainer.local_round(params, data, &phase, &mut crng)),
+                        ));
+                    }
+                    for (slot, handle) in handles {
+                        outcomes[slot] = Some(handle.join().expect("client thread panicked"));
+                    }
+                });
+            }
+
+            // FedAvg aggregation over the surviving clients, weighted by
+            // |Zi| / |Z| and renormalized for failures.
+            let mut new_global: Vec<Tensor> =
+                self.global.iter().map(|t| Tensor::zeros(t.dims())).collect();
+            let mut updates = Vec::with_capacity(participants.len());
+            let mut survivors = Vec::with_capacity(participants.len());
+            let mut survivor_weights = Vec::with_capacity(participants.len());
+            for (slot, outcome) in outcomes.iter().enumerate() {
+                let outcome = outcome.as_ref().expect("missing outcome");
+                stats.samples_processed += outcome.samples_processed;
+                if failed[slot] {
+                    continue; // the server never received this update
+                }
+                let w = weights[slot] / survivor_weight;
+                survivors.push(participants[slot]);
+                survivor_weights.push(w);
+                for (g, p) in new_global.iter_mut().zip(&outcome.params) {
+                    g.axpy(w, p);
+                }
+                if self.record_history {
+                    updates.push(
+                        outcome
+                            .params
+                            .iter()
+                            .zip(&global_before)
+                            .map(|(p, g)| p.sub(g))
+                            .collect(),
+                    );
+                }
+            }
+            let model_scalars: usize = self.global.iter().map(Tensor::len).sum();
+            stats.download_scalars += participants.len() * model_scalars;
+            stats.upload_scalars += survivors.len() * model_scalars;
+            if survivors.is_empty() {
+                // Every sampled client failed: the round produces no
+                // aggregate and the global model is unchanged.
+                stats.rounds += 1;
+                continue;
+            }
+            if self.record_history {
+                self.history.push(RoundRecord {
+                    round_index: round,
+                    participants: survivors,
+                    global_before,
+                    updates,
+                    weights: survivor_weights,
+                });
+            }
+            self.global = new_global;
+            stats.rounds += 1;
+        }
+        stats.wall = start.elapsed();
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{sgd_trainers, SgdClientTrainer};
+    use qd_data::SyntheticDataset;
+    use qd_nn::Mlp;
+
+    fn setup(n_clients: usize, per_client: usize) -> (Arc<dyn Module>, Vec<Dataset>, Rng) {
+        let mut rng = Rng::seed_from(0);
+        let model: Arc<dyn Module> = Arc::new(Mlp::new(&[256, 16, 10]));
+        let clients: Vec<Dataset> = (0..n_clients)
+            .map(|_| SyntheticDataset::Digits.generate(per_client, &mut rng))
+            .collect();
+        (model, clients, rng)
+    }
+
+    #[test]
+    fn aggregation_with_identical_clients_is_stable() {
+        // If every client computes the same update, FedAvg returns it.
+        let mut rng = Rng::seed_from(1);
+        let model: Arc<dyn Module> = Arc::new(Mlp::new(&[4, 2]));
+        let shared = SyntheticDataset::Digits.generate(8, &mut rng);
+        // Use a trainer that does nothing (0 steps): global must not move.
+        let clients = vec![shared.clone(), shared];
+        let mut fed = Federation::new(model.clone(), clients, &mut rng);
+        let before = fed.global().to_vec();
+        let mut trainers = sgd_trainers(model, 2);
+        let phase = Phase::training(3, 0, 4, 0.1);
+        fed.run_phase(&mut trainers, None, &phase, &mut rng);
+        for (a, b) in fed.global().iter().zip(&before) {
+            assert!(a.max_abs_diff(b) < 1e-6);
+        }
+    }
+
+    #[test]
+    fn training_improves_global_accuracy() {
+        let (model, clients, mut rng) = setup(4, 60);
+        let test = SyntheticDataset::Digits.generate(100, &mut rng);
+        let mut fed = Federation::new(model.clone(), clients, &mut rng);
+        let acc_before = accuracy(model.as_ref(), fed.global(), &test);
+        let mut trainers = sgd_trainers(model.clone(), 4);
+        let phase = Phase::training(5, 8, 32, 0.1);
+        let stats = fed.run_phase(&mut trainers, None, &phase, &mut rng);
+        assert_eq!(stats.rounds, 5);
+        assert!(stats.samples_processed > 0);
+        let acc_after = accuracy(model.as_ref(), fed.global(), &test);
+        assert!(
+            acc_after > acc_before + 0.2,
+            "accuracy {acc_before} -> {acc_after}"
+        );
+    }
+
+    #[test]
+    fn history_records_updates_that_recompose() {
+        let (model, clients, mut rng) = setup(3, 20);
+        let mut fed = Federation::new(model.clone(), clients, &mut rng);
+        fed.set_record_history(true);
+        let mut trainers = sgd_trainers(model, 3);
+        let phase = Phase::training(2, 3, 8, 0.05);
+        fed.run_phase(&mut trainers, None, &phase, &mut rng);
+        assert_eq!(fed.history().len(), 2);
+        // global_after == global_before + sum_i w_i * update_i
+        let rec = &fed.history()[0];
+        let next_before = &fed.history()[1].global_before;
+        for (j, g) in rec.global_before.iter().enumerate() {
+            let mut recomposed = g.clone();
+            for (w, upd) in rec.weights.iter().zip(&rec.updates) {
+                recomposed.axpy(*w, &upd[j]);
+            }
+            assert!(recomposed.max_abs_diff(&next_before[j]) < 1e-4);
+        }
+    }
+
+    #[test]
+    fn override_excludes_clients_with_none() {
+        let (model, clients, mut rng) = setup(3, 10);
+        let only_first = vec![Some(clients[0].clone()), None, None];
+        let mut fed = Federation::new(model.clone(), clients, &mut rng);
+        let before = fed.global().to_vec();
+        let mut trainers = sgd_trainers(model, 3);
+        let phase = Phase::training(1, 2, 4, 0.05);
+        let stats = fed.run_phase(&mut trainers, Some(&only_first), &phase, &mut rng);
+        assert_eq!(stats.data_size, 10);
+        // Global changed (client 0 trained).
+        let moved = fed
+            .global()
+            .iter()
+            .zip(&before)
+            .any(|(a, b)| a.max_abs_diff(b) > 0.0);
+        assert!(moved);
+    }
+
+    #[test]
+    fn phase_with_no_eligible_clients_is_noop() {
+        let (model, clients, mut rng) = setup(2, 10);
+        let none: Vec<Option<Dataset>> = vec![None, None];
+        let mut fed = Federation::new(model.clone(), clients, &mut rng);
+        let mut trainers = sgd_trainers(model, 2);
+        let stats = fed.run_phase(&mut trainers, Some(&none), &Phase::training(3, 2, 4, 0.1), &mut rng);
+        assert_eq!(stats.rounds, 0);
+    }
+
+    #[test]
+    fn partial_participation_samples_a_subset() {
+        let (model, clients, mut rng) = setup(10, 10);
+        let mut fed = Federation::new(model.clone(), clients, &mut rng);
+        fed.set_record_history(true);
+        let mut trainers = sgd_trainers(model, 10);
+        let phase = Phase::training(4, 1, 4, 0.05).with_participation(0.3);
+        fed.run_phase(&mut trainers, None, &phase, &mut rng);
+        for rec in fed.history() {
+            assert_eq!(rec.participants.len(), 3);
+        }
+    }
+
+    #[test]
+    fn runs_are_seed_deterministic() {
+        let run = || {
+            let (model, clients, mut rng) = setup(3, 16);
+            let mut fed = Federation::new(model.clone(), clients, &mut rng);
+            let mut trainers = sgd_trainers(model, 3);
+            fed.run_phase(&mut trainers, None, &Phase::training(2, 3, 8, 0.05), &mut rng);
+            fed.global().to_vec()
+        };
+        let a = run();
+        let b = run();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.data(), y.data());
+        }
+    }
+
+    fn accuracy(model: &dyn Module, params: &[Tensor], test: &Dataset) -> f32 {
+        let (x, y) = test.all();
+        let logits = qd_nn::forward_inference(model, params, &x);
+        let preds = logits.row_argmax();
+        preds
+            .iter()
+            .zip(&y)
+            .filter(|(a, b)| a == b)
+            .count() as f32
+            / y.len() as f32
+    }
+
+    #[test]
+    fn communication_accounting_counts_both_directions() {
+        let (model, clients, mut rng) = setup(3, 15);
+        let mut fed = Federation::new(model.clone(), clients, &mut rng);
+        let model_scalars: usize = fed.global().iter().map(Tensor::len).sum();
+        let mut trainers = sgd_trainers(model, 3);
+        let stats = fed.run_phase(&mut trainers, None, &Phase::training(4, 1, 8, 0.05), &mut rng);
+        // 4 rounds x 3 participants, both directions, no failures.
+        assert_eq!(stats.download_scalars, 4 * 3 * model_scalars);
+        assert_eq!(stats.upload_scalars, 4 * 3 * model_scalars);
+        assert_eq!(
+            stats.communication_scalars(),
+            stats.download_scalars + stats.upload_scalars
+        );
+    }
+
+    #[test]
+    fn failed_clients_download_but_never_upload() {
+        let (model, clients, mut rng) = setup(4, 12);
+        let mut fed = Federation::new(model.clone(), clients, &mut rng);
+        let mut trainers = sgd_trainers(model, 4);
+        let stats = fed.run_phase(
+            &mut trainers,
+            None,
+            &Phase::training(10, 1, 8, 0.05).with_dropout(0.5),
+            &mut rng,
+        );
+        assert!(
+            stats.upload_scalars < stats.download_scalars,
+            "lost updates must show up as missing uploads"
+        );
+    }
+
+    #[test]
+    fn training_survives_client_failures() {
+        // With 40% mid-round failures, FedAvg still converges (slower);
+        // the global model must keep improving and stay finite.
+        let (model, clients, mut rng) = setup(5, 60);
+        let test = SyntheticDataset::Digits.generate(100, &mut rng);
+        let mut fed = Federation::new(model.clone(), clients, &mut rng);
+        let acc_before = accuracy(model.as_ref(), fed.global(), &test);
+        let mut trainers = sgd_trainers(model.clone(), 5);
+        let phase = Phase::training(6, 8, 32, 0.1).with_dropout(0.4);
+        let stats = fed.run_phase(&mut trainers, None, &phase, &mut rng);
+        assert_eq!(stats.rounds, 6);
+        assert!(fed.global().iter().all(|t| t.all_finite()));
+        let acc_after = accuracy(model.as_ref(), fed.global(), &test);
+        assert!(
+            acc_after > acc_before + 0.15,
+            "training should survive failures: {acc_before} -> {acc_after}"
+        );
+    }
+
+    #[test]
+    fn history_weights_renormalize_over_survivors() {
+        let (model, clients, mut rng) = setup(4, 20);
+        let mut fed = Federation::new(model.clone(), clients, &mut rng);
+        fed.set_record_history(true);
+        let mut trainers = sgd_trainers(model, 4);
+        let phase = Phase::training(6, 2, 8, 0.05).with_dropout(0.5);
+        fed.run_phase(&mut trainers, None, &phase, &mut rng);
+        for rec in fed.history() {
+            let total: f32 = rec.weights.iter().sum();
+            assert!((total - 1.0).abs() < 1e-4, "weights sum to {total}");
+            assert_eq!(rec.participants.len(), rec.updates.len());
+            assert!(!rec.participants.is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dropout")]
+    fn rejects_certain_failure() {
+        let _ = Phase::training(1, 1, 1, 0.1).with_dropout(1.0);
+    }
+
+    #[test]
+    fn aggregation_weights_follow_dataset_sizes() {
+        // Two clients with dataset sizes 1 and 3: the aggregate must sit
+        // at 0.25 * p1 + 0.75 * p2 after one round.
+        let mut rng = Rng::seed_from(9);
+        let model: Arc<dyn Module> = Arc::new(Mlp::new(&[256, 10]));
+        let big = SyntheticDataset::Digits.generate(30, &mut rng);
+        let small = big.subset(&[0]);
+        let large = big.subset(&[1, 2, 3]);
+        let mut fed = Federation::new(model.clone(), vec![small.clone(), large.clone()], &mut rng);
+        let global = fed.global().to_vec();
+
+        // Compute each client's expected local result independently.
+        let phase = Phase::training(1, 2, 4, 0.1);
+        let mut seeds_rng = rng.clone();
+        let seeds: Vec<Rng> = vec![seeds_rng.fork(0), seeds_rng.fork(1)];
+        let mut t0 = SgdClientTrainer::new(model.clone());
+        let mut s0 = seeds[0].clone();
+        let p0 = t0.local_round(global.clone(), &small, &phase, &mut s0).params;
+        let mut t1 = SgdClientTrainer::new(model.clone());
+        let mut s1 = seeds[1].clone();
+        let p1 = t1.local_round(global.clone(), &large, &phase, &mut s1).params;
+
+        let mut trainers = sgd_trainers(model, 2);
+        fed.run_phase(&mut trainers, None, &phase, &mut rng);
+        for (j, g) in fed.global().iter().enumerate() {
+            let mut expected = Tensor::zeros(g.dims());
+            expected.axpy(0.25, &p0[j]);
+            expected.axpy(0.75, &p1[j]);
+            assert!(
+                g.max_abs_diff(&expected) < 1e-5,
+                "weighted aggregation mismatch on tensor {j}"
+            );
+        }
+    }
+
+    #[test]
+    fn trainer_debug_impls_are_nonempty() {
+        let model: Arc<dyn Module> = Arc::new(Mlp::new(&[4, 2]));
+        assert!(!format!("{:?}", SgdClientTrainer::new(model)).is_empty());
+    }
+}

@@ -1,0 +1,140 @@
+//! Phase configuration: one federated stage (training, unlearning,
+//! recovery, relearning) described declaratively.
+
+use qd_nn::Direction;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one federated stage.
+///
+/// The paper's stages map onto phases as follows (Section 4.1 defaults in
+/// parentheses, scaled down in this reproduction's experiment configs):
+///
+/// * FL training: `rounds = K (200)`, `local_steps = T (50)`,
+///   `batch = 256`, `lr = 0.01`, descent.
+/// * Unlearning: 1 round, ascent, `lr = 0.02`.
+/// * Recovery / relearning: 2 rounds, descent, `lr = 0.01`.
+///
+/// # Examples
+///
+/// ```
+/// use qd_fed::Phase;
+/// use qd_nn::Direction;
+///
+/// let unlearn = Phase::unlearning(1, 5, 32, 0.02);
+/// assert_eq!(unlearn.direction, Direction::Ascent);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Phase {
+    /// Number of global rounds.
+    pub rounds: usize,
+    /// Local update steps per client per round (`T`).
+    pub local_steps: usize,
+    /// Mini-batch size for local steps.
+    pub batch_size: usize,
+    /// Local learning rate.
+    pub lr: f32,
+    /// Gradient direction: descent for training/recovery, ascent for
+    /// unlearning.
+    pub direction: Direction,
+    /// Fraction of eligible clients sampled each round (`1.0` = all).
+    pub participation: f32,
+    /// Probability that a sampled client fails mid-round (crash, network
+    /// partition) and its update is lost. The server aggregates over the
+    /// survivors with renormalized weights — standard FedAvg fault
+    /// handling. `0.0` disables failure injection.
+    pub dropout: f32,
+}
+
+impl Phase {
+    /// A descent phase with full participation and no failures.
+    pub fn training(rounds: usize, local_steps: usize, batch_size: usize, lr: f32) -> Self {
+        Phase {
+            rounds,
+            local_steps,
+            batch_size,
+            lr,
+            direction: Direction::Descent,
+            participation: 1.0,
+            dropout: 0.0,
+        }
+    }
+
+    /// An ascent (unlearning) phase with full participation.
+    pub fn unlearning(rounds: usize, local_steps: usize, batch_size: usize, lr: f32) -> Self {
+        Phase {
+            direction: Direction::Ascent,
+            ..Phase::training(rounds, local_steps, batch_size, lr)
+        }
+    }
+
+    /// Returns a copy with the given participation fraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is not in `(0, 1]`.
+    pub fn with_participation(mut self, fraction: f32) -> Self {
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "participation must be in (0, 1], got {fraction}"
+        );
+        self.participation = fraction;
+        self
+    }
+
+    /// Returns a copy with a different number of rounds.
+    pub fn with_rounds(mut self, rounds: usize) -> Self {
+        self.rounds = rounds;
+        self
+    }
+
+    /// Returns a copy with a different direction.
+    pub fn with_direction(mut self, direction: Direction) -> Self {
+        self.direction = direction;
+        self
+    }
+
+    /// Returns a copy with the given mid-round failure probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probability` is not in `[0, 1)`.
+    pub fn with_dropout(mut self, probability: f32) -> Self {
+        assert!(
+            (0.0..1.0).contains(&probability),
+            "dropout must be in [0, 1), got {probability}"
+        );
+        self.dropout = probability;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_direction() {
+        assert_eq!(Phase::training(1, 1, 1, 0.1).direction, Direction::Descent);
+        assert_eq!(
+            Phase::unlearning(1, 1, 1, 0.1).direction,
+            Direction::Ascent
+        );
+    }
+
+    #[test]
+    fn builders_adjust_fields() {
+        let p = Phase::training(1, 2, 3, 0.1)
+            .with_participation(0.5)
+            .with_rounds(7)
+            .with_direction(Direction::Ascent);
+        assert_eq!(p.participation, 0.5);
+        assert_eq!(p.rounds, 7);
+        assert_eq!(p.direction, Direction::Ascent);
+    }
+
+    #[test]
+    #[should_panic(expected = "participation")]
+    fn rejects_zero_participation() {
+        let _ = Phase::training(1, 1, 1, 0.1).with_participation(0.0);
+    }
+}

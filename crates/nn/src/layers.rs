@@ -1,0 +1,437 @@
+//! Individual layers: linear, convolution, instance norm, ReLU, pooling,
+//! flatten.
+
+use crate::Module;
+use qd_autograd::{Tape, Var};
+use qd_tensor::rng::Rng;
+use qd_tensor::{Conv2dGeometry, Tensor};
+
+/// Kaiming-normal initialization for ReLU networks: `std = sqrt(2/fan_in)`.
+fn kaiming(shape: &[usize], fan_in: usize, rng: &mut Rng) -> Tensor {
+    let std = (2.0 / fan_in.max(1) as f32).sqrt();
+    Tensor::randn(shape, rng).scale(std)
+}
+
+/// A fully-connected layer `y = x Wᵀ + b` over `(N, in) -> (N, out)`.
+///
+/// # Examples
+///
+/// ```
+/// use qd_nn::{forward_inference, Linear, Module};
+/// use qd_tensor::{rng::Rng, Tensor};
+///
+/// let layer = Linear::new(4, 2);
+/// let params = layer.init(&mut Rng::seed_from(0));
+/// let y = forward_inference(&layer, &params, &Tensor::ones(&[1, 4]));
+/// assert_eq!(y.dims(), &[1, 2]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Linear {
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl Linear {
+    /// Creates a linear layer mapping `in_dim` features to `out_dim`.
+    pub fn new(in_dim: usize, out_dim: usize) -> Self {
+        Linear { in_dim, out_dim }
+    }
+}
+
+impl Module for Linear {
+    fn forward(&self, tape: &mut Tape, params: &[Var], x: Var) -> Var {
+        let (w, b) = (params[0], params[1]);
+        let batch = tape.value(x).dims()[0];
+        let wt = tape.transpose2(w);
+        let y = tape.matmul(x, wt);
+        let bb = tape.broadcast_rows(b, batch);
+        tape.add(y, bb)
+    }
+
+    fn param_shapes(&self) -> Vec<Vec<usize>> {
+        vec![vec![self.out_dim, self.in_dim], vec![self.out_dim]]
+    }
+
+    fn init(&self, rng: &mut Rng) -> Vec<Tensor> {
+        vec![
+            kaiming(&[self.out_dim, self.in_dim], self.in_dim, rng),
+            Tensor::zeros(&[self.out_dim]),
+        ]
+    }
+}
+
+/// A 2-D convolution over `(N, Cin, H, W) -> (N, Cout, OH, OW)`.
+///
+/// Implemented as the differentiable composite
+/// `rows_to_nchw(im2col(x) · Wᵀ + b)`, which makes it valid inside
+/// higher-order gradient expressions (the distillation objective).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv2d {
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    pad: usize,
+}
+
+impl Conv2d {
+    /// A `kernel x kernel` convolution with explicit stride and padding.
+    pub fn new(in_channels: usize, out_channels: usize, kernel: usize, stride: usize, pad: usize) -> Self {
+        Conv2d {
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            pad,
+        }
+    }
+
+    /// A 3x3 stride-1 "same" convolution, the paper's default block conv.
+    pub fn same3x3(in_channels: usize, out_channels: usize) -> Self {
+        Conv2d::new(in_channels, out_channels, 3, 1, 1)
+    }
+}
+
+impl Module for Conv2d {
+    fn forward(&self, tape: &mut Tape, params: &[Var], x: Var) -> Var {
+        let dims = tape.value(x).dims().to_vec();
+        assert_eq!(dims.len(), 4, "Conv2d expects (N, C, H, W), got rank {}", dims.len());
+        let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        assert_eq!(c, self.in_channels, "Conv2d channel mismatch");
+        let geo = Conv2dGeometry::new(c, h, w, self.kernel, self.stride, self.pad);
+        let cols = tape.im2col(x, geo); // (N*OH*OW, C*k*k)
+        let wt = tape.transpose2(params[0]); // (C*k*k, Cout)
+        let y = tape.matmul(cols, wt); // (N*OH*OW, Cout)
+        let bb = tape.broadcast_rows(params[1], geo.rows(n));
+        let yb = tape.add(y, bb);
+        tape.rows_to_nchw(yb, n, self.out_channels, geo.out_h, geo.out_w)
+    }
+
+    fn param_shapes(&self) -> Vec<Vec<usize>> {
+        let fan = self.in_channels * self.kernel * self.kernel;
+        vec![vec![self.out_channels, fan], vec![self.out_channels]]
+    }
+
+    fn init(&self, rng: &mut Rng) -> Vec<Tensor> {
+        let fan = self.in_channels * self.kernel * self.kernel;
+        vec![
+            kaiming(&[self.out_channels, fan], fan, rng),
+            Tensor::zeros(&[self.out_channels]),
+        ]
+    }
+}
+
+/// Instance normalization with affine parameters, over `(N, C, H, W)`.
+///
+/// Normalizes each `(n, c)` plane by its own spatial mean/variance, then
+/// applies per-channel scale `γ` and shift `β` — matching the `IN` module
+/// of the paper's ConvNet.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InstanceNorm2d {
+    channels: usize,
+    eps: f32,
+}
+
+impl InstanceNorm2d {
+    /// Instance norm over `channels` feature maps with `eps = 1e-5`.
+    pub fn new(channels: usize) -> Self {
+        InstanceNorm2d {
+            channels,
+            eps: 1e-5,
+        }
+    }
+}
+
+impl Module for InstanceNorm2d {
+    fn forward(&self, tape: &mut Tape, params: &[Var], x: Var) -> Var {
+        let dims = tape.value(x).dims().to_vec();
+        assert_eq!(dims.len(), 4, "InstanceNorm2d expects (N, C, H, W)");
+        let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        assert_eq!(c, self.channels, "InstanceNorm2d channel mismatch");
+        let hw = (h * w) as f32;
+        let s = tape.spatial_sum(x, c, h, w); // (N*C,)
+        let mean = tape.scale(s, 1.0 / hw);
+        let mean_bc = tape.spatial_broadcast(mean, c, h, w);
+        let centered = tape.sub(x, mean_bc);
+        let sq = tape.mul(centered, centered);
+        let var_sum = tape.spatial_sum(sq, c, h, w);
+        let var = tape.scale(var_sum, 1.0 / hw);
+        let var_eps = tape.add_scalar(var, self.eps);
+        let std = tape.sqrt(var_eps);
+        let ones = tape.constant(Tensor::ones(&[n * c]));
+        let inv = tape.div(ones, std);
+        let inv_bc = tape.spatial_broadcast(inv, c, h, w);
+        let normed = tape.mul(centered, inv_bc);
+        let gamma = tape.channel_broadcast(params[0], n, h, w);
+        let beta = tape.channel_broadcast(params[1], n, h, w);
+        let scaled = tape.mul(normed, gamma);
+        tape.add(scaled, beta)
+    }
+
+    fn param_shapes(&self) -> Vec<Vec<usize>> {
+        vec![vec![self.channels], vec![self.channels]]
+    }
+
+    fn init(&self, _rng: &mut Rng) -> Vec<Tensor> {
+        vec![
+            Tensor::ones(&[self.channels]),
+            Tensor::zeros(&[self.channels]),
+        ]
+    }
+}
+
+/// Elementwise rectified linear unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Relu;
+
+impl Module for Relu {
+    fn forward(&self, tape: &mut Tape, _params: &[Var], x: Var) -> Var {
+        tape.relu(x)
+    }
+
+    fn param_shapes(&self) -> Vec<Vec<usize>> {
+        Vec::new()
+    }
+
+    fn init(&self, _rng: &mut Rng) -> Vec<Tensor> {
+        Vec::new()
+    }
+}
+
+/// Elementwise hyperbolic tangent activation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Tanh;
+
+impl Module for Tanh {
+    fn forward(&self, tape: &mut Tape, _params: &[Var], x: Var) -> Var {
+        tape.tanh(x)
+    }
+
+    fn param_shapes(&self) -> Vec<Vec<usize>> {
+        Vec::new()
+    }
+
+    fn init(&self, _rng: &mut Rng) -> Vec<Tensor> {
+        Vec::new()
+    }
+}
+
+/// Elementwise logistic sigmoid activation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Sigmoid;
+
+impl Module for Sigmoid {
+    fn forward(&self, tape: &mut Tape, _params: &[Var], x: Var) -> Var {
+        tape.sigmoid(x)
+    }
+
+    fn param_shapes(&self) -> Vec<Vec<usize>> {
+        Vec::new()
+    }
+
+    fn init(&self, _rng: &mut Rng) -> Vec<Tensor> {
+        Vec::new()
+    }
+}
+
+/// Non-overlapping max pooling with window `k`, over `(N, C, H, W)`.
+///
+/// Gradients route to the argmax position of each window; the selection
+/// is treated as locally constant (see `qd_autograd`'s docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MaxPool2d {
+    k: usize,
+}
+
+impl MaxPool2d {
+    /// Pooling with a `k x k` window and stride `k`.
+    pub fn new(k: usize) -> Self {
+        MaxPool2d { k }
+    }
+}
+
+impl Module for MaxPool2d {
+    fn forward(&self, tape: &mut Tape, _params: &[Var], x: Var) -> Var {
+        let dims = tape.value(x).dims().to_vec();
+        assert_eq!(dims.len(), 4, "MaxPool2d expects (N, C, H, W)");
+        tape.max_pool2d(x, dims[1], dims[2], dims[3], self.k)
+    }
+
+    fn param_shapes(&self) -> Vec<Vec<usize>> {
+        Vec::new()
+    }
+
+    fn init(&self, _rng: &mut Rng) -> Vec<Tensor> {
+        Vec::new()
+    }
+}
+
+/// Non-overlapping average pooling with window `k`, over `(N, C, H, W)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AvgPool2d {
+    k: usize,
+}
+
+impl AvgPool2d {
+    /// Pooling with a `k x k` window and stride `k`.
+    pub fn new(k: usize) -> Self {
+        AvgPool2d { k }
+    }
+}
+
+impl Module for AvgPool2d {
+    fn forward(&self, tape: &mut Tape, _params: &[Var], x: Var) -> Var {
+        let dims = tape.value(x).dims().to_vec();
+        assert_eq!(dims.len(), 4, "AvgPool2d expects (N, C, H, W)");
+        tape.avg_pool2d(x, dims[1], dims[2], dims[3], self.k)
+    }
+
+    fn param_shapes(&self) -> Vec<Vec<usize>> {
+        Vec::new()
+    }
+
+    fn init(&self, _rng: &mut Rng) -> Vec<Tensor> {
+        Vec::new()
+    }
+}
+
+/// Flattens `(N, C, H, W)` (or any rank ≥ 2) into `(N, rest)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Flatten;
+
+impl Module for Flatten {
+    fn forward(&self, tape: &mut Tape, _params: &[Var], x: Var) -> Var {
+        let dims = tape.value(x).dims().to_vec();
+        assert!(dims.len() >= 2, "Flatten expects rank >= 2");
+        let n = dims[0];
+        let rest: usize = dims[1..].iter().product();
+        tape.reshape(x, &[n, rest])
+    }
+
+    fn param_shapes(&self) -> Vec<Vec<usize>> {
+        Vec::new()
+    }
+
+    fn init(&self, _rng: &mut Rng) -> Vec<Tensor> {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forward_inference;
+    use qd_autograd::check::assert_grads_close;
+
+    #[test]
+    fn linear_matches_hand_computation() {
+        let layer = Linear::new(2, 2);
+        let params = vec![
+            Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]),
+            Tensor::from_vec(vec![0.5, -0.5], &[2]),
+        ];
+        let x = Tensor::from_vec(vec![1.0, 1.0], &[1, 2]);
+        let y = forward_inference(&layer, &params, &x);
+        assert_eq!(y.data(), &[3.5, 6.5]);
+    }
+
+    #[test]
+    fn conv_preserves_spatial_dims_with_same_padding() {
+        let layer = Conv2d::same3x3(3, 8);
+        let params = layer.init(&mut Rng::seed_from(1));
+        let x = Tensor::randn(&[2, 3, 8, 8], &mut Rng::seed_from(2));
+        let y = forward_inference(&layer, &params, &x);
+        assert_eq!(y.dims(), &[2, 8, 8, 8]);
+        assert!(y.all_finite());
+    }
+
+    #[test]
+    fn instance_norm_normalizes_each_plane() {
+        let layer = InstanceNorm2d::new(2);
+        let params = layer.init(&mut Rng::seed_from(0));
+        let x = Tensor::randn(&[3, 2, 4, 4], &mut Rng::seed_from(3)).scale(5.0);
+        let y = forward_inference(&layer, &params, &x);
+        // Each (n, c) plane should be ~zero-mean, ~unit-variance.
+        for p in 0..6 {
+            let plane = &y.data()[p * 16..(p + 1) * 16];
+            let mean: f32 = plane.iter().sum::<f32>() / 16.0;
+            let var: f32 = plane.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / 16.0;
+            assert!(mean.abs() < 1e-4, "plane {p} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "plane {p} var {var}");
+        }
+    }
+
+    #[test]
+    fn instance_norm_gradcheck() {
+        let layer = InstanceNorm2d::new(2);
+        let x = Tensor::randn(&[1, 2, 2, 2], &mut Rng::seed_from(4));
+        let gamma = Tensor::from_vec(vec![1.5, 0.5], &[2]);
+        let beta = Tensor::from_vec(vec![0.1, -0.2], &[2]);
+        assert_grads_close(
+            move |t, vs| {
+                let y = layer.forward(t, &vs[1..3], vs[0]);
+                let sq = t.mul(y, y);
+                t.sum_all(sq)
+            },
+            &[x, gamma, beta],
+            8e-2,
+        );
+    }
+
+    #[test]
+    fn conv_gradcheck() {
+        let layer = Conv2d::new(1, 2, 3, 1, 1);
+        let x = Tensor::randn(&[1, 1, 4, 4], &mut Rng::seed_from(5)).scale(0.5);
+        let params = layer.init(&mut Rng::seed_from(6));
+        assert_grads_close(
+            move |t, vs| {
+                let y = layer.forward(t, &vs[1..3], vs[0]);
+                let sq = t.mul(y, y);
+                t.sum_all(sq)
+            },
+            &[x, params[0].clone(), params[1].clone()],
+            5e-2,
+        );
+    }
+
+    #[test]
+    fn pooling_halves_dims() {
+        let layer = AvgPool2d::new(2);
+        let x = Tensor::randn(&[1, 3, 8, 8], &mut Rng::seed_from(7));
+        let y = forward_inference(&layer, &[], &x);
+        assert_eq!(y.dims(), &[1, 3, 4, 4]);
+    }
+
+    #[test]
+    fn max_pool_selects_window_maxima() {
+        let layer = MaxPool2d::new(2);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 9.0], &[1, 1, 2, 2]);
+        let y = forward_inference(&layer, &[], &x);
+        assert_eq!(y.data(), &[9.0]);
+    }
+
+    #[test]
+    fn tanh_and_sigmoid_ranges() {
+        let x = Tensor::from_vec(vec![-10.0, 0.0, 10.0], &[1, 3]);
+        let t = forward_inference(&Tanh, &[], &x);
+        assert!(t.data()[0] < -0.99 && t.data()[2] > 0.99);
+        assert!((t.data()[1]).abs() < 1e-6);
+        let s = forward_inference(&Sigmoid, &[], &x);
+        assert!(s.data()[0] < 0.01 && s.data()[2] > 0.99);
+        assert!((s.data()[1] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn flatten_collapses_trailing_dims() {
+        let x = Tensor::zeros(&[2, 3, 4, 4]);
+        let y = forward_inference(&Flatten, &[], &x);
+        assert_eq!(y.dims(), &[2, 48]);
+    }
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let x = Tensor::from_vec(vec![-1.0, 2.0], &[1, 2]);
+        let y = forward_inference(&Relu, &[], &x);
+        assert_eq!(y.data(), &[0.0, 2.0]);
+    }
+}

@@ -1,0 +1,166 @@
+//! The object-safe [`Module`] trait and [`Sequential`] composition.
+
+use qd_autograd::{Tape, Var};
+use qd_tensor::rng::Rng;
+use qd_tensor::Tensor;
+
+/// An architecture description whose parameters live outside the module.
+///
+/// A module never owns weights; callers hold them as a `Vec<Tensor>`
+/// (created by [`Module::init`]) and insert them into a tape per forward
+/// pass. See the crate-level docs for why this functional style fits
+/// federated unlearning.
+pub trait Module: Send + Sync {
+    /// Runs the forward pass. `params` must contain exactly
+    /// [`Module::param_count`] variables whose shapes match
+    /// [`Module::param_shapes`].
+    fn forward(&self, tape: &mut Tape, params: &[Var], x: Var) -> Var;
+
+    /// Shapes of the parameter tensors this module consumes, in order.
+    fn param_shapes(&self) -> Vec<Vec<usize>>;
+
+    /// Freshly initialized parameter tensors.
+    fn init(&self, rng: &mut Rng) -> Vec<Tensor>;
+
+    /// Number of parameter tensors ([`Module::param_shapes`]`.len()`).
+    fn param_count(&self) -> usize {
+        self.param_shapes().len()
+    }
+
+    /// Total number of scalar parameters.
+    fn num_scalars(&self) -> usize {
+        self.param_shapes()
+            .iter()
+            .map(|s| s.iter().product::<usize>())
+            .sum()
+    }
+}
+
+/// Runs `module` in inference mode on a batch, returning raw logits.
+///
+/// Builds a throwaway tape internally; parameters are inserted as
+/// constants so no gradient bookkeeping happens.
+///
+/// # Examples
+///
+/// ```
+/// use qd_nn::{forward_inference, Mlp, Module};
+/// use qd_tensor::{rng::Rng, Tensor};
+///
+/// let model = Mlp::new(&[4, 8, 2]);
+/// let params = model.init(&mut Rng::seed_from(1));
+/// let x = Tensor::zeros(&[3, 4]);
+/// let logits = forward_inference(&model, &params, &x);
+/// assert_eq!(logits.dims(), &[3, 2]);
+/// ```
+pub fn forward_inference(module: &dyn Module, params: &[Tensor], x: &Tensor) -> Tensor {
+    let mut tape = Tape::new();
+    let p: Vec<Var> = params.iter().map(|t| tape.constant(t.clone())).collect();
+    let xv = tape.constant(x.clone());
+    let y = module.forward(&mut tape, &p, xv);
+    tape.value(y).clone()
+}
+
+/// Runs a chain of modules, splitting the parameter list among children.
+///
+/// # Examples
+///
+/// ```
+/// use qd_nn::{Flatten, Linear, Module, Relu, Sequential};
+///
+/// let net = Sequential::new(vec![
+///     Box::new(Linear::new(8, 16)),
+///     Box::new(Relu),
+///     Box::new(Linear::new(16, 4)),
+/// ]);
+/// assert_eq!(net.param_count(), 4); // two weights + two biases
+/// ```
+pub struct Sequential {
+    children: Vec<Box<dyn Module>>,
+}
+
+impl Sequential {
+    /// Composes `children` in order.
+    pub fn new(children: Vec<Box<dyn Module>>) -> Self {
+        Sequential { children }
+    }
+
+    /// The child modules.
+    pub fn children(&self) -> &[Box<dyn Module>] {
+        &self.children
+    }
+}
+
+impl std::fmt::Debug for Sequential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Sequential({} children)", self.children.len())
+    }
+}
+
+impl Module for Sequential {
+    fn forward(&self, tape: &mut Tape, params: &[Var], x: Var) -> Var {
+        assert_eq!(
+            params.len(),
+            self.param_count(),
+            "Sequential given {} params, needs {}",
+            params.len(),
+            self.param_count()
+        );
+        let mut offset = 0;
+        let mut h = x;
+        for child in &self.children {
+            let n = child.param_count();
+            h = child.forward(tape, &params[offset..offset + n], h);
+            offset += n;
+        }
+        h
+    }
+
+    fn param_shapes(&self) -> Vec<Vec<usize>> {
+        self.children
+            .iter()
+            .flat_map(|c| c.param_shapes())
+            .collect()
+    }
+
+    fn init(&self, rng: &mut Rng) -> Vec<Tensor> {
+        self.children.iter().flat_map(|c| c.init(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Linear, Relu};
+
+    #[test]
+    fn sequential_splits_params_in_order() {
+        let net = Sequential::new(vec![
+            Box::new(Linear::new(3, 5)),
+            Box::new(Relu),
+            Box::new(Linear::new(5, 2)),
+        ]);
+        let shapes = net.param_shapes();
+        assert_eq!(shapes, vec![vec![5, 3], vec![5], vec![2, 5], vec![2]]);
+        let params = net.init(&mut Rng::seed_from(0));
+        assert_eq!(params.len(), 4);
+        let x = Tensor::zeros(&[2, 3]);
+        let out = forward_inference(&net, &params, &x);
+        assert_eq!(out.dims(), &[2, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs")]
+    fn sequential_rejects_wrong_param_count() {
+        let net = Sequential::new(vec![Box::new(Linear::new(3, 5))]);
+        let mut tape = Tape::new();
+        let x = tape.constant(Tensor::zeros(&[1, 3]));
+        let _ = net.forward(&mut tape, &[], x);
+    }
+
+    #[test]
+    fn num_scalars_counts_everything() {
+        let net = Sequential::new(vec![Box::new(Linear::new(3, 5))]);
+        assert_eq!(net.num_scalars(), 15 + 5);
+    }
+}

@@ -1,0 +1,139 @@
+//! Stochastic gradient descent — and *ascent*, the unlearning direction.
+
+use qd_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Whether a gradient step minimizes or maximizes the loss.
+///
+/// QuickDrop and the SGA baseline unlearn by **maximizing** the loss on the
+/// forget set (stochastic gradient ascent), then recover by ordinary
+/// descent on the retain set; making the direction an explicit type keeps
+/// the two phases impossible to confuse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Direction {
+    /// Minimize the loss (ordinary training / recovery).
+    #[default]
+    Descent,
+    /// Maximize the loss (unlearning).
+    Ascent,
+}
+
+impl Direction {
+    /// The sign applied to `lr * grad`.
+    pub fn sign(self) -> f32 {
+        match self {
+            Direction::Descent => -1.0,
+            Direction::Ascent => 1.0,
+        }
+    }
+}
+
+/// Plain SGD with a fixed learning rate and an explicit [`Direction`].
+///
+/// The paper's experiments use vanilla SGD throughout (training,
+/// distillation, unlearning, recovery), so no momentum or weight decay is
+/// implemented.
+///
+/// # Examples
+///
+/// ```
+/// use qd_nn::Sgd;
+/// use qd_tensor::Tensor;
+///
+/// let mut params = vec![Tensor::from_vec(vec![1.0], &[1])];
+/// let grads = vec![Tensor::from_vec(vec![0.5], &[1])];
+/// Sgd::descent(0.1).step(&mut params, &grads);
+/// assert_eq!(params[0].data(), &[0.95]);
+/// Sgd::ascent(0.1).step(&mut params, &grads);
+/// assert_eq!(params[0].data(), &[1.0]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sgd {
+    lr: f32,
+    direction: Direction,
+}
+
+impl Sgd {
+    /// SGD with learning rate `lr` in the given direction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not finite and positive.
+    pub fn new(lr: f32, direction: Direction) -> Self {
+        assert!(lr.is_finite() && lr > 0.0, "learning rate must be positive");
+        Sgd { lr, direction }
+    }
+
+    /// Descending SGD (training / recovery / relearning).
+    pub fn descent(lr: f32) -> Self {
+        Sgd::new(lr, Direction::Descent)
+    }
+
+    /// Ascending SGD (unlearning).
+    pub fn ascent(lr: f32) -> Self {
+        Sgd::new(lr, Direction::Ascent)
+    }
+
+    /// The learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// The step direction.
+    pub fn direction(&self) -> Direction {
+        self.direction
+    }
+
+    /// Applies one step: `param += sign * lr * grad`, elementwise per
+    /// tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` and `grads` differ in length or any pair differs
+    /// in shape.
+    pub fn step(&self, params: &mut [Tensor], grads: &[Tensor]) {
+        assert_eq!(params.len(), grads.len(), "params/grads length mismatch");
+        let alpha = self.direction.sign() * self.lr;
+        for (p, g) in params.iter_mut().zip(grads) {
+            p.axpy(alpha, g);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn descent_reduces_quadratic_loss() {
+        // f(w) = w², grad = 2w: repeated descent shrinks |w|.
+        let mut params = vec![Tensor::from_vec(vec![4.0], &[1])];
+        for _ in 0..50 {
+            let g = vec![params[0].scale(2.0)];
+            Sgd::descent(0.1).step(&mut params, &g);
+        }
+        assert!(params[0].data()[0].abs() < 1e-3);
+    }
+
+    #[test]
+    fn ascent_is_exact_inverse_of_descent() {
+        let mut params = vec![Tensor::from_vec(vec![1.0, -2.0], &[2])];
+        let before = params.clone();
+        let g = vec![Tensor::from_vec(vec![0.3, 0.7], &[2])];
+        Sgd::descent(0.05).step(&mut params, &g);
+        Sgd::ascent(0.05).step(&mut params, &g);
+        assert!(params[0].max_abs_diff(&before[0]) < 1e-7);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_nonpositive_lr() {
+        let _ = Sgd::descent(0.0);
+    }
+
+    #[test]
+    fn direction_signs() {
+        assert_eq!(Direction::Descent.sign(), -1.0);
+        assert_eq!(Direction::Ascent.sign(), 1.0);
+    }
+}

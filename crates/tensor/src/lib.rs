@@ -1,0 +1,37 @@
+//! Dense `f32` tensor kernels for the QuickDrop reproduction.
+//!
+//! This crate is the numerical substrate of the workspace: a row-major,
+//! heap-allocated tensor type plus the handful of kernels the rest of the
+//! system needs (elementwise arithmetic with limited broadcasting, matrix
+//! multiplication, `im2col`/`col2im` for convolution-as-matmul, pooling,
+//! reductions, and seeded random sampling including Gamma/Dirichlet draws
+//! for non-IID federated partitioning).
+//!
+//! Everything is deliberately simple and deterministic: no SIMD intrinsics,
+//! no unsafe, no global state. Higher layers (`qd-autograd`, `qd-nn`)
+//! build differentiability and model structure on top of these kernels.
+//!
+//! # Examples
+//!
+//! ```
+//! use qd_tensor::Tensor;
+//!
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+//! let b = Tensor::eye(2);
+//! let c = a.matmul(&b);
+//! assert_eq!(c.data(), a.data());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod conv;
+mod linalg;
+mod reduce;
+pub mod rng;
+mod shape;
+mod tensor;
+
+pub use conv::{avg_pool2d, avg_unpool2d, col2im, im2col, Conv2dGeometry};
+pub use shape::Shape;
+pub use tensor::Tensor;

@@ -1,0 +1,259 @@
+//! Seeded random number generation.
+//!
+//! Wraps [`rand`]'s `StdRng` behind a small facade that adds the
+//! distributions this workspace needs (normal via Box–Muller, Gamma via
+//! Marsaglia–Tsang, Dirichlet by Gamma normalization) so no extra
+//! dependency on `rand_distr` is required.
+
+use rand::rngs::StdRng;
+use rand::{Rng as _, SeedableRng};
+
+/// A deterministic, seedable random number generator.
+///
+/// Every stochastic component in the workspace (initialization, batching,
+/// partitioning, client sampling) takes an explicit `&mut Rng`, so whole
+/// experiments are reproducible from a single seed.
+///
+/// # Examples
+///
+/// ```
+/// use qd_tensor::rng::Rng;
+///
+/// let mut rng = Rng::seed_from(42);
+/// let x = rng.uniform(0.0, 1.0);
+/// assert!((0.0..1.0).contains(&x));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Rng {
+    inner: StdRng,
+    /// Cached second output of the Box–Muller transform.
+    spare_normal: Option<f32>,
+}
+
+impl Rng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from(seed: u64) -> Self {
+        Rng {
+            inner: StdRng::seed_from_u64(seed),
+            spare_normal: None,
+        }
+    }
+
+    /// Derives an independent child generator; useful for giving each
+    /// simulated client its own stream.
+    pub fn fork(&mut self, stream: u64) -> Rng {
+        let base: u64 = self.inner.random();
+        Rng::seed_from(base ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// A uniform sample in `[lo, hi)`.
+    pub fn uniform(&mut self, lo: f32, hi: f32) -> f32 {
+        lo + (hi - lo) * self.inner.random::<f32>()
+    }
+
+    /// A uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below(0) is undefined");
+        self.inner.random_range(0..n)
+    }
+
+    /// A standard-normal sample (Box–Muller).
+    pub fn normal(&mut self) -> f32 {
+        if let Some(z) = self.spare_normal.take() {
+            return z;
+        }
+        // Box–Muller on (0,1] uniforms to avoid ln(0).
+        let u1: f32 = 1.0 - self.inner.random::<f32>();
+        let u2: f32 = self.inner.random();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f32::consts::PI * u2;
+        self.spare_normal = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// A `Gamma(alpha, 1)` sample via Marsaglia–Tsang squeeze (with the
+    /// standard boost for `alpha < 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha <= 0`.
+    pub fn gamma(&mut self, alpha: f32) -> f32 {
+        assert!(alpha > 0.0, "gamma requires alpha > 0, got {alpha}");
+        if alpha < 1.0 {
+            // Boost: Gamma(a) = Gamma(a+1) * U^(1/a).
+            let u: f32 = self.inner.random::<f32>().max(f32::MIN_POSITIVE);
+            return self.gamma(alpha + 1.0) * u.powf(1.0 / alpha);
+        }
+        let d = alpha - 1.0 / 3.0;
+        let c = 1.0 / (9.0 * d).sqrt();
+        loop {
+            let x = self.normal();
+            let v = 1.0 + c * x;
+            if v <= 0.0 {
+                continue;
+            }
+            let v = v * v * v;
+            let u: f32 = self.inner.random();
+            if u < 1.0 - 0.0331 * x.powi(4) {
+                return d * v;
+            }
+            if u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln()) {
+                return d * v;
+            }
+        }
+    }
+
+    /// A sample from a symmetric `Dirichlet(alpha, ..., alpha)` over `k`
+    /// categories, returned as a probability vector.
+    ///
+    /// Used to generate non-IID federated label distributions (Hsu et al.,
+    /// 2019): smaller `alpha` yields more skewed per-client class mixes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `alpha <= 0`.
+    pub fn dirichlet(&mut self, alpha: f32, k: usize) -> Vec<f32> {
+        assert!(k > 0, "dirichlet over zero categories");
+        let mut draws: Vec<f32> = (0..k).map(|_| self.gamma(alpha).max(1e-30)).collect();
+        let total: f32 = draws.iter().sum();
+        for d in &mut draws {
+            *d /= total;
+        }
+        draws
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.inner.random_range(0..=i);
+            items.swap(i, j);
+        }
+    }
+
+    /// Samples `n` distinct indices from `[0, pool)` without replacement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > pool`.
+    pub fn choose_indices(&mut self, pool: usize, n: usize) -> Vec<usize> {
+        assert!(n <= pool, "cannot choose {n} items from a pool of {pool}");
+        let mut idx: Vec<usize> = (0..pool).collect();
+        self.shuffle(&mut idx);
+        idx.truncate(n);
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = Rng::seed_from(1);
+        let mut b = Rng::seed_from(1);
+        for _ in 0..100 {
+            assert_eq!(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+        }
+    }
+
+    #[test]
+    fn forked_streams_differ() {
+        let mut root = Rng::seed_from(1);
+        let mut c1 = root.fork(0);
+        let mut c2 = root.fork(1);
+        let s1: Vec<f32> = (0..8).map(|_| c1.uniform(0.0, 1.0)).collect();
+        let s2: Vec<f32> = (0..8).map(|_| c2.uniform(0.0, 1.0)).collect();
+        assert_ne!(s1, s2);
+    }
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut rng = Rng::seed_from(7);
+        let n = 20_000;
+        let samples: Vec<f32> = (0..n).map(|_| rng.normal()).collect();
+        let mean = samples.iter().sum::<f32>() / n as f32;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn gamma_mean_matches_alpha() {
+        let mut rng = Rng::seed_from(11);
+        for &alpha in &[0.3f32, 1.0, 2.5, 8.0] {
+            let n = 20_000;
+            let mean = (0..n).map(|_| rng.gamma(alpha)).sum::<f32>() / n as f32;
+            assert!(
+                (mean - alpha).abs() < 0.12 * alpha.max(1.0),
+                "alpha {alpha}: mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn dirichlet_sums_to_one_and_skews() {
+        let mut rng = Rng::seed_from(3);
+        let p = rng.dirichlet(0.1, 10);
+        assert_eq!(p.len(), 10);
+        let total: f32 = p.iter().sum();
+        assert!((total - 1.0).abs() < 1e-5);
+        // With alpha = 0.1 the distribution is very peaky: the max share
+        // should dominate.
+        let max = p.iter().cloned().fold(0.0, f32::max);
+        assert!(max > 0.3, "expected a skewed draw, got max {max}");
+    }
+
+    #[test]
+    fn dirichlet_high_alpha_approaches_uniform() {
+        let mut rng = Rng::seed_from(8);
+        let k = 5;
+        // Average many draws at alpha = 100: every coordinate ~ 1/k.
+        let mut mean = vec![0.0f32; k];
+        let n = 200;
+        for _ in 0..n {
+            for (m, p) in mean.iter_mut().zip(rng.dirichlet(100.0, k)) {
+                *m += p / n as f32;
+            }
+        }
+        for m in mean {
+            assert!((m - 0.2).abs() < 0.02, "coordinate mean {m}");
+        }
+    }
+
+    #[test]
+    fn below_covers_full_range() {
+        let mut rng = Rng::seed_from(9);
+        let mut seen = [false; 7];
+        for _ in 0..500 {
+            seen[rng.below(7)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Rng::seed_from(5);
+        let mut v: Vec<usize> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn choose_indices_without_replacement() {
+        let mut rng = Rng::seed_from(5);
+        let picks = rng.choose_indices(20, 8);
+        assert_eq!(picks.len(), 8);
+        let mut dedup = picks.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 8);
+        assert!(picks.iter().all(|&i| i < 20));
+    }
+}

@@ -1,0 +1,157 @@
+//! Unlearning requests and the forget/retain data views they induce.
+
+use qd_data::Dataset;
+use qd_fed::Federation;
+
+/// What the parameter server has been asked to forget (Section 2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnlearnRequest {
+    /// Erase all knowledge of one class: `D_f = ∪_i D_i^c`.
+    Class(usize),
+    /// Erase one client's entire contribution: `D_f = D_i`.
+    Client(usize),
+}
+
+impl std::fmt::Display for UnlearnRequest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UnlearnRequest::Class(c) => write!(f, "class {c}"),
+            UnlearnRequest::Client(i) => write!(f, "client {i}"),
+        }
+    }
+}
+
+/// Per-client view of the forget dataset `D_f`: entry `i` is the part of
+/// `D_f` held by client `i` (`None` when the client holds none, excluding
+/// it from unlearning rounds).
+pub fn forget_override(fed: &Federation, request: UnlearnRequest) -> Vec<Option<Dataset>> {
+    (0..fed.n_clients())
+        .map(|i| match request {
+            UnlearnRequest::Class(c) => {
+                let f = fed.client_data(i).only_class(c);
+                (!f.is_empty()).then_some(f)
+            }
+            UnlearnRequest::Client(target) => {
+                (i == target && !fed.client_data(i).is_empty())
+                    .then(|| fed.client_data(i).clone())
+            }
+        })
+        .collect()
+}
+
+/// Per-client view of the retain dataset `D \ D_f` (for recovery and
+/// retraining).
+pub fn retain_override(fed: &Federation, request: UnlearnRequest) -> Vec<Option<Dataset>> {
+    (0..fed.n_clients())
+        .map(|i| match request {
+            UnlearnRequest::Class(c) => {
+                let r = fed.client_data(i).without_class(c);
+                (!r.is_empty()).then_some(r)
+            }
+            UnlearnRequest::Client(target) => {
+                (i != target && !fed.client_data(i).is_empty())
+                    .then(|| fed.client_data(i).clone())
+            }
+        })
+        .collect()
+}
+
+/// The evaluation F-Set and R-Set for a request.
+///
+/// * Class-level: the *test* samples of the target class vs the rest
+///   (class-wise testing accuracy, Table 2).
+/// * Client-level: the target client's training data vs the union of the
+///   remaining clients' training data (Table 4).
+pub fn fr_eval_sets(
+    fed: &Federation,
+    request: UnlearnRequest,
+    test: &Dataset,
+) -> (Dataset, Dataset) {
+    match request {
+        UnlearnRequest::Class(c) => (test.only_class(c), test.without_class(c)),
+        UnlearnRequest::Client(target) => {
+            let f = fed.client_data(target).clone();
+            let mut r = f.empty_like();
+            for i in 0..fed.n_clients() {
+                if i != target {
+                    r.extend(fed.client_data(i));
+                }
+            }
+            (f, r)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qd_data::{partition_iid, SyntheticDataset};
+    use qd_nn::{Mlp, Module};
+    use qd_tensor::rng::Rng;
+    use std::sync::Arc;
+
+    fn federation(n_clients: usize) -> (Federation, Dataset, Rng) {
+        let mut rng = Rng::seed_from(0);
+        let model: Arc<dyn Module> = Arc::new(Mlp::new(&[256, 10]));
+        let data = SyntheticDataset::Digits.generate(120, &mut rng);
+        let parts = partition_iid(data.len(), n_clients, &mut rng);
+        let clients = parts.iter().map(|p| data.subset(p)).collect();
+        let test = SyntheticDataset::Digits.generate(60, &mut rng);
+        (Federation::new(model, clients, &mut rng), test, rng)
+    }
+
+    #[test]
+    fn class_forget_override_collects_only_target_class() {
+        let (fed, _, _) = federation(3);
+        let f = forget_override(&fed, UnlearnRequest::Class(4));
+        for (i, part) in f.iter().enumerate() {
+            if let Some(d) = part {
+                assert!(d.labels().iter().all(|&y| y == 4));
+                assert_eq!(d.len(), fed.client_data(i).indices_of_class(4).len());
+            }
+        }
+    }
+
+    #[test]
+    fn class_retain_override_excludes_target_class() {
+        let (fed, _, _) = federation(3);
+        let r = retain_override(&fed, UnlearnRequest::Class(4));
+        for part in r.iter().flatten() {
+            assert!(part.labels().iter().all(|&y| y != 4));
+        }
+    }
+
+    #[test]
+    fn client_overrides_select_single_client() {
+        let (fed, _, _) = federation(3);
+        let f = forget_override(&fed, UnlearnRequest::Client(1));
+        assert!(f[0].is_none() && f[2].is_none());
+        assert_eq!(f[1].as_ref().unwrap().len(), fed.client_data(1).len());
+        let r = retain_override(&fed, UnlearnRequest::Client(1));
+        assert!(r[1].is_none());
+        assert!(r[0].is_some() && r[2].is_some());
+    }
+
+    #[test]
+    fn fr_eval_sets_partition_for_class_requests() {
+        let (fed, test, _) = federation(2);
+        let (f, r) = fr_eval_sets(&fed, UnlearnRequest::Class(0), &test);
+        assert_eq!(f.len() + r.len(), test.len());
+        assert!(f.labels().iter().all(|&y| y == 0));
+    }
+
+    #[test]
+    fn fr_eval_sets_for_client_requests_use_training_data() {
+        let (fed, test, _) = federation(3);
+        let (f, r) = fr_eval_sets(&fed, UnlearnRequest::Client(2), &test);
+        assert_eq!(f.len(), fed.client_data(2).len());
+        let total: usize = (0..3).map(|i| fed.client_data(i).len()).sum();
+        assert_eq!(r.len(), total - f.len());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(UnlearnRequest::Class(9).to_string(), "class 9");
+        assert_eq!(UnlearnRequest::Client(3).to_string(), "client 3");
+    }
+}

@@ -1,0 +1,101 @@
+//! Retrain-Or: the retraining-from-scratch oracle.
+
+use crate::{
+    retain_override, Capabilities, Efficiency, MethodOutcome, UnlearnRequest, UnlearningMethod,
+};
+use qd_fed::{sgd_trainers, Federation, Phase, PhaseStats};
+use qd_tensor::rng::Rng;
+
+/// The retraining oracle: reinitializes the model and runs full FL
+/// training on `D \ D_f`.
+///
+/// Perfect unlearning by construction and the accuracy yardstick for all
+/// other methods — but its cost is a complete training run, which is what
+/// every other method tries to avoid (Table 2 reports a `463x` gap to
+/// QuickDrop).
+///
+/// # Examples
+///
+/// ```
+/// use qd_fed::Phase;
+/// use qd_unlearn::{RetrainOracle, UnlearningMethod};
+///
+/// let method = RetrainOracle::new(Phase::training(30, 50, 256, 0.01));
+/// assert!(method.capabilities().class_level);
+/// assert!(method.capabilities().client_level);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RetrainOracle {
+    train_phase: Phase,
+}
+
+impl RetrainOracle {
+    /// Creates the oracle with the FL training schedule used for the
+    /// from-scratch run.
+    pub fn new(train_phase: Phase) -> Self {
+        RetrainOracle { train_phase }
+    }
+}
+
+impl UnlearningMethod for RetrainOracle {
+    fn name(&self) -> &'static str {
+        "Retrain-Or"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            class_level: true,
+            client_level: true,
+            relearn: true,
+            storage_efficient: true,
+            computation: Efficiency::VeryLow,
+        }
+    }
+
+    fn unlearn(
+        &mut self,
+        fed: &mut Federation,
+        request: UnlearnRequest,
+        rng: &mut Rng,
+    ) -> MethodOutcome {
+        let retain = retain_override(fed, request);
+        // From scratch: fresh initialization.
+        fed.set_global(fed.model().init(rng));
+        let mut trainers = sgd_trainers(fed.model().clone(), fed.n_clients());
+        let unlearn = fed.run_phase(&mut trainers, Some(&retain), &self.train_phase, rng);
+        MethodOutcome {
+            unlearn,
+            recovery: PhaseStats::default(),
+            post_unlearn_params: fed.global().to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qd_data::{partition_iid, SyntheticDataset};
+    use qd_eval::split_accuracy;
+    use qd_nn::{Mlp, Module};
+    use std::sync::Arc;
+
+    #[test]
+    fn oracle_forgets_class_and_keeps_rest() {
+        let mut rng = Rng::seed_from(0);
+        let model: Arc<dyn Module> = Arc::new(Mlp::new(&[256, 32, 10]));
+        let data = SyntheticDataset::Digits.generate(400, &mut rng);
+        let test = SyntheticDataset::Digits.generate(200, &mut rng);
+        let parts = partition_iid(data.len(), 4, &mut rng);
+        let clients = parts.iter().map(|p| data.subset(p)).collect();
+        let mut fed = Federation::new(model.clone(), clients, &mut rng);
+
+        let mut oracle = RetrainOracle::new(Phase::training(6, 8, 32, 0.1));
+        let outcome = oracle.unlearn(&mut fed, UnlearnRequest::Class(9), &mut rng);
+        assert!(outcome.unlearn.rounds == 6);
+
+        let (f, r) = crate::fr_eval_sets(&fed, UnlearnRequest::Class(9), &test);
+        let (fa, ra) = split_accuracy(model.as_ref(), fed.global(), &f, &r);
+        assert!(fa < 0.15, "forgotten class accuracy {fa} should collapse");
+        assert!(ra > 0.5, "retained accuracy {ra} should stay high");
+    }
+}

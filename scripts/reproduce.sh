@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Full reproduction driver: tests, every table/figure harness, and the
+# EXPERIMENTS.md refresh. Expect ~45 min on a single CPU core at the
+# default scales; set QD_FULL=1 for larger runs.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== building =="
+cargo build --workspace --release
+
+echo "== test suite =="
+cargo test --workspace 2>&1 | tee test_output.txt
+
+echo "== tables and figures =="
+cargo bench --workspace 2>&1 | tee bench_output.txt
+
+echo "== refreshing EXPERIMENTS.md =="
+python3 scripts/make_experiments.py
+
+echo "done: see test_output.txt, bench_output.txt, EXPERIMENTS.md"

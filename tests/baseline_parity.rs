@@ -1,0 +1,195 @@
+//! Cross-method behavioural checks: every unlearning method should match
+//! the retraining oracle's forget behaviour, while QuickDrop touches far
+//! less data — the essence of Table 2.
+
+use quickdrop::{
+    fr_eval_sets, partition_iid, split_accuracy, Dataset, FedEraser, Federation, Mlp, Module,
+    Phase, QuickDrop, QuickDropConfig, RetrainOracle, Rng, SgaOriginal, SyntheticDataset,
+    Tensor, UnlearnRequest, UnlearningMethod,
+};
+use std::sync::Arc;
+
+struct Trained {
+    fed: Federation,
+    qd: QuickDrop,
+    snapshot: Vec<Tensor>,
+    test: Dataset,
+    model: Arc<dyn Module>,
+    rng: Rng,
+}
+
+fn train(seed: u64) -> Trained {
+    let mut rng = Rng::seed_from(seed);
+    let model: Arc<dyn Module> = Arc::new(Mlp::new(&[256, 32, 10]));
+    let data = SyntheticDataset::Digits.generate(500, &mut rng);
+    let test = SyntheticDataset::Digits.generate(250, &mut rng);
+    let parts = partition_iid(data.len(), 4, &mut rng);
+    let clients: Vec<_> = parts.iter().map(|p| data.subset(p)).collect();
+    let mut fed = Federation::new(model.clone(), clients, &mut rng);
+    fed.set_record_history(true);
+    let mut cfg = QuickDropConfig::scaled_test();
+    cfg.train_phase = Phase::training(8, 8, 32, 0.1);
+    let (qd, _) = QuickDrop::train(&mut fed, cfg, &mut rng);
+    fed.set_record_history(false);
+    let snapshot = fed.global().to_vec();
+    Trained {
+        fed,
+        qd,
+        snapshot,
+        test,
+        model,
+        rng,
+    }
+}
+
+#[test]
+fn all_methods_drive_forget_accuracy_to_oracle_level() {
+    let mut t = train(10);
+    let request = UnlearnRequest::Class(6);
+    let train_phase = Phase::training(8, 8, 32, 0.1);
+    let unlearn_phase = Phase::unlearning(1, 4, 32, 0.05);
+    let recover_phase = Phase::training(2, 8, 32, 0.1);
+
+    let mut methods: Vec<Box<dyn UnlearningMethod>> = vec![
+        Box::new(RetrainOracle::new(train_phase)),
+        Box::new(FedEraser::new(2, 16, 0.1, recover_phase)),
+        Box::new(SgaOriginal::new(unlearn_phase, recover_phase)),
+        Box::new(t.qd.clone()),
+    ];
+    let (f, r) = fr_eval_sets(&t.fed, request, &t.test);
+    for method in &mut methods {
+        t.fed.set_global(t.snapshot.clone());
+        method.unlearn(&mut t.fed, request, &mut t.rng);
+        let (fa, ra) = split_accuracy(t.model.as_ref(), t.fed.global(), &f, &r);
+        assert!(fa < 0.25, "{}: forget accuracy {fa}", method.name());
+        assert!(ra > 0.45, "{}: retain accuracy {ra}", method.name());
+    }
+}
+
+#[test]
+fn quickdrop_touches_orders_of_magnitude_less_data() {
+    let mut t = train(11);
+    let request = UnlearnRequest::Class(2);
+    let unlearn_phase = Phase::unlearning(1, 4, 32, 0.05);
+    let recover_phase = Phase::training(2, 8, 32, 0.1);
+
+    let mut sga = SgaOriginal::new(unlearn_phase, recover_phase);
+    t.fed.set_global(t.snapshot.clone());
+    let sga_outcome = sga.unlearn(&mut t.fed, request, &mut t.rng);
+
+    let mut qd = t.qd.clone();
+    t.fed.set_global(t.snapshot.clone());
+    let qd_outcome = qd.unlearn(&mut t.fed, request, &mut t.rng);
+
+    assert!(
+        qd_outcome.unlearn.data_size * 5 < sga_outcome.unlearn.data_size,
+        "QuickDrop unlearning data {} should be far below SGA's {}",
+        qd_outcome.unlearn.data_size,
+        sga_outcome.unlearn.data_size
+    );
+    assert!(
+        qd_outcome.recovery.data_size * 5 < sga_outcome.recovery.data_size,
+        "QuickDrop recovery data {} should be far below SGA's {}",
+        qd_outcome.recovery.data_size,
+        sga_outcome.recovery.data_size
+    );
+}
+
+#[test]
+fn quickdrop_communication_scales_with_rounds_not_data() {
+    // QuickDrop's saving is computational: it still exchanges full models,
+    // but for 3 rounds instead of a training run's worth. Retraining's
+    // communication must exceed QuickDrop's by roughly the round ratio.
+    let mut t = train(15);
+    let request = UnlearnRequest::Class(1);
+
+    let mut oracle = RetrainOracle::new(Phase::training(8, 8, 32, 0.1));
+    t.fed.set_global(t.snapshot.clone());
+    let oracle_outcome = oracle.unlearn(&mut t.fed, request, &mut t.rng);
+
+    let mut qd = t.qd.clone();
+    t.fed.set_global(t.snapshot.clone());
+    let qd_outcome = qd.unlearn(&mut t.fed, request, &mut t.rng);
+
+    let oracle_comm = oracle_outcome.unlearn.communication_scalars();
+    let qd_comm = qd_outcome.total().communication_scalars();
+    assert!(qd_comm > 0, "model exchange must be accounted");
+    assert!(
+        qd_comm * 2 <= oracle_comm,
+        "QuickDrop should exchange far fewer models: {qd_comm} vs {oracle_comm}"
+    );
+}
+
+#[test]
+fn federaser_replays_recorded_history() {
+    let mut t = train(12);
+    assert!(!t.fed.history().is_empty(), "history recorded during training");
+    let n_records = t.fed.history().len();
+    let request = UnlearnRequest::Client(1);
+    let mut fe = FedEraser::new(2, 16, 0.1, Phase::training(1, 4, 32, 0.1));
+    t.fed.set_global(t.snapshot.clone());
+    let outcome = fe.unlearn(&mut t.fed, request, &mut t.rng);
+    assert_eq!(outcome.unlearn.rounds, n_records);
+}
+
+#[test]
+fn unlearning_moves_behaviour_toward_the_oracle() {
+    // Section 2.1 defines success as matching the retrained model's
+    // behaviour. On the forget-class test data, the unlearned model must
+    // agree with the oracle (strictly more than the trained model does).
+    let mut t = train(14);
+    let request = UnlearnRequest::Class(8);
+    let (f_test, _) = fr_eval_sets(&t.fed, request, &t.test);
+
+    // Oracle.
+    let mut oracle = RetrainOracle::new(Phase::training(8, 8, 32, 0.1));
+    t.fed.set_global(t.snapshot.clone());
+    oracle.unlearn(&mut t.fed, request, &mut t.rng);
+    let oracle_params = t.fed.global().to_vec();
+
+    // QuickDrop.
+    let mut qd = t.qd.clone();
+    t.fed.set_global(t.snapshot.clone());
+    qd.unlearn(&mut t.fed, request, &mut t.rng);
+    let unlearned_params = t.fed.global().to_vec();
+
+    let agree_trained = quickdrop::prediction_agreement(
+        t.model.as_ref(),
+        &t.snapshot,
+        &oracle_params,
+        &f_test,
+    );
+    let agree_unlearned = quickdrop::prediction_agreement(
+        t.model.as_ref(),
+        &unlearned_params,
+        &oracle_params,
+        &f_test,
+    );
+    assert!(
+        agree_unlearned > agree_trained,
+        "unlearned model should behave more like the oracle on forgotten data: \
+         {agree_trained} -> {agree_unlearned}"
+    );
+}
+
+#[test]
+fn capability_table_matches_paper_table1() {
+    let recover = Phase::training(1, 1, 8, 0.1);
+    let retrain = RetrainOracle::new(recover);
+    assert!(retrain.capabilities().class_level && retrain.capabilities().client_level);
+
+    let fe = FedEraser::new(1, 8, 0.1, recover);
+    assert!(!fe.capabilities().storage_efficient, "FedEraser stores history");
+
+    let s2u = quickdrop::S2U::new(recover, 0.1);
+    assert!(!s2u.capabilities().class_level && s2u.capabilities().client_level);
+
+    let convnet = Arc::new(quickdrop::ConvNet::scaled_default(1, 10));
+    let fump = quickdrop::FuMp::new(convnet, 0.3, 4, recover);
+    assert!(fump.capabilities().class_level && !fump.capabilities().client_level);
+    assert!(!fump.capabilities().relearn);
+
+    let t = train(13);
+    let caps = t.qd.capabilities();
+    assert!(caps.class_level && caps.client_level && caps.relearn && caps.storage_efficient);
+}

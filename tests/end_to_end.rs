@@ -1,0 +1,138 @@
+//! End-to-end pipeline tests spanning every crate: train with in-situ
+//! distillation, unlearn, recover, relearn — behavioural checks against
+//! the paper's claims at miniature scale.
+
+use quickdrop::{
+    accuracy, fr_eval_sets, partition_dirichlet, split_accuracy, Dataset, Federation, Mlp,
+    Module, Phase, QuickDrop, QuickDropConfig, Rng, SyntheticDataset, UnlearnRequest,
+    UnlearningMethod,
+};
+use std::sync::Arc;
+
+struct World {
+    fed: Federation,
+    qd: QuickDrop,
+    test: Dataset,
+    model: Arc<dyn Module>,
+    rng: Rng,
+}
+
+fn build_world(seed: u64) -> World {
+    let mut rng = Rng::seed_from(seed);
+    let model: Arc<dyn Module> = Arc::new(Mlp::new(&[256, 32, 10]));
+    let data = SyntheticDataset::Digits.generate(600, &mut rng);
+    let test = SyntheticDataset::Digits.generate(300, &mut rng);
+    let parts = partition_dirichlet(data.labels(), 10, 4, 0.5, &mut rng);
+    let clients: Vec<_> = parts.iter().map(|p| data.subset(p)).collect();
+    let mut fed = Federation::new(model.clone(), clients, &mut rng);
+    let mut cfg = QuickDropConfig::scaled_test();
+    cfg.train_phase = Phase::training(8, 8, 32, 0.1);
+    cfg.recover_phase = Phase::training(2, 6, 32, 0.1);
+    cfg.relearn_phase = Phase::training(3, 6, 32, 0.1);
+    let (qd, report) = QuickDrop::train(&mut fed, cfg, &mut rng);
+    assert!(
+        report.storage_fraction() < 0.15,
+        "synthetic storage should be a small fraction, got {}",
+        report.storage_fraction()
+    );
+    World {
+        fed,
+        qd,
+        test,
+        model,
+        rng,
+    }
+}
+
+#[test]
+fn training_reaches_usable_accuracy() {
+    let w = build_world(1);
+    let acc = accuracy(w.model.as_ref(), w.fed.global(), &w.test);
+    assert!(acc > 0.6, "trained accuracy {acc}");
+}
+
+#[test]
+fn class_unlearning_matches_paper_shape() {
+    let mut w = build_world(2);
+    let request = UnlearnRequest::Class(7);
+    let (f, r) = fr_eval_sets(&w.fed, request, &w.test);
+    let (f0, r0) = split_accuracy(w.model.as_ref(), w.fed.global(), &f, &r);
+    assert!(f0 > 0.4, "class known before unlearning ({f0})");
+
+    let real_total: usize = (0..w.fed.n_clients())
+        .map(|i| w.fed.client_data(i).len())
+        .sum();
+    let outcome = w.qd.unlearn(&mut w.fed, request, &mut w.rng);
+
+    // Paper shape 1: unlearning touches only the tiny synthetic volume.
+    assert!(outcome.unlearn.data_size < real_total / 10);
+    // Paper shape 2: one unlearning round collapses the target class.
+    let (f_mid, _) = split_accuracy(w.model.as_ref(), &outcome.post_unlearn_params, &f, &r);
+    assert!(f_mid < 0.2, "forget accuracy after ascent {f_mid}");
+    // Paper shape 3: two recovery rounds restore the remaining classes.
+    let (f1, r1) = split_accuracy(w.model.as_ref(), w.fed.global(), &f, &r);
+    assert!(f1 < 0.2, "forget accuracy after recovery {f1}");
+    assert!(r1 > r0 - 0.15, "retain accuracy {r0} -> {r1}");
+}
+
+#[test]
+fn relearning_restores_the_class_from_synthetic_data_only() {
+    let mut w = build_world(3);
+    let request = UnlearnRequest::Class(4);
+    let (f, r) = fr_eval_sets(&w.fed, request, &w.test);
+    w.qd.unlearn(&mut w.fed, request, &mut w.rng);
+    let (f_gone, _) = split_accuracy(w.model.as_ref(), w.fed.global(), &f, &r);
+    assert!(f_gone < 0.2);
+
+    let phase = w.qd.config().relearn_phase;
+    let stats = w
+        .qd
+        .relearn(&mut w.fed, request, &phase, &mut w.rng)
+        .expect("relearn supported");
+    // Relearning (including its consolidation pass over the synthetic
+    // retain set) also runs on synthetic-scale data only.
+    let real_total: usize = (0..w.fed.n_clients())
+        .map(|i| w.fed.client_data(i).len())
+        .sum();
+    assert!(
+        stats.data_size < real_total / 4,
+        "relearning touched {} of {real_total} real-scale samples",
+        stats.data_size
+    );
+    let (f_back, r_back) = split_accuracy(w.model.as_ref(), w.fed.global(), &f, &r);
+    assert!(f_back > 0.4, "relearned accuracy {f_back}");
+    assert!(r_back > 0.4, "retain survives relearning {r_back}");
+}
+
+#[test]
+fn multiple_requests_accumulate() {
+    let mut w = build_world(4);
+    for class in [0usize, 5, 9] {
+        w.qd.unlearn(&mut w.fed, UnlearnRequest::Class(class), &mut w.rng);
+    }
+    for class in [0usize, 5, 9] {
+        let (f, _) = fr_eval_sets(&w.fed, UnlearnRequest::Class(class), &w.test);
+        let fa = accuracy(w.model.as_ref(), w.fed.global(), &f);
+        assert!(fa < 0.3, "class {class} still known at {fa}");
+    }
+    // Remaining classes are still served.
+    let (_, r9) = fr_eval_sets(&w.fed, UnlearnRequest::Class(9), &w.test);
+    let mut remaining = r9;
+    for class in [0usize, 5] {
+        remaining = remaining.without_class(class);
+    }
+    let ra = accuracy(w.model.as_ref(), w.fed.global(), &remaining);
+    assert!(ra > 0.45, "remaining classes at {ra}");
+}
+
+#[test]
+fn client_unlearning_reduces_target_influence_in_noniid() {
+    let mut w = build_world(5);
+    let request = UnlearnRequest::Client(2);
+    let (f, r) = fr_eval_sets(&w.fed, request, &w.test);
+    let (f0, _) = split_accuracy(w.model.as_ref(), w.fed.global(), &f, &r);
+    w.qd.unlearn(&mut w.fed, request, &mut w.rng);
+    let (f1, r1) = split_accuracy(w.model.as_ref(), w.fed.global(), &f, &r);
+    assert!(f1 < f0, "client influence should drop: {f0} -> {f1}");
+    assert!(r1 > 0.4, "other clients' data still served ({r1})");
+}

@@ -1,0 +1,168 @@
+//! Property-based tests (proptest) of the core invariants: tensor
+//! algebra, adjoint pairs, autograd correctness, partition completeness
+//! and FedAvg aggregation.
+
+use proptest::prelude::*;
+use quickdrop::autograd::check::numeric_grad;
+use quickdrop::autograd::Tape;
+use quickdrop::tensor::rng::Rng;
+use quickdrop::tensor::{avg_pool2d, avg_unpool2d, col2im, im2col, Conv2dGeometry};
+use quickdrop::{partition_dirichlet, partition_iid, Tensor};
+
+fn small_vec(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-3.0f32..3.0, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn add_is_commutative_and_sub_inverts(a in small_vec(24), b in small_vec(24)) {
+        let ta = Tensor::from_vec(a, &[4, 6]);
+        let tb = Tensor::from_vec(b, &[4, 6]);
+        prop_assert!(ta.add(&tb).max_abs_diff(&tb.add(&ta)) == 0.0);
+        prop_assert!(ta.add(&tb).sub(&tb).max_abs_diff(&ta) < 1e-5);
+    }
+
+    #[test]
+    fn scale_distributes_over_add(a in small_vec(12), b in small_vec(12), s in -2.0f32..2.0) {
+        let ta = Tensor::from_vec(a, &[12]);
+        let tb = Tensor::from_vec(b, &[12]);
+        let lhs = ta.add(&tb).scale(s);
+        let rhs = ta.scale(s).add(&tb.scale(s));
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-4);
+    }
+
+    #[test]
+    fn matmul_is_associative(a in small_vec(6), b in small_vec(6), c in small_vec(12)) {
+        let ta = Tensor::from_vec(a, &[3, 2]);
+        let tb = Tensor::from_vec(b, &[2, 3]);
+        let tc = Tensor::from_vec(c, &[3, 4]);
+        let lhs = ta.matmul(&tb).matmul(&tc);
+        let rhs = ta.matmul(&tb.matmul(&tc));
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-3);
+    }
+
+    #[test]
+    fn axpy_matches_scaled_add(a in small_vec(10), b in small_vec(10), alpha in -2.0f32..2.0) {
+        let ta = Tensor::from_vec(a, &[10]);
+        let tb = Tensor::from_vec(b, &[10]);
+        let mut mutated = ta.clone();
+        mutated.axpy(alpha, &tb);
+        let expected = ta.add(&tb.scale(alpha));
+        prop_assert!(mutated.max_abs_diff(&expected) < 1e-5);
+    }
+
+    #[test]
+    fn im2col_col2im_adjointness(seed in 0u64..1000) {
+        let mut rng = Rng::seed_from(seed);
+        let geo = Conv2dGeometry::new(2, 6, 6, 3, 1, 1);
+        let x = Tensor::randn(&[1, 2, 6, 6], &mut rng);
+        let cols = im2col(&x, &geo);
+        let y = Tensor::randn(cols.dims(), &mut rng);
+        let lhs = cols.dot(&y);
+        let rhs = x.dot(&col2im(&y, &geo));
+        prop_assert!((lhs - rhs).abs() < 1e-2 * (1.0 + lhs.abs()));
+    }
+
+    #[test]
+    fn pool_unpool_adjointness(seed in 0u64..1000) {
+        let mut rng = Rng::seed_from(seed);
+        let x = Tensor::randn(&[2, 2, 4, 4], &mut rng);
+        let p = avg_pool2d(&x, 2, 4, 4, 2);
+        let y = Tensor::randn(p.dims(), &mut rng);
+        let lhs = p.dot(&y);
+        let rhs = x.dot(&avg_unpool2d(&y, 2, 2, 2, 2));
+        prop_assert!((lhs - rhs).abs() < 1e-3 * (1.0 + lhs.abs()));
+    }
+
+    #[test]
+    fn random_graph_gradients_match_finite_differences(seed in 0u64..200) {
+        // A randomized composition of smooth ops, grad-checked.
+        let mut rng = Rng::seed_from(seed);
+        let x0 = Tensor::randn(&[3, 3], &mut rng).map(|v| v * 0.5 + 1.5); // positive
+        let build = |xs: &[Tensor]| -> f32 {
+            let mut t = Tape::new();
+            let x = t.leaf(xs[0].clone());
+            let sq = t.mul(x, x);
+            let ln = t.ln(x);
+            let s = t.add(sq, ln);
+            let sum = t.sum_all(s);
+            let root = t.sqrt(sum);
+            t.value(root).item()
+        };
+        let numeric = numeric_grad(build, &[x0.clone()], 0, 1e-3);
+        let mut t = Tape::new();
+        let x = t.leaf(x0);
+        let sq = t.mul(x, x);
+        let ln = t.ln(x);
+        let s = t.add(sq, ln);
+        let sum = t.sum_all(s);
+        let root = t.sqrt(sum);
+        let g = t.grad(root, &[x])[0];
+        prop_assert!(t.value(g).max_abs_diff(&numeric) < 5e-2);
+    }
+
+    #[test]
+    fn dirichlet_partition_is_exact_cover(
+        n_samples in 10usize..150,
+        n_clients in 1usize..8,
+        alpha in 0.05f32..10.0,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = Rng::seed_from(seed);
+        let labels: Vec<usize> = (0..n_samples).map(|i| i % 7).collect();
+        let parts = partition_dirichlet(&labels, 7, n_clients, alpha, &mut rng);
+        let mut all: Vec<usize> = parts.iter().flatten().copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..n_samples).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn iid_partition_is_balanced_cover(
+        n_samples in 1usize..200,
+        n_clients in 1usize..10,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = Rng::seed_from(seed);
+        let parts = partition_iid(n_samples, n_clients, &mut rng);
+        let sizes: Vec<usize> = parts.iter().map(Vec::len).collect();
+        prop_assert_eq!(sizes.iter().sum::<usize>(), n_samples);
+        let max = sizes.iter().max().unwrap();
+        let min = sizes.iter().min().unwrap();
+        prop_assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn one_hot_rows_sum_to_one(labels in proptest::collection::vec(0usize..10, 1..30)) {
+        let t = quickdrop::nn::one_hot(&labels, 10);
+        for i in 0..labels.len() {
+            let row_sum: f32 = t.data()[i * 10..(i + 1) * 10].iter().sum();
+            prop_assert_eq!(row_sum, 1.0);
+        }
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(v in small_vec(30)) {
+        let t = Tensor::from_vec(v, &[5, 6]).softmax_rows();
+        prop_assert!(t.data().iter().all(|&p| (0.0..=1.0).contains(&p)));
+        for i in 0..5 {
+            let s: f32 = t.data()[i * 6..(i + 1) * 6].iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-4);
+        }
+    }
+}
+
+#[test]
+fn fedavg_of_identical_updates_is_identity() {
+    // Deterministic (non-proptest) aggregation law: weighted mean of N
+    // copies of the same parameters equals those parameters.
+    let mut rng = Rng::seed_from(0);
+    let p = Tensor::randn(&[17], &mut rng);
+    let weights = [0.2f32, 0.3, 0.5];
+    let mut agg = Tensor::zeros(&[17]);
+    for w in weights {
+        agg.axpy(w, &p);
+    }
+    assert!(agg.max_abs_diff(&p) < 1e-5);
+}
