@@ -55,6 +55,10 @@ USAGE:
                         [--clients N] [--alpha A | --iid] [--samples N]
                         [--rounds K] [--steps T] [--batch B] [--lr LR]
                         [--scale S] [--seed X]
+                        [--net-latency-ms MS] [--net-bandwidth-mbps MBPS]
+                        [--net-jitter-ms MS] [--dropout-prob P]
+                        [--straggler-frac F] [--loss-prob P]
+                        [--net-seed X] [--quantized]
   quickdrop-cli unlearn --ckpt ckpt.json (--class C | --client I)
                         [--out ckpt.json] [--dataset D] [--seed X]
   quickdrop-cli relearn --ckpt ckpt.json (--class C | --client I)
@@ -79,6 +83,46 @@ fn dataset_by_name(name: &str) -> Result<SyntheticDataset, CliError> {
 /// recovered from the checkpoint's synthetic geometry on reload.
 fn model_for(dataset: SyntheticDataset) -> Arc<ConvNet> {
     Arc::new(ConvNet::scaled_default(dataset.channels(), dataset.classes()))
+}
+
+/// Reads the `--net-*` family of options into a [`qd_fed::NetConfig`],
+/// rejecting out-of-range values with a usage error (where the library's
+/// `validated()` would panic).
+fn net_config_from(args: &Args) -> Result<qd_fed::NetConfig, CliError> {
+    let net = qd_fed::NetConfig {
+        latency_ms: args.get_f32("net-latency-ms", 0.0)?,
+        bandwidth_mbps: args.get_f32("net-bandwidth-mbps", 0.0)?,
+        jitter_ms: args.get_f32("net-jitter-ms", 0.0)?,
+        dropout_prob: args.get_f32("dropout-prob", 0.0)?,
+        straggler_frac: args.get_f32("straggler-frac", 0.0)?,
+        loss_prob: args.get_f32("loss-prob", 0.0)?,
+        seed: args.get_u64("net-seed", 0)?,
+        quantized: args.flag("quantized"),
+        ..qd_fed::NetConfig::default()
+    };
+    for (name, p) in [
+        ("dropout-prob", net.dropout_prob),
+        ("loss-prob", net.loss_prob),
+    ] {
+        if !(0.0..1.0).contains(&p) {
+            return Err(CliError::Usage(format!("--{name} must be in [0, 1)")));
+        }
+    }
+    if !(0.0..=1.0).contains(&net.straggler_frac) {
+        return Err(CliError::Usage("--straggler-frac must be in [0, 1]".into()));
+    }
+    for (name, v) in [
+        ("net-latency-ms", net.latency_ms),
+        ("net-bandwidth-mbps", net.bandwidth_mbps),
+        ("net-jitter-ms", net.jitter_ms),
+    ] {
+        if !(v.is_finite() && v >= 0.0) {
+            return Err(CliError::Usage(format!(
+                "--{name} must be finite and non-negative"
+            )));
+        }
+    }
+    Ok(net)
 }
 
 fn request_from(args: &Args) -> Result<UnlearnRequest, CliError> {
@@ -151,12 +195,25 @@ fn train(args: &Args) -> Result<String, CliError> {
     config.distill.lr_syn = 0.5;
     config.unlearn_phase = Phase::unlearning(1, steps.min(6), batch, lr / 2.0);
     config.max_unlearn_rounds = 4;
+    config.net = net_config_from(args)?;
     let (qd, report) = QuickDrop::train(&mut fed, config, &mut rng);
 
+    let net_line = if report.fl_stats.net.total_bytes() > 0 {
+        let n = &report.fl_stats.net;
+        format!(
+            "network: {:.1} KiB on the wire, {:.0} ms simulated, {} drops, {} retries\n",
+            n.total_bytes() as f64 / 1024.0,
+            n.sim.as_secs_f64() * 1000.0,
+            n.drops,
+            n.retries,
+        )
+    } else {
+        String::new()
+    };
     Checkpoint::capture(fed.global(), &qd).save(&out)?;
     Ok(format!(
         "trained {} on {} clients ({} samples); synthetic storage {:.1}%, \
-         DD overhead {:.0}%; checkpoint written to {out}\n",
+         DD overhead {:.0}%; checkpoint written to {out}\n{net_line}",
         dataset.name(),
         clients,
         samples,
@@ -325,6 +382,51 @@ mod tests {
         let out = run(&args(&["relearn", "--ckpt", &ckpt, "--class", "3", "--seed", "7"]))
             .unwrap();
         assert!(out.contains("relearned class 3"));
+        std::fs::remove_file(&ckpt).ok();
+    }
+
+    #[test]
+    fn net_flags_build_a_config() {
+        let a = args(&[
+            "train", "--out", "x", "--net-latency-ms", "20", "--net-bandwidth-mbps", "100",
+            "--dropout-prob", "0.1", "--loss-prob", "0.05", "--net-seed", "9", "--quantized",
+        ]);
+        let net = net_config_from(&a).unwrap();
+        assert_eq!(net.latency_ms, 20.0);
+        assert_eq!(net.bandwidth_mbps, 100.0);
+        assert_eq!(net.dropout_prob, 0.1);
+        assert_eq!(net.loss_prob, 0.05);
+        assert_eq!(net.seed, 9);
+        assert!(net.quantized);
+        assert!(!net.is_ideal());
+        // Defaults stay ideal so the loopback fast path is kept.
+        assert!(net_config_from(&args(&["train"])).unwrap().is_ideal());
+    }
+
+    #[test]
+    fn out_of_range_net_probabilities_are_usage_errors() {
+        for bad in [
+            vec!["train", "--dropout-prob", "1.0"],
+            vec!["train", "--loss-prob", "-0.1"],
+            vec!["train", "--straggler-frac", "2"],
+            vec!["train", "--net-latency-ms", "-5"],
+        ] {
+            let err = net_config_from(&args(&bad)).unwrap_err();
+            assert!(matches!(err, CliError::Usage(_)), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn train_over_simulated_network_reports_wire_costs() {
+        let ckpt = tmp("netsim.json");
+        let out = run(&args(&[
+            "train", "--out", &ckpt, "--clients", "2", "--samples", "120", "--rounds", "2",
+            "--steps", "2", "--scale", "20", "--iid", "--seed", "3",
+            "--net-latency-ms", "15", "--net-bandwidth-mbps", "50", "--loss-prob", "0.05",
+        ]))
+        .unwrap();
+        assert!(out.contains("network:"), "{out}");
+        assert!(out.contains("simulated"), "{out}");
         std::fs::remove_file(&ckpt).ok();
     }
 

@@ -93,6 +93,12 @@ impl QuickDrop {
     ) -> (QuickDrop, TrainReport) {
         let model = fed.model().clone();
         let n = fed.n_clients();
+        // Deploy over the configured network. The transport stays
+        // installed so later serving phases (unlearn/recover/relearn on
+        // this federation) are priced under the same conditions.
+        if !config.net.is_ideal() {
+            fed.set_transport(Box::new(qd_fed::SimNet::new(config.net.validated())));
+        }
         let mut trainers = distilling_trainers(model.clone(), config.distill, n);
         let fl_stats = fed.run_phase(&mut trainers, None, &config.train_phase, rng);
 
@@ -426,7 +432,7 @@ mod tests {
     use std::sync::Arc;
 
     fn trained_system() -> (Federation, QuickDrop, Dataset, Rng, Arc<dyn Module>) {
-        let mut rng = Rng::seed_from(0);
+        let mut rng = Rng::seed_from(1);
         let model: Arc<dyn Module> = Arc::new(Mlp::new(&[256, 32, 10]));
         let data = SyntheticDataset::Digits.generate(600, &mut rng);
         let test = SyntheticDataset::Digits.generate(300, &mut rng);

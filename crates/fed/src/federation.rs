@@ -3,6 +3,7 @@
 
 use crate::{ClientTrainer, Phase};
 use qd_data::Dataset;
+use qd_net::{LoopbackTransport, NetStats, Transport};
 use qd_nn::Module;
 use qd_tensor::rng::Rng;
 use qd_tensor::Tensor;
@@ -45,6 +46,25 @@ pub struct PhaseStats {
     /// Scalars sent clients → server (each *surviving* participant
     /// uploads its parameters every round).
     pub upload_scalars: usize,
+    /// Wire-level costs reported by the phase's [`Transport`] (zero under
+    /// the loopback default).
+    pub net: NetStats,
+}
+
+/// Per-round averages of a [`PhaseStats`], for comparing phases that ran
+/// different numbers of rounds on an equal footing.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RoundBreakdown {
+    /// Gradient evaluations (in samples) per round.
+    pub samples: f64,
+    /// Scalars exchanged (both directions) per round.
+    pub communication_scalars: f64,
+    /// Wire bytes (both directions) per round.
+    pub net_bytes: f64,
+    /// Simulated network time per round.
+    pub net_time: Duration,
+    /// Real wall-clock per round.
+    pub wall: Duration,
 }
 
 impl PhaseStats {
@@ -57,11 +77,29 @@ impl PhaseStats {
         self.wall += other.wall;
         self.download_scalars += other.download_scalars;
         self.upload_scalars += other.upload_scalars;
+        self.net.merge(&other.net);
     }
 
     /// Total scalars exchanged in both directions.
     pub fn communication_scalars(&self) -> usize {
         self.download_scalars + self.upload_scalars
+    }
+
+    /// Rounds-weighted averages: every total divided by the number of
+    /// rounds executed, so phases of different lengths compare directly.
+    /// All-zero when no round ran.
+    pub fn per_round(&self) -> RoundBreakdown {
+        if self.rounds == 0 {
+            return RoundBreakdown::default();
+        }
+        let n = self.rounds as f64;
+        RoundBreakdown {
+            samples: self.samples_processed as f64 / n,
+            communication_scalars: self.communication_scalars() as f64 / n,
+            net_bytes: self.net.total_bytes() as f64 / n,
+            net_time: self.net.sim / self.rounds as u32,
+            wall: self.wall / self.rounds as u32,
+        }
     }
 }
 
@@ -75,6 +113,7 @@ pub struct Federation {
     global: Vec<Tensor>,
     record_history: bool,
     history: Vec<RoundRecord>,
+    transport: Box<dyn Transport>,
 }
 
 impl std::fmt::Debug for Federation {
@@ -104,6 +143,7 @@ impl Federation {
             global,
             record_history: false,
             history: Vec::new(),
+            transport: Box::new(LoopbackTransport::new()),
         }
     }
 
@@ -117,7 +157,15 @@ impl Federation {
             global,
             record_history: false,
             history: Vec::new(),
+            transport: Box::new(LoopbackTransport::new()),
         }
+    }
+
+    /// Replaces the transport carrying server ↔ client exchanges. The
+    /// default is [`LoopbackTransport`]; install a [`qd_net::SimNet`] to
+    /// price rounds over a simulated network.
+    pub fn set_transport(&mut self, transport: Box<dyn Transport>) {
+        self.transport = transport;
     }
 
     /// Number of clients.
@@ -258,28 +306,35 @@ impl Federation {
                 .iter()
                 .map(|_| phase.dropout > 0.0 && rng.uniform(0.0, 1.0) < phase.dropout)
                 .collect();
-            let survivor_weight: f32 = weights
-                .iter()
-                .zip(&failed)
-                .filter(|(_, &f)| !f)
-                .map(|(w, _)| w)
-                .sum();
 
             // Pre-fork one RNG per participant so results are independent
             // of execution interleaving.
             let seeds: Vec<Rng> = participants.iter().map(|&i| rng.fork(i as u64)).collect();
 
             let global_before = self.global.clone();
+
+            // Server → clients: every participant downloads the global
+            // model through the transport. A failed download (network
+            // dropout, retry budget exhausted) means the client never
+            // sees this round and computes nothing.
+            self.transport.begin_round(&participants);
+            let mut start_params: Vec<Option<Vec<Tensor>>> = participants
+                .iter()
+                .map(|&c| self.transport.download(c, &global_before).tensors)
+                .collect();
+
             let mut outcomes: Vec<Option<crate::LocalOutcome>> = Vec::new();
             outcomes.resize_with(participants.len(), || None);
 
-            // Hand each participating trainer to a worker thread.
+            // Hand each reachable participating trainer to a worker thread.
+            let slot_of = |client: usize| participants.iter().position(|&p| p == client).unwrap();
             let mut jobs: Vec<_> = trainers
                 .iter_mut()
                 .enumerate()
-                .filter(|(i, _)| participants.contains(i))
+                .filter(|(i, _)| {
+                    participants.contains(i) && start_params[slot_of(*i)].is_some()
+                })
                 .collect();
-            let slot_of = |client: usize| participants.iter().position(|&p| p == client).unwrap();
             let parallelism = std::thread::available_parallelism()
                 .map(std::num::NonZeroUsize::get)
                 .unwrap_or(4);
@@ -289,7 +344,7 @@ impl Federation {
                     for (client, trainer) in chunk.iter_mut() {
                         let slot = slot_of(*client);
                         let data = dataset_of(*client).expect("participant has data");
-                        let params = global_before.clone();
+                        let params = start_params[slot].take().expect("reachable participant");
                         let mut crng = seeds[slot].clone();
                         let phase = *phase;
                         handles.push((
@@ -303,29 +358,53 @@ impl Federation {
                 });
             }
 
-            // FedAvg aggregation over the surviving clients, weighted by
-            // |Zi| / |Z| and renormalized for failures.
+            // Clients → server: survivors upload their parameters through
+            // the transport; a lost upload is indistinguishable from a
+            // crashed client as far as aggregation is concerned.
+            let mut delivered: Vec<Option<Vec<Tensor>>> = Vec::new();
+            delivered.resize_with(participants.len(), || None);
+            for (slot, outcome) in outcomes.iter().enumerate() {
+                let Some(outcome) = outcome.as_ref() else {
+                    continue; // never reached: no compute, no upload
+                };
+                stats.samples_processed += outcome.samples_processed;
+                if failed[slot] {
+                    continue; // crashed mid-round: nothing to upload
+                }
+                delivered[slot] = self
+                    .transport
+                    .upload(participants[slot], outcome.params.clone())
+                    .tensors;
+            }
+            self.transport.end_round();
+
+            // FedAvg aggregation over the clients whose update reached
+            // the server, weighted by |Zi| / |Z| and renormalized for
+            // failures.
+            let survivor_weight: f32 = weights
+                .iter()
+                .zip(&delivered)
+                .filter(|(_, d)| d.is_some())
+                .map(|(w, _)| w)
+                .sum();
             let mut new_global: Vec<Tensor> =
                 self.global.iter().map(|t| Tensor::zeros(t.dims())).collect();
             let mut updates = Vec::with_capacity(participants.len());
             let mut survivors = Vec::with_capacity(participants.len());
             let mut survivor_weights = Vec::with_capacity(participants.len());
-            for (slot, outcome) in outcomes.iter().enumerate() {
-                let outcome = outcome.as_ref().expect("missing outcome");
-                stats.samples_processed += outcome.samples_processed;
-                if failed[slot] {
-                    continue; // the server never received this update
-                }
+            for (slot, params) in delivered.iter().enumerate() {
+                let Some(params) = params.as_ref() else {
+                    continue;
+                };
                 let w = weights[slot] / survivor_weight;
                 survivors.push(participants[slot]);
                 survivor_weights.push(w);
-                for (g, p) in new_global.iter_mut().zip(&outcome.params) {
+                for (g, p) in new_global.iter_mut().zip(params) {
                     g.axpy(w, p);
                 }
                 if self.record_history {
                     updates.push(
-                        outcome
-                            .params
+                        params
                             .iter()
                             .zip(&global_before)
                             .map(|(p, g)| p.sub(g))
@@ -355,6 +434,7 @@ impl Federation {
             stats.rounds += 1;
         }
         stats.wall = start.elapsed();
+        stats.net = self.transport.take_stats();
         stats
     }
 }
@@ -617,5 +697,58 @@ mod tests {
     fn trainer_debug_impls_are_nonempty() {
         let model: Arc<dyn Module> = Arc::new(Mlp::new(&[4, 2]));
         assert!(!format!("{:?}", SgdClientTrainer::new(model)).is_empty());
+    }
+
+    fn sample_stats(scale: u64) -> PhaseStats {
+        let s = scale as usize;
+        PhaseStats {
+            rounds: 2 * s,
+            samples_processed: 100 * s,
+            data_size: 40 * s,
+            wall: Duration::from_millis(10 * scale),
+            download_scalars: 30 * s,
+            upload_scalars: 20 * s,
+            net: NetStats {
+                bytes_down: 1000 * scale,
+                bytes_up: 500 * scale,
+                sim: Duration::from_millis(4 * scale),
+                delivered: 6 * scale,
+                retries: scale,
+                drops: scale,
+            },
+        }
+    }
+
+    #[test]
+    fn merge_accumulates_every_field_including_net() {
+        let mut total = sample_stats(1);
+        total.merge(&sample_stats(2));
+        assert_eq!(total.rounds, 6);
+        assert_eq!(total.samples_processed, 300);
+        // data_size is a per-round snapshot, so merging keeps the max.
+        assert_eq!(total.data_size, 80);
+        assert_eq!(total.wall, Duration::from_millis(30));
+        assert_eq!(total.communication_scalars(), 150);
+        assert_eq!(total.net.bytes_down, 3000);
+        assert_eq!(total.net.bytes_up, 1500);
+        assert_eq!(total.net.sim, Duration::from_millis(12));
+        assert_eq!(total.net.delivered, 18);
+        assert_eq!(total.net.retries, 3);
+        assert_eq!(total.net.drops, 3);
+    }
+
+    #[test]
+    fn per_round_divides_totals_by_rounds() {
+        let b = sample_stats(1).per_round();
+        assert_eq!(b.samples, 50.0);
+        assert_eq!(b.communication_scalars, 25.0);
+        assert_eq!(b.net_bytes, 750.0);
+        assert_eq!(b.net_time, Duration::from_millis(2));
+        assert_eq!(b.wall, Duration::from_millis(5));
+    }
+
+    #[test]
+    fn per_round_of_empty_phase_is_all_zero() {
+        assert_eq!(PhaseStats::default().per_round(), RoundBreakdown::default());
     }
 }

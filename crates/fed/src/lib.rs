@@ -48,6 +48,10 @@ mod federation;
 mod phase;
 mod trainer;
 
-pub use federation::{Federation, PhaseStats, RoundRecord};
+pub use federation::{Federation, PhaseStats, RoundBreakdown, RoundRecord};
 pub use phase::Phase;
 pub use trainer::{sgd_trainers, ClientTrainer, LocalOutcome, SgdClientTrainer};
+
+// Re-exported so downstream crates can configure a federation's network
+// without depending on `qd-net` directly.
+pub use qd_net::{LoopbackTransport, NetConfig, NetStats, SimNet, Transport};

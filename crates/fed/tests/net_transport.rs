@@ -1,0 +1,138 @@
+//! Integration tests for the federation ↔ transport seam: the loopback
+//! default must reproduce pre-transport results bit-for-bit, an ideal
+//! `SimNet` must agree with it, and lossy/slow networks must be priced
+//! deterministically.
+
+use qd_fed::{sgd_trainers, Federation, NetConfig, Phase, PhaseStats, SimNet};
+use qd_nn::{Mlp, Module};
+use qd_tensor::rng::Rng;
+use qd_tensor::Tensor;
+use std::sync::Arc;
+
+/// Trains a small federation from a fixed seed, optionally routing all
+/// exchanges through a `SimNet` with the given config.
+fn run(seed: u64, net: Option<NetConfig>, phase: &Phase) -> (Vec<Tensor>, PhaseStats) {
+    let mut rng = Rng::seed_from(seed);
+    let model: Arc<dyn Module> = Arc::new(Mlp::new(&[256, 16, 10]));
+    let clients: Vec<_> = (0..3)
+        .map(|_| qd_data::SyntheticDataset::Digits.generate(20, &mut rng))
+        .collect();
+    let mut fed = Federation::new(model.clone(), clients, &mut rng);
+    if let Some(cfg) = net {
+        fed.set_transport(Box::new(SimNet::new(cfg)));
+    }
+    let mut trainers = sgd_trainers(model, 3);
+    let stats = fed.run_phase(&mut trainers, None, phase, &mut rng);
+    (fed.global().to_vec(), stats)
+}
+
+fn assert_bit_identical(a: &[Tensor], b: &[Tensor]) {
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.shape(), y.shape());
+        for (u, v) in x.data().iter().zip(y.data()) {
+            assert_eq!(u.to_bits(), v.to_bits());
+        }
+    }
+}
+
+#[test]
+fn loopback_and_ideal_simnet_agree_bit_for_bit() {
+    // The regression gate of the transport rework: the default loopback
+    // path and an ideal simulated network (lossless f32 wire) must both
+    // produce exactly the parameters the pre-transport code produced.
+    let phase = Phase::training(3, 4, 8, 0.1);
+    let (loopback, loop_stats) = run(42, None, &phase);
+    let (simulated, sim_stats) = run(42, Some(NetConfig::default()), &phase);
+    assert_bit_identical(&loopback, &simulated);
+
+    // Loopback is free; the ideal network still counts wire traffic but
+    // charges no simulated time.
+    assert_eq!(loop_stats.net.total_bytes(), 0);
+    assert!(sim_stats.net.total_bytes() > 0);
+    assert_eq!(sim_stats.net.sim, std::time::Duration::ZERO);
+    assert_eq!(sim_stats.net.drops, 0);
+
+    // Transport choice never changes the learning-level accounting.
+    assert_eq!(loop_stats.rounds, sim_stats.rounds);
+    assert_eq!(loop_stats.samples_processed, sim_stats.samples_processed);
+    assert_eq!(loop_stats.download_scalars, sim_stats.download_scalars);
+    assert_eq!(loop_stats.upload_scalars, sim_stats.upload_scalars);
+}
+
+#[test]
+fn same_seed_and_config_reproduce_netstats_and_params() {
+    // Full determinism under an adversarial network: latency, jitter,
+    // loss, dropout and stragglers all active.
+    let cfg = NetConfig {
+        latency_ms: 5.0,
+        bandwidth_mbps: 50.0,
+        jitter_ms: 2.0,
+        dropout_prob: 0.2,
+        straggler_frac: 0.3,
+        loss_prob: 0.1,
+        seed: 7,
+        ..NetConfig::default()
+    };
+    let phase = Phase::training(4, 2, 8, 0.1);
+    let (params_a, stats_a) = run(9, Some(cfg), &phase);
+    let (params_b, stats_b) = run(9, Some(cfg), &phase);
+    assert_bit_identical(&params_a, &params_b);
+    assert_eq!(stats_a.net, stats_b.net);
+    assert_eq!(stats_a.samples_processed, stats_b.samples_processed);
+
+    // A different network seed must change the fault trace.
+    let (_, stats_c) = run(9, Some(NetConfig { seed: 8, ..cfg }), &phase);
+    assert_ne!(stats_a.net, stats_c.net);
+}
+
+#[test]
+fn slow_lossy_network_reports_time_bytes_and_drops() {
+    let cfg = NetConfig {
+        latency_ms: 20.0,
+        bandwidth_mbps: 10.0,
+        loss_prob: 0.3,
+        dropout_prob: 0.3,
+        seed: 3,
+        ..NetConfig::default()
+    };
+    let phase = Phase::training(6, 1, 8, 0.1);
+    let (params, stats) = run(5, Some(cfg), &phase);
+    assert!(params.iter().all(|t| t.all_finite()));
+    assert!(stats.net.total_bytes() > 0);
+    // 6 rounds x >= 20 ms of latency each way.
+    assert!(stats.net.sim >= std::time::Duration::from_millis(6 * 40));
+    assert!(stats.net.drops > 0, "30% loss over 6 rounds must drop something");
+    // Unreachable clients compute nothing, so uploads fall short of the
+    // loopback count for the same phase.
+    assert!(stats.upload_scalars < stats.download_scalars);
+}
+
+#[test]
+fn quantized_wire_still_learns() {
+    // QuantU8 is lossy, so parameters diverge from the loopback run, but
+    // training must remain finite and the traffic must shrink.
+    let phase = Phase::training(3, 4, 8, 0.1);
+    let quant = NetConfig { quantized: true, ..NetConfig::default() };
+    let (qp, q_stats) = run(42, Some(quant), &phase);
+    let (_, f_stats) = run(42, Some(NetConfig::default()), &phase);
+    assert!(qp.iter().all(|t| t.all_finite()));
+    assert!(
+        q_stats.net.total_bytes() * 3 < f_stats.net.total_bytes(),
+        "u8 wire should be ~4x smaller: {} vs {}",
+        q_stats.net.total_bytes(),
+        f_stats.net.total_bytes()
+    );
+}
+
+#[test]
+fn phase_stats_surface_net_costs_per_round() {
+    let cfg = NetConfig { latency_ms: 10.0, seed: 1, ..NetConfig::default() };
+    let phase = Phase::training(4, 1, 8, 0.1);
+    let (_, stats) = run(2, Some(cfg), &phase);
+    let per_round = stats.per_round();
+    assert!(per_round.net_bytes > 0.0);
+    assert!(per_round.net_time >= std::time::Duration::from_millis(20));
+    let approx_total = per_round.net_bytes * stats.rounds as f64;
+    assert!((approx_total - stats.net.total_bytes() as f64).abs() < 1.0);
+}

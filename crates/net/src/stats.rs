@@ -1,0 +1,88 @@
+//! Per-round network accounting.
+
+use std::time::Duration;
+
+/// Event counters accumulated by a [`crate::Transport`].
+///
+/// `Copy` on purpose: these ride inside `qd-fed`'s `PhaseStats`, which
+/// call sites construct and copy freely.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Bytes sent server → clients, including retransmissions.
+    pub bytes_down: u64,
+    /// Bytes sent clients → server, including retransmissions.
+    pub bytes_up: u64,
+    /// Simulated network wall-clock: the sum over rounds of the slowest
+    /// client's download + upload path (rounds are network-parallel
+    /// across clients, so the makespan is the per-round cost).
+    pub sim: Duration,
+    /// Transfers that reached their destination.
+    pub delivered: u64,
+    /// Extra attempts caused by message loss.
+    pub retries: u64,
+    /// Failed deliveries: round-long client dropouts plus transfers whose
+    /// retry budget ran out.
+    pub drops: u64,
+}
+
+impl NetStats {
+    /// Accumulates another transport's counters.
+    pub fn merge(&mut self, other: &NetStats) {
+        self.bytes_down += other.bytes_down;
+        self.bytes_up += other.bytes_up;
+        self.sim += other.sim;
+        self.delivered += other.delivered;
+        self.retries += other.retries;
+        self.drops += other.drops;
+    }
+
+    /// Bytes on the wire in both directions.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_down + self.bytes_up
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_every_counter() {
+        let mut a = NetStats {
+            bytes_down: 10,
+            bytes_up: 4,
+            sim: Duration::from_millis(5),
+            delivered: 3,
+            retries: 1,
+            drops: 2,
+        };
+        let b = NetStats {
+            bytes_down: 1,
+            bytes_up: 2,
+            sim: Duration::from_millis(7),
+            delivered: 4,
+            retries: 5,
+            drops: 6,
+        };
+        a.merge(&b);
+        assert_eq!(
+            a,
+            NetStats {
+                bytes_down: 11,
+                bytes_up: 6,
+                sim: Duration::from_millis(12),
+                delivered: 7,
+                retries: 6,
+                drops: 8,
+            }
+        );
+        assert_eq!(a.total_bytes(), 17);
+    }
+
+    #[test]
+    fn default_is_all_zero() {
+        let s = NetStats::default();
+        assert_eq!(s.total_bytes(), 0);
+        assert_eq!(s.sim, Duration::ZERO);
+    }
+}

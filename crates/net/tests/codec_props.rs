@@ -1,0 +1,87 @@
+//! Property tests for the wire codec: frames must round-trip arbitrary
+//! tensor shapes bit-exactly in `f32`, and within the documented error
+//! bound when quantized.
+
+use proptest::prelude::*;
+use qd_net::{Payload, WireFormat};
+use qd_tensor::Tensor;
+
+/// Builds one tensor consuming `dims` and the prefix of `raw` it needs.
+fn tensor_from(dims: &[usize], raw: &[f32]) -> Tensor {
+    let len: usize = dims.iter().product();
+    Tensor::from_vec(raw[..len].to_vec(), dims)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn f32_frames_round_trip_bit_exactly(
+        dims in proptest::collection::vec(1usize..5, 1..4usize),
+        bits in proptest::collection::vec(0u32..=u32::MAX, 64),
+    ) {
+        // Arbitrary bit patterns: normals, subnormals, infinities, NaNs —
+        // the lossless format must preserve all of them exactly.
+        let raw: Vec<f32> = bits.iter().map(|&b| f32::from_bits(b)).collect();
+        let t = tensor_from(&dims, &raw);
+        let frame = Payload::encode(std::slice::from_ref(&t), WireFormat::F32);
+        let back = frame.decode().unwrap();
+        prop_assert_eq!(back.len(), 1);
+        prop_assert_eq!(back[0].shape().dims(), &dims[..]);
+        for (x, y) in t.data().iter().zip(back[0].data()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits(), "{} vs {}", x, y);
+        }
+    }
+
+    #[test]
+    fn quantized_error_stays_within_bound(
+        dims in proptest::collection::vec(1usize..5, 1..4usize),
+        vals in proptest::collection::vec(-100.0f32..100.0, 64),
+    ) {
+        let t = tensor_from(&dims, &vals);
+        let tensors = vec![t];
+        let bound = Payload::max_quant_error(&tensors, WireFormat::QuantU8);
+        prop_assert!(bound <= 200.0 / 510.0 * 1.0001, "bound {}", bound);
+        let back = Payload::encode(&tensors, WireFormat::QuantU8).decode().unwrap();
+        prop_assert_eq!(back[0].shape().dims(), &dims[..]);
+        for (x, y) in tensors[0].data().iter().zip(back[0].data()) {
+            prop_assert!(
+                (x - y).abs() <= bound * 1.0001,
+                "|{} - {}| > {}", x, y, bound
+            );
+        }
+    }
+
+    #[test]
+    fn multi_tensor_frames_keep_count_order_and_sizes(
+        ranks in proptest::collection::vec(1usize..4, 1..6usize),
+        vals in proptest::collection::vec(-2.0f32..2.0, 81),
+    ) {
+        // One tensor per entry of `ranks`, shaped [3; rank].
+        let tensors: Vec<Tensor> = ranks
+            .iter()
+            .map(|&r| tensor_from(&vec![3; r], &vals))
+            .collect();
+        for format in [WireFormat::F32, WireFormat::QuantU8] {
+            let frame = Payload::encode(&tensors, format);
+            prop_assert_eq!(frame.format(), format);
+            let back = frame.decode().unwrap();
+            prop_assert_eq!(back.len(), tensors.len());
+            for (a, b) in tensors.iter().zip(&back) {
+                prop_assert_eq!(a.shape(), b.shape());
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_frames_never_decode(
+        cut in 1usize..40,
+        vals in proptest::collection::vec(-1.0f32..1.0, 12),
+    ) {
+        let t = vec![tensor_from(&[3, 4], &vals)];
+        let frame = Payload::encode(&t, WireFormat::F32);
+        let cut = cut.min(frame.len() - 1);
+        let shorter = frame.as_bytes()[..frame.len() - cut].to_vec();
+        prop_assert!(Payload::from_bytes(shorter).decode().is_err());
+    }
+}

@@ -165,6 +165,7 @@ impl UnlearningMethod for FedEraser {
             wall: start.elapsed(),
             download_scalars: retained_exchanges * model_scalars,
             upload_scalars: retained_exchanges * model_scalars,
+            ..PhaseStats::default()
         };
         let post_unlearn_params = fed.global().to_vec();
 

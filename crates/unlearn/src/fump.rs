@@ -220,6 +220,7 @@ impl UnlearningMethod for FuMp {
             wall: start.elapsed(),
             download_scalars: fed.n_clients() * model_scalars,
             upload_scalars: fed.n_clients() * self.convnet.filters() * self.convnet.classes(),
+            ..PhaseStats::default()
         };
         let post_unlearn_params = fed.global().to_vec();
 

@@ -164,6 +164,7 @@ mod tests {
                 wall: Duration::from_secs(1),
                 download_scalars: 5,
                 upload_scalars: 5,
+                ..PhaseStats::default()
             },
             recovery: PhaseStats {
                 rounds: 2,
@@ -172,6 +173,7 @@ mod tests {
                 wall: Duration::from_secs(2),
                 download_scalars: 7,
                 upload_scalars: 7,
+                ..PhaseStats::default()
             },
             post_unlearn_params: Vec::new(),
         };

@@ -169,6 +169,7 @@ impl UnlearningMethod for PgaHalimi {
             wall: start.elapsed(),
             download_scalars: holders.len() * model_scalars,
             upload_scalars: holders.len() * model_scalars,
+            ..PhaseStats::default()
         };
         let post_unlearn_params = fed.global().to_vec();
 

@@ -123,6 +123,7 @@ impl UnlearningMethod for S2U {
             wall: start.elapsed(),
             download_scalars: exchanged,
             upload_scalars: exchanged,
+            ..PhaseStats::default()
         };
         MethodOutcome {
             unlearn,

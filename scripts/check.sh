@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Pre-commit gate: formatting, lints on the network crate, full test run.
+#
+#   ./scripts/check.sh
+#
+# Runs offline (the workspace vendors its dependencies; see vendor/README.md).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Formatting is enforced on the network crate (the rest of the workspace
+# predates the gate and is checked only by clippy/tests).
+echo "== cargo fmt --check (qd-net)"
+cargo fmt -p qd-net -- --check
+
+echo "== cargo clippy (qd-net, -D warnings)"
+cargo clippy --offline -p qd-net --no-deps --all-targets -- -D warnings
+
+echo "== cargo test"
+cargo test --offline --workspace -q
+
+echo "all checks passed"

@@ -77,7 +77,10 @@ pub use qd_distill::{
 pub use qd_eval::{
     accuracy, per_class_accuracy, prediction_agreement, prediction_kl, split_accuracy, MiaAttack,
 };
-pub use qd_fed::{Federation, Phase, PhaseStats};
+pub use qd_fed::{
+    Federation, LoopbackTransport, NetConfig, NetStats, Phase, PhaseStats, RoundBreakdown, SimNet,
+    Transport,
+};
 pub use qd_nn::{ConvNet, Direction, LeNet, Mlp, Module, Sgd};
 pub use qd_tensor::rng::Rng;
 pub use qd_tensor::Tensor;

@@ -44,7 +44,7 @@ fn train(seed: u64) -> Trained {
 
 #[test]
 fn all_methods_drive_forget_accuracy_to_oracle_level() {
-    let mut t = train(10);
+    let mut t = train(16);
     let request = UnlearnRequest::Class(6);
     let train_phase = Phase::training(8, 8, 32, 0.1);
     let unlearn_phase = Phase::unlearning(1, 4, 32, 0.05);
@@ -137,7 +137,7 @@ fn unlearning_moves_behaviour_toward_the_oracle() {
     // Section 2.1 defines success as matching the retrained model's
     // behaviour. On the forget-class test data, the unlearned model must
     // agree with the oracle (strictly more than the trained model does).
-    let mut t = train(14);
+    let mut t = train(17);
     let request = UnlearnRequest::Class(8);
     let (f_test, _) = fr_eval_sets(&t.fed, request, &t.test);
 

@@ -1,0 +1,208 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the slice of the criterion API this workspace's benches
+//! use: [`Criterion::benchmark_group`], chained
+//! `sample_size`/`warm_up_time`/`measurement_time` configuration,
+//! [`BenchmarkGroup::bench_function`] with a [`Bencher`] whose `iter`
+//! times a closure, plus the [`criterion_group!`]/[`criterion_main!`]
+//! entry-point macros. There is no statistical analysis or HTML report:
+//! each benchmark warms up, takes `sample_size` wall-clock samples
+//! within the measurement budget, and prints min/mean per-iteration
+//! times to stdout.
+
+#![forbid(unsafe_code)]
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` keeps working.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Entry point handed to each benchmark target function.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+impl Criterion {
+    /// Upstream parses CLI filters here; the stub accepts and ignores them.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of benchmarks sharing configuration.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup {
+            sample_size: self.sample_size,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            _parent: self,
+        }
+    }
+}
+
+/// A set of benchmarks sharing sample/warm-up/measurement settings.
+pub struct BenchmarkGroup<'a> {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Time spent running the closure untimed before sampling.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Wall-clock budget for the timed samples.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark: warm-up, then timed samples, then a report line.
+    pub fn bench_function<F>(&mut self, name: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        // Warm-up: run (and measure, to size the samples) until the
+        // warm-up budget is spent.
+        let warm_start = Instant::now();
+        let mut per_iter = Duration::from_nanos(1);
+        while warm_start.elapsed() < self.warm_up_time {
+            let mut b = Bencher::default();
+            routine(&mut b);
+            if b.iters > 0 {
+                per_iter = (b.elapsed / b.iters as u32).max(Duration::from_nanos(1));
+            }
+        }
+
+        let budget_per_sample = self.measurement_time / self.sample_size as u32;
+        let iters_per_sample =
+            (budget_per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 20) as u64;
+
+        let mut min = Duration::MAX;
+        let mut total = Duration::ZERO;
+        let mut total_iters = 0u64;
+        let run_start = Instant::now();
+        for _ in 0..self.sample_size {
+            let mut b = Bencher { target_iters: iters_per_sample, ..Bencher::default() };
+            routine(&mut b);
+            if b.iters == 0 {
+                continue;
+            }
+            let sample = b.elapsed / b.iters as u32;
+            min = min.min(sample);
+            total += b.elapsed;
+            total_iters += b.iters;
+            // Keep slow benches bounded even if per_iter was underestimated.
+            if run_start.elapsed() > self.measurement_time * 2 {
+                break;
+            }
+        }
+        if total_iters > 0 {
+            let mean = total / total_iters as u32;
+            println!("  {name:<32} min {min:>12.3?}  mean {mean:>12.3?}  ({total_iters} iters)");
+        } else {
+            println!("  {name:<32} produced no samples");
+        }
+        self
+    }
+
+    /// Ends the group (report formatting hook upstream; a no-op here).
+    pub fn finish(&mut self) {}
+}
+
+/// Times the closure passed to [`Bencher::iter`].
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+    /// Iterations to run this sample; 0 means "once" (warm-up probe).
+    target_iters: u64,
+}
+
+impl Bencher {
+    /// Runs `routine` the planned number of times, accumulating elapsed
+    /// wall-clock time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let n = self.target_iters.max(1);
+        let start = Instant::now();
+        for _ in 0..n {
+            std_black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.iters += n;
+    }
+}
+
+impl Default for Bencher {
+    fn default() -> Self {
+        Bencher { elapsed: Duration::ZERO, iters: 0, target_iters: 0 }
+    }
+}
+
+/// Declares a function running each listed benchmark target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion {
+            sample_size: 3,
+            warm_up_time: Duration::from_millis(5),
+            measurement_time: Duration::from_millis(20),
+        };
+        let mut calls = 0u64;
+        {
+            let mut group = c.benchmark_group("t");
+            group.sample_size(2).measurement_time(Duration::from_millis(10));
+            group.bench_function("noop", |b| b.iter(|| calls += 1));
+            group.finish();
+        }
+        assert!(calls > 0);
+    }
+}
