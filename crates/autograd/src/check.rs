@@ -38,11 +38,7 @@ pub fn numeric_grad(
 ///
 /// Panics (with a diagnostic) if any analytic gradient entry deviates from
 /// the numerical estimate by more than `tol`.
-pub fn assert_grads_close(
-    build: impl Fn(&mut Tape, &[Var]) -> Var,
-    inputs: &[Tensor],
-    tol: f32,
-) {
+pub fn assert_grads_close(build: impl Fn(&mut Tape, &[Var]) -> Var, inputs: &[Tensor], tol: f32) {
     let mut tape = Tape::new();
     let vars: Vec<Var> = inputs.iter().map(|t| tape.leaf(t.clone())).collect();
     let y = build(&mut tape, &vars);

@@ -256,11 +256,14 @@ impl Tape {
     ///
     /// Panics if `h` or `w` is not divisible by `k`.
     pub fn max_pool2d(&mut self, a: Var, c: usize, h: usize, w: usize, k: usize) -> Var {
-        assert!(k > 0 && h % k == 0 && w % k == 0, "pooling {h}x{w} by {k}");
+        assert!(
+            k > 0 && h.is_multiple_of(k) && w.is_multiple_of(k),
+            "pooling {h}x{w} by {k}"
+        );
         let x = self.value(a);
         let per_image = c * h * w;
         assert!(
-            per_image > 0 && x.len() % per_image == 0,
+            per_image > 0 && x.len().is_multiple_of(per_image),
             "input is not a whole number of {c}x{h}x{w} images"
         );
         let n = x.len() / per_image;
@@ -291,12 +294,7 @@ impl Tape {
     /// original input (ties send the gradient to the first maximum). The
     /// resulting node is treated as locally constant with respect to its
     /// inputs, mirroring [`Tape::relu_mask`].
-    pub(crate) fn max_unpool_scatter(
-        &mut self,
-        input: Var,
-        upstream: Var,
-        geo: PoolGeo,
-    ) -> Var {
+    pub(crate) fn max_unpool_scatter(&mut self, input: Var, upstream: Var, geo: PoolGeo) -> Var {
         let PoolGeo { c, h, w, k } = geo;
         let x = self.value(input).clone();
         let u = self.value(upstream);
@@ -404,7 +402,7 @@ impl Tape {
         let m = val.len();
         let mut data = Vec::with_capacity(m * n);
         for &x in val.data() {
-            data.extend(std::iter::repeat(x).take(n));
+            data.extend(std::iter::repeat_n(x, n));
         }
         let v = Tensor::from_vec(data, &[m, n]);
         self.push_unary(a, v, Op::BroadcastCols(a))
@@ -439,19 +437,7 @@ impl Tape {
     /// Adjoint of [`Tape::avg_pool2d`]; input is `(N, C, OH, OW)`.
     pub fn avg_unpool2d(&mut self, a: Var, c: usize, oh: usize, ow: usize, k: usize) -> Var {
         let v = avg_unpool2d(self.value(a), c, oh, ow, k);
-        self.push_unary(
-            a,
-            v,
-            Op::AvgUnpool(
-                a,
-                PoolGeo {
-                    c,
-                    h: oh,
-                    w: ow,
-                    k,
-                },
-            ),
-        )
+        self.push_unary(a, v, Op::AvgUnpool(a, PoolGeo { c, h: oh, w: ow, k }))
     }
 
     /// Permutes conv output rows `(N*OH*OW, C)` into `(N, C, OH, OW)`.

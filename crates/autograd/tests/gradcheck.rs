@@ -365,7 +365,7 @@ fn second_order_matches_numeric_gradient_of_gradient() {
         t.value(phi).item()
     };
 
-    let numeric = numeric_grad(inner_sq_norm, &[x0.clone()], 0, 1e-3);
+    let numeric = numeric_grad(inner_sq_norm, std::slice::from_ref(&x0), 0, 1e-3);
 
     let mut t = Tape::new();
     let x = t.leaf(x0);
@@ -403,7 +403,7 @@ fn second_order_through_log_softmax() {
         let out = t.sum_all(gg);
         t.value(out).item()
     };
-    let numeric = numeric_grad(phi, &[x0.clone()], 0, 1e-3);
+    let numeric = numeric_grad(phi, std::slice::from_ref(&x0), 0, 1e-3);
 
     let mut t = Tape::new();
     let x = t.leaf(x0);
@@ -450,7 +450,10 @@ fn tape_reports_length_and_growth() {
     assert_eq!(tape.len(), 2);
     let before = tape.len();
     let _ = tape.grad(y, &[x]);
-    assert!(tape.len() > before, "grad must emit nodes (higher-order support)");
+    assert!(
+        tape.len() > before,
+        "grad must emit nodes (higher-order support)"
+    );
 }
 
 #[test]

@@ -70,8 +70,14 @@ fn main() {
     );
     let request = UnlearnRequest::Class(9);
     for v in &variants {
-        let mut setup =
-            Setup::build(SyntheticDataset::Cifar, 10, Split::Dirichlet(0.1), 1500, 600, 301);
+        let mut setup = Setup::build(
+            SyntheticDataset::Cifar,
+            10,
+            Split::Dirichlet(0.1),
+            1500,
+            600,
+            301,
+        );
         // Scale 200 (fewer synthetic samples than the default 100) makes
         // recovery quality depend visibly on synthetic-data quality, which
         // is what these ablations probe.

@@ -13,7 +13,14 @@ fn print_row(label: &str, acc: &[f32]) {
 }
 
 fn main() {
-    let mut setup = Setup::build(SyntheticDataset::Cifar, 10, Split::Dirichlet(0.1), 1500, 600, 42);
+    let mut setup = Setup::build(
+        SyntheticDataset::Cifar,
+        10,
+        Split::Dirichlet(0.1),
+        1500,
+        600,
+        42,
+    );
     let mut cfg = bench_config(10);
     // Run recovery one round at a time so every round is observable, and
     // pin unlearning to the paper's single round for a clean round-3 view.

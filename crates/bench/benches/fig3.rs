@@ -7,9 +7,7 @@ use qd_data::{Dataset, SyntheticDataset};
 use qd_eval::MiaAttack;
 use qd_fed::Federation;
 use qd_tensor::Tensor;
-use qd_unlearn::{
-    FedEraser, FuMp, RetrainOracle, SgaOriginal, UnlearnRequest, UnlearningMethod,
-};
+use qd_unlearn::{FedEraser, FuMp, RetrainOracle, SgaOriginal, UnlearnRequest, UnlearningMethod};
 
 /// The training-data F/R split for the attack: forget-class training
 /// samples vs retained training samples.
@@ -24,7 +22,14 @@ fn train_split(fed: &Federation, class: usize) -> (Dataset, Dataset) {
 }
 
 fn main() {
-    let mut setup = Setup::build(SyntheticDataset::Cifar, 10, Split::Dirichlet(0.1), 1500, 600, 21);
+    let mut setup = Setup::build(
+        SyntheticDataset::Cifar,
+        10,
+        Split::Dirichlet(0.1),
+        1500,
+        600,
+        21,
+    );
     let cfg = bench_config(10);
     let train_phase = cfg.train_phase;
     let unlearn_phase = cfg.unlearn_phase;
@@ -43,7 +48,10 @@ fn main() {
     ];
 
     println!("=== Figure 3: MIA accuracy after unlearning (class 9) ===");
-    println!("{:<12} | {:>10} | {:>10}", "method", "F-Set MIA", "R-Set MIA");
+    println!(
+        "{:<12} | {:>10} | {:>10}",
+        "method", "F-Set MIA", "R-Set MIA"
+    );
     for method in &mut methods {
         setup.fed.set_global(trained.to_vec());
         method.unlearn(&mut setup.fed, request, &mut setup.rng);
@@ -51,8 +59,7 @@ fn main() {
         // Calibrate on retained members vs held-out non-members, then ask
         // whether forgotten samples still look like members.
         let nonmembers = setup.test.without_class(class);
-        let attack =
-            MiaAttack::fit_on_model(setup.model.as_ref(), &params, &r_train, &nonmembers);
+        let attack = MiaAttack::fit_on_model(setup.model.as_ref(), &params, &r_train, &nonmembers);
         let f_rate = attack.member_rate_on(setup.model.as_ref(), &params, &f_train);
         let r_rate = attack.member_rate_on(setup.model.as_ref(), &params, &r_train);
         println!(

@@ -21,7 +21,14 @@ fn print_row(label: &str, acc: &[f32], forgotten: &[usize]) {
 
 fn main() {
     let order = [5usize, 8, 0, 3, 2, 4, 7, 9, 1, 6];
-    let mut setup = Setup::build(SyntheticDataset::Cifar, 10, Split::Dirichlet(0.1), 1500, 600, 11);
+    let mut setup = Setup::build(
+        SyntheticDataset::Cifar,
+        10,
+        Split::Dirichlet(0.1),
+        1500,
+        600,
+        11,
+    );
     let (mut qd, _report, _trained) = train_system(&mut setup, bench_config(10));
 
     println!("=== Figure 4: sequential class unlearning (order {order:?}) ===");

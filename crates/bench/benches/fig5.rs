@@ -9,7 +9,14 @@ use qd_unlearn::UnlearnRequest;
 
 fn main() {
     let sweep = [0usize, 2, 5, 10];
-    let mut setup = Setup::build(SyntheticDataset::Cifar, 10, Split::Dirichlet(0.1), 1500, 600, 33);
+    let mut setup = Setup::build(
+        SyntheticDataset::Cifar,
+        10,
+        Split::Dirichlet(0.1),
+        1500,
+        600,
+        33,
+    );
     let (qd0, report, trained) = train_system(&mut setup, bench_config(10));
     let fl_grads = report.fl_stats.samples_processed;
     let request = UnlearnRequest::Class(9);

@@ -1,7 +1,9 @@
 //! Figure 6: impact of the scale parameter `s` on R-Set accuracy after
 //! recovery (left) and total unlearn+recover compute time (right).
 
-use qd_bench::{bench_config, print_paper_reference, run_method, scale_factor, train_system, Setup, Split};
+use qd_bench::{
+    bench_config, print_paper_reference, run_method, scale_factor, train_system, Setup, Split,
+};
 use qd_data::SyntheticDataset;
 use qd_unlearn::UnlearnRequest;
 
@@ -23,8 +25,14 @@ fn main() {
     for &s in &sweep {
         // The synthetic set size is fixed at training time, so each s is
         // its own training run (as in the paper).
-        let mut setup =
-            Setup::build(SyntheticDataset::Cifar, 10, Split::Dirichlet(0.1), 1500, 600, 55);
+        let mut setup = Setup::build(
+            SyntheticDataset::Cifar,
+            10,
+            Split::Dirichlet(0.1),
+            1500,
+            600,
+            55,
+        );
         let cfg = bench_config(10).with_scale(s);
         let (quickdrop, report, trained) = train_system(&mut setup, cfg);
         let mut qd = quickdrop;

@@ -8,7 +8,10 @@
 //! accuracy columns. QuickDrop's advantage compounds here: fewer rounds
 //! means fewer chances to pay the WAN's tail latencies.
 
-use qd_bench::{bench_config, print_comparison, print_paper_reference, run_method, train_system, MethodRow, Setup, Split};
+use qd_bench::{
+    bench_config, print_comparison, print_paper_reference, run_method, train_system, MethodRow,
+    Setup, Split,
+};
 use qd_data::SyntheticDataset;
 use qd_fed::NetConfig;
 use qd_unlearn::{FedEraser, RetrainOracle, UnlearnRequest};
@@ -41,7 +44,14 @@ fn main() {
         seed: 17,
         ..NetConfig::default()
     };
-    let mut setup = Setup::build(SyntheticDataset::Digits, 8, Split::Dirichlet(0.1), 1200, 500, 42);
+    let mut setup = Setup::build(
+        SyntheticDataset::Digits,
+        8,
+        Split::Dirichlet(0.1),
+        1200,
+        500,
+        42,
+    );
     let cfg = bench_config(8).with_net(net);
     let train_phase = cfg.train_phase;
     let recover_phase = cfg.recover_phase;

@@ -4,7 +4,7 @@
 use qd_bench::print_paper_reference;
 use qd_fed::Phase;
 use qd_nn::ConvNet;
-use qd_unlearn::{FedEraser, FuMp, RetrainOracle, S2U, SgaOriginal, UnlearningMethod};
+use qd_unlearn::{FedEraser, FuMp, RetrainOracle, SgaOriginal, UnlearningMethod, S2U};
 use std::sync::Arc;
 
 fn main() {

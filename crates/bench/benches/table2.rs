@@ -9,7 +9,14 @@ use qd_data::SyntheticDataset;
 use qd_unlearn::{FedEraser, FuMp, RetrainOracle, SgaOriginal, UnlearnRequest, UnlearningMethod};
 
 fn main() {
-    let mut setup = Setup::build(SyntheticDataset::Cifar, 10, Split::Dirichlet(0.1), 1500, 600, 42);
+    let mut setup = Setup::build(
+        SyntheticDataset::Cifar,
+        10,
+        Split::Dirichlet(0.1),
+        1500,
+        600,
+        42,
+    );
     let cfg = bench_config(10);
     let train_phase = cfg.train_phase;
     let unlearn_phase = cfg.unlearn_phase;

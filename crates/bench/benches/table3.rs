@@ -9,8 +9,14 @@ use qd_data::SyntheticDataset;
 use qd_unlearn::{FedEraser, FuMp, RetrainOracle, SgaOriginal, UnlearnRequest, UnlearningMethod};
 
 fn main() {
-    let mut setup =
-        Setup::build(SyntheticDataset::Svhn, 100, Split::Dirichlet(0.1), 4000, 800, 77);
+    let mut setup = Setup::build(
+        SyntheticDataset::Svhn,
+        100,
+        Split::Dirichlet(0.1),
+        4000,
+        800,
+        77,
+    );
     let mut cfg = bench_config(10);
     // 10% of clients per round during training and recovery; unlearning
     // keeps full participation (Section 4.5).

@@ -7,7 +7,7 @@ use qd_bench::{
 use qd_data::SyntheticDataset;
 use qd_fed::Phase;
 use qd_unlearn::{
-    FedEraser, PgaHalimi, RetrainOracle, S2U, SgaOriginal, UnlearnRequest, UnlearningMethod,
+    FedEraser, PgaHalimi, RetrainOracle, SgaOriginal, UnlearnRequest, UnlearningMethod, S2U,
 };
 
 fn run_condition(title: &str, split: Split, seed: u64) -> Vec<MethodRow> {

@@ -1,9 +1,7 @@
 //! Table 5: unlearning + recovery followed by relearning, on SynthCifar
 //! and SynthDigits (MNIST stand-in), 20 clients, alpha = 0.1.
 
-use qd_bench::{
-    bench_config, print_paper_reference, run_method, train_system, Setup, Split,
-};
+use qd_bench::{bench_config, print_paper_reference, run_method, train_system, Setup, Split};
 use qd_data::SyntheticDataset;
 use qd_eval::split_accuracy;
 use qd_unlearn::{
@@ -59,7 +57,8 @@ fn run_dataset(dataset: SyntheticDataset, seed: u64) {
             // has this built in (its consolidation pass).
             // After relearning, the reference state is "trained on all
             // data again", so the pass runs over the full client datasets.
-            let mut trainers = qd_fed::sgd_trainers(setup.fed.model().clone(), setup.fed.n_clients());
+            let mut trainers =
+                qd_fed::sgd_trainers(setup.fed.model().clone(), setup.fed.n_clients());
             setup.fed.run_phase(
                 &mut trainers,
                 None,

@@ -79,7 +79,10 @@ impl Setup {
             Split::Iid => partition_iid(data.len(), n_clients, &mut rng),
         };
         let clients: Vec<Dataset> = parts.iter().map(|p| data.subset(p)).collect();
-        let convnet = Arc::new(ConvNet::scaled_default(dataset.channels(), dataset.classes()));
+        let convnet = Arc::new(ConvNet::scaled_default(
+            dataset.channels(),
+            dataset.classes(),
+        ));
         let model: Arc<dyn Module> = convnet.clone();
         let fed = Federation::new(model.clone(), clients, &mut rng);
         Setup {

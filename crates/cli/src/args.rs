@@ -150,13 +150,10 @@ impl Args {
     pub fn get_opt_usize(&self, key: &str) -> Result<Option<usize>, ParseError> {
         match self.options.get(key) {
             None => Ok(None),
-            Some(v) => v
-                .parse()
-                .map(Some)
-                .map_err(|_| ParseError::BadValue {
-                    key: key.to_string(),
-                    value: v.clone(),
-                }),
+            Some(v) => v.parse().map(Some).map_err(|_| ParseError::BadValue {
+                key: key.to_string(),
+                value: v.clone(),
+            }),
         }
     }
 }

@@ -1,7 +1,7 @@
 //! The CLI subcommands.
 
 use crate::{Args, ParseError};
-use qd_core::{Checkpoint, QuickDrop, QuickDropConfig};
+use qd_core::{Checkpoint, CheckpointPolicy, QuickDrop, QuickDropConfig, TrainRun};
 use qd_data::{ascii_samples, partition_dirichlet, partition_iid, Dataset, SyntheticDataset};
 use qd_eval::{per_class_accuracy, split_accuracy};
 use qd_fed::{Federation, Phase};
@@ -55,6 +55,9 @@ USAGE:
                         [--clients N] [--alpha A | --iid] [--samples N]
                         [--rounds K] [--steps T] [--batch B] [--lr LR]
                         [--scale S] [--seed X]
+                        [--aggregator fedavg|median|trimmed-mean|norm-clip]
+                        [--quorum N] [--byzantine-frac F]
+                        [--checkpoint-every K] [--preempt-after R] [--resume]
                         [--net-latency-ms MS] [--net-bandwidth-mbps MBPS]
                         [--net-jitter-ms MS] [--dropout-prob P]
                         [--straggler-frac F] [--loss-prob P]
@@ -82,12 +85,15 @@ fn dataset_by_name(name: &str) -> Result<SyntheticDataset, CliError> {
 /// The architecture every CLI deployment uses; channels/classes are
 /// recovered from the checkpoint's synthetic geometry on reload.
 fn model_for(dataset: SyntheticDataset) -> Arc<ConvNet> {
-    Arc::new(ConvNet::scaled_default(dataset.channels(), dataset.classes()))
+    Arc::new(ConvNet::scaled_default(
+        dataset.channels(),
+        dataset.classes(),
+    ))
 }
 
 /// Reads the `--net-*` family of options into a [`qd_fed::NetConfig`],
-/// rejecting out-of-range values with a usage error (where the library's
-/// `validated()` would panic).
+/// surfacing `NetConfig::validate`'s verdict on out-of-range values as a
+/// usage error (where the library's `validated()` would panic).
 fn net_config_from(args: &Args) -> Result<qd_fed::NetConfig, CliError> {
     let net = qd_fed::NetConfig {
         latency_ms: args.get_f32("net-latency-ms", 0.0)?,
@@ -100,28 +106,8 @@ fn net_config_from(args: &Args) -> Result<qd_fed::NetConfig, CliError> {
         quantized: args.flag("quantized"),
         ..qd_fed::NetConfig::default()
     };
-    for (name, p) in [
-        ("dropout-prob", net.dropout_prob),
-        ("loss-prob", net.loss_prob),
-    ] {
-        if !(0.0..1.0).contains(&p) {
-            return Err(CliError::Usage(format!("--{name} must be in [0, 1)")));
-        }
-    }
-    if !(0.0..=1.0).contains(&net.straggler_frac) {
-        return Err(CliError::Usage("--straggler-frac must be in [0, 1]".into()));
-    }
-    for (name, v) in [
-        ("net-latency-ms", net.latency_ms),
-        ("net-bandwidth-mbps", net.bandwidth_mbps),
-        ("net-jitter-ms", net.jitter_ms),
-    ] {
-        if !(v.is_finite() && v >= 0.0) {
-            return Err(CliError::Usage(format!(
-                "--{name} must be finite and non-negative"
-            )));
-        }
-    }
+    net.validate()
+        .map_err(|msg| CliError::Usage(format!("bad --net option: {msg}")))?;
     Ok(net)
 }
 
@@ -137,7 +123,11 @@ fn request_from(args: &Args) -> Result<UnlearnRequest, CliError> {
 
 /// A federation stub whose clients hold no real data — everything the
 /// serving path needs lives in the checkpoint's synthetic sets.
-fn stub_federation(ckpt_model: Arc<dyn Module>, qd: &QuickDrop, params: Vec<qd_tensor::Tensor>) -> Federation {
+fn stub_federation(
+    ckpt_model: Arc<dyn Module>,
+    qd: &QuickDrop,
+    params: Vec<qd_tensor::Tensor>,
+) -> Federation {
     let n = qd.synthetic_sets().len().max(1);
     let (c, h, w) = qd.synthetic_sets()[0].sample_dims();
     let classes = qd.synthetic_sets()[0].classes();
@@ -176,6 +166,24 @@ fn train(args: &Args) -> Result<String, CliError> {
     let lr = args.get_f32("lr", 0.08)?;
     let scale = args.get_usize("scale", 100)?;
     let seed = args.get_u64("seed", 42)?;
+    let aggregator = {
+        let name = args.get_str("aggregator", "fedavg");
+        qd_fed::AggregatorKind::parse(&name).ok_or_else(|| {
+            CliError::Usage(format!(
+                "unknown aggregator {name:?} (expected fedavg|median|trimmed-mean|norm-clip)"
+            ))
+        })?
+    };
+    let quorum = args.get_usize("quorum", 0)?;
+    let byzantine_frac = args.get_f32("byzantine-frac", 0.0)?;
+    if !(0.0..1.0).contains(&byzantine_frac) {
+        return Err(CliError::Usage(format!(
+            "--byzantine-frac must be in [0, 1), got {byzantine_frac}"
+        )));
+    }
+    let checkpoint_every = args.get_usize("checkpoint-every", 0)?;
+    let preempt_after = args.get_opt_usize("preempt-after")?;
+    let resume = args.flag("resume");
 
     let mut rng = Rng::seed_from(seed);
     let data = dataset.generate(samples, &mut rng);
@@ -188,15 +196,55 @@ fn train(args: &Args) -> Result<String, CliError> {
     let client_data: Vec<Dataset> = parts.iter().map(|p| data.subset(p)).collect();
     let model = model_for(dataset);
     let mut fed = Federation::new(model, client_data, &mut rng);
+    if byzantine_frac > 0.0 {
+        // Chaos experiments: derive the fault trace from the run seed so
+        // the attack is reproducible alongside everything else.
+        fed.set_fault_plan(Some(qd_fed::FaultPlan::new(seed ^ 0xFA17, byzantine_frac)));
+    }
 
     let mut config = QuickDropConfig::paper_shaped(rounds, steps, batch, lr);
     config.distill.scale = scale;
     config.distill.classes_per_step = 2;
     config.distill.lr_syn = 0.5;
+    config.train_phase = config
+        .train_phase
+        .with_aggregator(aggregator)
+        .with_min_quorum(quorum);
     config.unlearn_phase = Phase::unlearning(1, steps.min(6), batch, lr / 2.0);
     config.max_unlearn_rounds = 4;
     config.net = net_config_from(args)?;
-    let (qd, report) = QuickDrop::train(&mut fed, config, &mut rng);
+
+    // Mid-phase checkpoints share the --out path: while the run is in
+    // flight the file holds a resumable cursor, and on completion the
+    // final deployment checkpoint atomically replaces it.
+    let policy = (checkpoint_every > 0 || preempt_after.is_some()).then(|| CheckpointPolicy {
+        every: checkpoint_every,
+        path: std::path::PathBuf::from(&out),
+        preempt_after,
+    });
+    let run = if resume {
+        // --resume ignores the phase-shape flags: the checkpoint's own
+        // config governs the remainder of the run. The data flags
+        // (--dataset/--clients/--samples/--seed/...) must match the
+        // original invocation so the rebuilt federation does too.
+        let ckpt = Checkpoint::load(&out)?;
+        QuickDrop::resume_train(&mut fed, ckpt, &mut rng, policy.as_ref())?
+    } else if let Some(policy) = &policy {
+        QuickDrop::train_with_checkpoints(&mut fed, config, &mut rng, policy)?
+    } else {
+        let (qd, report) = QuickDrop::train(&mut fed, config, &mut rng);
+        TrainRun::Complete(Box::new((qd, report)))
+    };
+    let (qd, report) = match run {
+        TrainRun::Complete(boxed) => *boxed,
+        TrainRun::Preempted { rounds_completed } => {
+            return Ok(format!(
+                "training preempted after {rounds_completed} rounds; mid-phase \
+                 checkpoint at {out}\nresume with: quickdrop-cli train --resume \
+                 --out {out} (plus the original data flags)\n"
+            ));
+        }
+    };
 
     let net_line = if report.fl_stats.net.total_bytes() > 0 {
         let n = &report.fl_stats.net;
@@ -240,7 +288,10 @@ fn serve(args: &Args, mode: ServeMode) -> Result<String, CliError> {
     let mut fed = stub_federation(model.clone(), &qd, params);
     // Serving RNG is independent of the training seed.
     let mut rng = Rng::seed_from(seed ^ 0x5EED);
-    let test = dataset.generate(args.get_usize("samples", 400)?, &mut Rng::seed_from(seed + 1));
+    let test = dataset.generate(
+        args.get_usize("samples", 400)?,
+        &mut Rng::seed_from(seed + 1),
+    );
     let (f_set, r_set) = match request {
         UnlearnRequest::Class(c) => (test.only_class(c), test.without_class(c)),
         UnlearnRequest::Client(_) => {
@@ -286,7 +337,10 @@ fn eval(args: &Args) -> Result<String, CliError> {
     let seed = args.get_u64("seed", 42)?;
     let (params, qd) = Checkpoint::load(&path)?.restore();
     let model = model_for(dataset);
-    let test = dataset.generate(args.get_usize("samples", 400)?, &mut Rng::seed_from(seed + 1));
+    let test = dataset.generate(
+        args.get_usize("samples", 400)?,
+        &mut Rng::seed_from(seed + 1),
+    );
     let pc = per_class_accuracy(model.as_ref(), &params, &test);
     let mut out = String::from("per-class accuracy:\n");
     for (c, a) in pc.iter().enumerate() {
@@ -351,8 +405,7 @@ mod tests {
     fn unlearn_requires_exactly_one_target() {
         let err = request_from(&args(&["unlearn", "--ckpt", "x"])).unwrap_err();
         assert!(err.to_string().contains("exactly one"));
-        let err =
-            request_from(&args(&["unlearn", "--class", "1", "--client", "2"])).unwrap_err();
+        let err = request_from(&args(&["unlearn", "--class", "1", "--client", "2"])).unwrap_err();
         assert!(err.to_string().contains("exactly one"));
         let ok = request_from(&args(&["unlearn", "--class", "3"])).unwrap();
         assert_eq!(ok, UnlearnRequest::Class(3));
@@ -363,8 +416,22 @@ mod tests {
         let ckpt = tmp("lifecycle.json");
         // Tiny but real: train -> show -> unlearn -> eval -> relearn.
         let out = run(&args(&[
-            "train", "--out", &ckpt, "--clients", "2", "--samples", "200", "--rounds", "3",
-            "--steps", "4", "--scale", "20", "--iid", "--seed", "7",
+            "train",
+            "--out",
+            &ckpt,
+            "--clients",
+            "2",
+            "--samples",
+            "200",
+            "--rounds",
+            "3",
+            "--steps",
+            "4",
+            "--scale",
+            "20",
+            "--iid",
+            "--seed",
+            "7",
         ]))
         .unwrap();
         assert!(out.contains("checkpoint written"));
@@ -372,15 +439,19 @@ mod tests {
         let out = run(&args(&["show", "--ckpt", &ckpt, "--limit", "2"])).unwrap();
         assert!(out.contains("synthetic samples"));
 
-        let out = run(&args(&["unlearn", "--ckpt", &ckpt, "--class", "3", "--seed", "7"]))
-            .unwrap();
+        let out = run(&args(&[
+            "unlearn", "--ckpt", &ckpt, "--class", "3", "--seed", "7",
+        ]))
+        .unwrap();
         assert!(out.contains("unlearned class 3"));
 
         let out = run(&args(&["eval", "--ckpt", &ckpt, "--seed", "7"])).unwrap();
         assert!(out.contains("class 3") && out.contains("(unlearned)"));
 
-        let out = run(&args(&["relearn", "--ckpt", &ckpt, "--class", "3", "--seed", "7"]))
-            .unwrap();
+        let out = run(&args(&[
+            "relearn", "--ckpt", &ckpt, "--class", "3", "--seed", "7",
+        ]))
+        .unwrap();
         assert!(out.contains("relearned class 3"));
         std::fs::remove_file(&ckpt).ok();
     }
@@ -388,8 +459,20 @@ mod tests {
     #[test]
     fn net_flags_build_a_config() {
         let a = args(&[
-            "train", "--out", "x", "--net-latency-ms", "20", "--net-bandwidth-mbps", "100",
-            "--dropout-prob", "0.1", "--loss-prob", "0.05", "--net-seed", "9", "--quantized",
+            "train",
+            "--out",
+            "x",
+            "--net-latency-ms",
+            "20",
+            "--net-bandwidth-mbps",
+            "100",
+            "--dropout-prob",
+            "0.1",
+            "--loss-prob",
+            "0.05",
+            "--net-seed",
+            "9",
+            "--quantized",
         ]);
         let net = net_config_from(&a).unwrap();
         assert_eq!(net.latency_ms, 20.0);
@@ -420,9 +503,28 @@ mod tests {
     fn train_over_simulated_network_reports_wire_costs() {
         let ckpt = tmp("netsim.json");
         let out = run(&args(&[
-            "train", "--out", &ckpt, "--clients", "2", "--samples", "120", "--rounds", "2",
-            "--steps", "2", "--scale", "20", "--iid", "--seed", "3",
-            "--net-latency-ms", "15", "--net-bandwidth-mbps", "50", "--loss-prob", "0.05",
+            "train",
+            "--out",
+            &ckpt,
+            "--clients",
+            "2",
+            "--samples",
+            "120",
+            "--rounds",
+            "2",
+            "--steps",
+            "2",
+            "--scale",
+            "20",
+            "--iid",
+            "--seed",
+            "3",
+            "--net-latency-ms",
+            "15",
+            "--net-bandwidth-mbps",
+            "50",
+            "--loss-prob",
+            "0.05",
         ]))
         .unwrap();
         assert!(out.contains("network:"), "{out}");
@@ -432,8 +534,108 @@ mod tests {
 
     #[test]
     fn bad_dataset_is_reported() {
-        let err = run(&args(&["train", "--out", "/tmp/x.json", "--dataset", "imagenet"]))
-            .unwrap_err();
+        let err = run(&args(&[
+            "train",
+            "--out",
+            "/tmp/x.json",
+            "--dataset",
+            "imagenet",
+        ]))
+        .unwrap_err();
         assert!(err.to_string().contains("unknown dataset"));
+    }
+
+    #[test]
+    fn bad_aggregator_and_byzantine_frac_are_usage_errors() {
+        let err = run(&args(&["train", "--out", "x", "--aggregator", "krum"])).unwrap_err();
+        assert!(err.to_string().contains("unknown aggregator"), "{err}");
+        let err = run(&args(&["train", "--out", "x", "--byzantine-frac", "1.0"])).unwrap_err();
+        assert!(err.to_string().contains("byzantine-frac"), "{err}");
+    }
+
+    #[test]
+    fn preempted_training_resumes_to_the_uninterrupted_result() {
+        let flags = |out: &str| -> Vec<String> {
+            [
+                "train",
+                "--out",
+                out,
+                "--clients",
+                "2",
+                "--samples",
+                "120",
+                "--rounds",
+                "4",
+                "--steps",
+                "2",
+                "--scale",
+                "20",
+                "--iid",
+                "--seed",
+                "5",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
+        };
+        let uninterrupted = tmp("resume_ref.json");
+        run(&Args::parse(flags(&uninterrupted)).unwrap()).unwrap();
+
+        // Same run, killed after round 3 (last checkpoint: round 2).
+        let interrupted = tmp("resume_cut.json");
+        let mut cut = flags(&interrupted);
+        cut.extend(["--checkpoint-every", "2", "--preempt-after", "3"].map(String::from));
+        let out = run(&Args::parse(cut).unwrap()).unwrap();
+        assert!(out.contains("preempted after 3 rounds"), "{out}");
+
+        let mut resume = flags(&interrupted);
+        resume.push("--resume".to_string());
+        let out = run(&Args::parse(resume).unwrap()).unwrap();
+        assert!(out.contains("checkpoint written"), "{out}");
+
+        let (params_ref, _) = Checkpoint::load(&uninterrupted).unwrap().restore();
+        let (params_res, _) = Checkpoint::load(&interrupted).unwrap().restore();
+        for (a, b) in params_ref.iter().zip(&params_res) {
+            for (u, v) in a.data().iter().zip(b.data()) {
+                assert_eq!(u.to_bits(), v.to_bits(), "kill+resume diverged");
+            }
+        }
+        std::fs::remove_file(&uninterrupted).ok();
+        std::fs::remove_file(&interrupted).ok();
+    }
+
+    #[test]
+    fn robust_aggregator_flag_reaches_the_training_phase() {
+        let ckpt = tmp("median_agg.json");
+        let out = run(&args(&[
+            "train",
+            "--out",
+            &ckpt,
+            "--clients",
+            "3",
+            "--samples",
+            "120",
+            "--rounds",
+            "2",
+            "--steps",
+            "2",
+            "--scale",
+            "20",
+            "--iid",
+            "--seed",
+            "11",
+            "--aggregator",
+            "median",
+            "--quorum",
+            "2",
+            "--byzantine-frac",
+            "0.3",
+        ]))
+        .unwrap();
+        assert!(out.contains("checkpoint written"), "{out}");
+        // The model survives the Byzantine minority under a robust rule.
+        let (params, _) = Checkpoint::load(&ckpt).unwrap().restore();
+        assert!(params.iter().all(qd_tensor::Tensor::all_finite));
+        std::fs::remove_file(&ckpt).ok();
     }
 }

@@ -15,6 +15,7 @@
 use crate::{QuickDrop, QuickDropConfig};
 use qd_data::Dataset;
 use qd_distill::SyntheticSet;
+use qd_fed::{Phase, ResumeState};
 use qd_tensor::Tensor;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
@@ -41,15 +42,48 @@ pub struct Checkpoint {
     pub version: u32,
     /// Global model parameters.
     pub global: Vec<Tensor>,
-    config: QuickDropConfig,
-    synthetic: Vec<SyntheticSet>,
-    recovery_data: Vec<Dataset>,
-    unlearned_classes: BTreeSet<usize>,
-    unlearned_clients: BTreeSet<usize>,
+    pub(crate) config: QuickDropConfig,
+    pub(crate) synthetic: Vec<SyntheticSet>,
+    pub(crate) recovery_data: Vec<Dataset>,
+    pub(crate) unlearned_classes: BTreeSet<usize>,
+    pub(crate) unlearned_clients: BTreeSet<usize>,
+    /// `Some` while a training phase is still in flight: everything
+    /// beyond `global` needed to resume it bit-for-bit. `None` in a
+    /// post-training deployment snapshot.
+    pub(crate) mid_phase: Option<MidPhase>,
+}
+
+/// Mid-phase training state carried by a version-2 [`Checkpoint`].
+///
+/// Written at a round boundary by [`QuickDrop::train_with_checkpoints`]
+/// and consumed by [`QuickDrop::resume_train`]: together with
+/// [`Checkpoint::global`] it pins down the phase remainder exactly — the
+/// phase being run (including its aggregation rule), the round cursor
+/// with RNG and quarantine state, and each client trainer's accumulated
+/// distillation state.
+///
+/// [`QuickDrop::train_with_checkpoints`]: crate::QuickDrop::train_with_checkpoints
+/// [`QuickDrop::resume_train`]: crate::QuickDrop::resume_train
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MidPhase {
+    /// The phase that was executing (rounds, aggregator, quorum, ...).
+    pub phase: Phase,
+    /// Round-boundary cursor: next round, phase RNG, guard state.
+    pub cursor: ResumeState,
+    /// Per-client synthetic sets as distilled so far (`None` for clients
+    /// that have not completed a round yet).
+    pub trainer_synthetic: Vec<Option<SyntheticSet>>,
+    /// Per-client round-robin matching cursors, aligned with
+    /// [`MidPhase::trainer_synthetic`].
+    pub trainer_round_robin: Vec<usize>,
 }
 
 /// Current checkpoint format version.
-pub const CHECKPOINT_VERSION: u32 = 1;
+///
+/// Version 2 added the [`MidPhase`] payload (and with it crash-consistent
+/// mid-training resume); version-1 files predate this repository's
+/// resilience layer and are rejected on load.
+pub const CHECKPOINT_VERSION: u32 = 2;
 
 impl Checkpoint {
     /// Captures the current global parameters and QuickDrop state.
@@ -64,11 +98,53 @@ impl Checkpoint {
             recovery_data,
             unlearned_classes,
             unlearned_clients,
+            mid_phase: None,
         }
     }
 
-    /// Rebuilds `(global parameters, QuickDrop)` from the snapshot.
+    /// Captures an in-flight training run at a round boundary: the
+    /// partial global model plus the [`MidPhase`] cursor that
+    /// [`QuickDrop::resume_train`] needs to continue it.
+    ///
+    /// [`QuickDrop::resume_train`]: crate::QuickDrop::resume_train
+    pub fn capture_mid_train(
+        global: &[Tensor],
+        config: &QuickDropConfig,
+        mid_phase: MidPhase,
+    ) -> Self {
+        Checkpoint {
+            version: CHECKPOINT_VERSION,
+            global: global.to_vec(),
+            config: config.clone(),
+            synthetic: Vec::new(),
+            recovery_data: Vec::new(),
+            unlearned_classes: BTreeSet::new(),
+            unlearned_clients: BTreeSet::new(),
+            mid_phase: Some(mid_phase),
+        }
+    }
+
+    /// The mid-phase cursor, `Some` for checkpoints written during
+    /// training (see [`Checkpoint::capture_mid_train`]).
+    pub fn mid_phase(&self) -> Option<&MidPhase> {
+        self.mid_phase.as_ref()
+    }
+
+    /// Rebuilds `(global parameters, QuickDrop)` from a deployment
+    /// snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a mid-training checkpoint — those hold no servable
+    /// synthetic state; feed them to [`QuickDrop::resume_train`] instead.
+    ///
+    /// [`QuickDrop::resume_train`]: crate::QuickDrop::resume_train
     pub fn restore(self) -> (Vec<Tensor>, QuickDrop) {
+        assert!(
+            self.mid_phase.is_none(),
+            "mid-training checkpoint: resume training with QuickDrop::resume_train \
+             instead of restoring a deployment"
+        );
         let qd = QuickDrop::from_checkpoint_state(
             self.config,
             self.synthetic,
@@ -79,35 +155,80 @@ impl Checkpoint {
         (self.global, qd)
     }
 
-    /// Serializes to JSON at `path`.
+    /// Serializes to JSON at `path`, atomically.
+    ///
+    /// The bytes are written to a sibling `<name>.tmp` file, synced, and
+    /// renamed over `path`, so a crash mid-save leaves either the old
+    /// checkpoint or the new one — never a torn file.
     ///
     /// # Errors
     ///
-    /// Returns any I/O error from creating or writing the file;
-    /// serialization itself is infallible for this type.
+    /// Returns any I/O error from writing the temporary file or renaming
+    /// it; serialization itself is infallible for this type.
     pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let path = path.as_ref();
         let json = serde_json::to_string(self).map_err(std::io::Error::other)?;
-        let mut f = std::fs::File::create(path)?;
-        f.write_all(json.as_bytes())
+        let mut tmp_name = path
+            .file_name()
+            .ok_or_else(|| std::io::Error::other("checkpoint path has no file name"))?
+            .to_os_string();
+        tmp_name.push(".tmp");
+        let tmp = path.with_file_name(tmp_name);
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(json.as_bytes())?;
+        f.sync_all()?;
+        drop(f);
+        let renamed = std::fs::rename(&tmp, path);
+        if renamed.is_err() {
+            std::fs::remove_file(&tmp).ok();
+        }
+        renamed
     }
 
     /// Loads a checkpoint from `path`.
     ///
     /// # Errors
     ///
-    /// Returns an error if the file cannot be read, is not valid JSON for
-    /// this format, or has an unsupported version.
+    /// Returns an [`std::io::ErrorKind::InvalidData`] error naming the
+    /// file and the problem when the contents are corrupt or truncated
+    /// JSON, carry no `version` field, use a version this build does not
+    /// read (older or newer), or fail to decode as a checkpoint — plus
+    /// any error from reading the file itself.
     pub fn load(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let path = path.as_ref();
         let mut json = String::new();
         std::fs::File::open(path)?.read_to_string(&mut json)?;
-        let ckpt: Checkpoint = serde_json::from_str(&json).map_err(std::io::Error::other)?;
-        if ckpt.version != CHECKPOINT_VERSION {
-            return Err(std::io::Error::other(format!(
-                "unsupported checkpoint version {} (expected {CHECKPOINT_VERSION})",
-                ckpt.version
+        let invalid = |detail: String| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("checkpoint {}: {detail}", path.display()),
+            )
+        };
+        // Parse the raw structure and check the version *before* decoding
+        // the payload, so a version mismatch is reported as such rather
+        // than as whatever field happens to be missing from the old or
+        // future layout.
+        let value: serde::Value = serde_json::from_str(&json)
+            .map_err(|e| invalid(format!("corrupt or truncated JSON: {e}")))?;
+        let version = value
+            .get("version")
+            .ok_or_else(|| invalid("no version field; not a checkpoint file".to_string()))?;
+        let version: u32 = serde::Deserialize::from_value(version)
+            .map_err(|e| invalid(format!("malformed version field: {e}")))?;
+        if version < CHECKPOINT_VERSION {
+            return Err(invalid(format!(
+                "obsolete format version {version}; this build reads only \
+                 version {CHECKPOINT_VERSION} (re-capture the checkpoint)"
             )));
         }
-        Ok(ckpt)
+        if version > CHECKPOINT_VERSION {
+            return Err(invalid(format!(
+                "format version {version} is newer than this build's \
+                 version {CHECKPOINT_VERSION}; upgrade to load it"
+            )));
+        }
+        serde::Deserialize::from_value(&value)
+            .map_err(|e| invalid(format!("malformed version-{version} payload: {e}")))
     }
 }
 
@@ -185,6 +306,112 @@ mod tests {
         // Bypass save()'s implicit current version by writing directly.
         std::fs::write(&path, serde_json::to_string(&ckpt).unwrap()).unwrap();
         assert!(Checkpoint::load(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    fn load_error(name: &str, contents: &str) -> std::io::Error {
+        let dir = std::env::temp_dir().join("qd_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        std::fs::write(&path, contents).unwrap();
+        let err = Checkpoint::load(&path).expect_err("bad checkpoint must not load");
+        std::fs::remove_file(&path).ok();
+        err
+    }
+
+    #[test]
+    fn corrupt_and_mismatched_files_give_descriptive_errors() {
+        let cases = [
+            ("garbage.json", "not json {{{", "corrupt or truncated"),
+            (
+                "truncated.json",
+                "{\"version\": 2, \"global\": [",
+                "corrupt or truncated",
+            ),
+            ("empty.json", "", "corrupt or truncated"),
+            ("no_version.json", "{\"global\": []}", "no version field"),
+            (
+                "bool_version.json",
+                "{\"version\": true}",
+                "malformed version field",
+            ),
+            ("future.json", "{\"version\": 999}", "newer than this build"),
+            (
+                "obsolete.json",
+                "{\"version\": 1}",
+                "obsolete format version 1",
+            ),
+            (
+                "hollow_v2.json",
+                "{\"version\": 2}",
+                "malformed version-2 payload",
+            ),
+        ];
+        for (name, contents, needle) in cases {
+            let err = load_error(name, contents);
+            assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "{name}: {err}");
+            let msg = err.to_string();
+            assert!(
+                msg.contains(needle),
+                "{name}: {msg:?} should mention {needle:?}"
+            );
+            assert!(msg.contains(name), "{name}: {msg:?} should name the file");
+        }
+    }
+
+    #[test]
+    fn save_is_atomic_and_leaves_no_temp_file() {
+        let (fed, qd, _) = trained();
+        let ckpt = Checkpoint::capture(fed.global(), &qd);
+        let dir = std::env::temp_dir().join("qd_ckpt_atomic_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("atomic.json");
+        // Overwriting an existing (stale) checkpoint must go through the
+        // rename too.
+        std::fs::write(&path, "stale").unwrap();
+        ckpt.save(&path).unwrap();
+        assert!(Checkpoint::load(&path).is_ok());
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .filter(|n| n.ends_with(".tmp"))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "temp files left behind: {leftovers:?}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mid_train_checkpoint_round_trips_and_refuses_restore() {
+        let (fed, qd, _) = trained();
+        let mid = MidPhase {
+            phase: qd.config().train_phase,
+            cursor: ResumeState {
+                next_round: 2,
+                rng: Rng::seed_from(3).state(),
+                guard: qd_fed::GuardState::default(),
+            },
+            trainer_synthetic: vec![None, Some(qd.synthetic_sets()[0].clone())],
+            trainer_round_robin: vec![0, 4],
+        };
+        let ckpt = Checkpoint::capture_mid_train(fed.global(), qd.config(), mid);
+        let dir = std::env::temp_dir().join("qd_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mid_train.json");
+        ckpt.save(&path).unwrap();
+        let back = Checkpoint::load(&path).unwrap();
+        let mid = back.mid_phase().expect("mid-phase cursor survives disk");
+        assert_eq!(mid.cursor.next_round, 2);
+        assert_eq!(mid.trainer_round_robin, vec![0, 4]);
+        assert!(mid.trainer_synthetic[0].is_none());
+        assert_eq!(
+            mid.trainer_synthetic[1].as_ref(),
+            Some(&qd.synthetic_sets()[0])
+        );
+        let refused = std::panic::catch_unwind(move || back.restore());
+        assert!(refused.is_err(), "restore() must reject mid-train state");
         std::fs::remove_file(&path).ok();
     }
 }

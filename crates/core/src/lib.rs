@@ -61,7 +61,7 @@ mod config;
 pub mod sample_level;
 mod system;
 
-pub use checkpoint::{Checkpoint, CHECKPOINT_VERSION};
+pub use checkpoint::{Checkpoint, MidPhase, CHECKPOINT_VERSION};
 pub use config::QuickDropConfig;
 pub use sample_level::{SampleLevelConfig, SampleLevelQuickDrop};
-pub use system::{QuickDrop, TrainReport};
+pub use system::{CheckpointPolicy, QuickDrop, TrainReport, TrainRun};

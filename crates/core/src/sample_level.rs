@@ -151,8 +151,7 @@ impl SampleLevelQuickDrop {
                     // Match against this subset's gradients at the trained
                     // parameters.
                     let (x, y) = subset_data.all();
-                    let refs =
-                        reference_gradients(model.as_ref(), &params, &x, &y, data.classes());
+                    let refs = reference_gradients(model.as_ref(), &params, &x, &y, data.classes());
                     let (matched, _) = match_class_step(
                         model.as_ref(),
                         &params,
@@ -268,13 +267,23 @@ impl SampleLevelQuickDrop {
             forget[client] = Some(fd);
         }
         let mut trainers = sgd_trainers(fed.model().clone(), fed.n_clients());
-        let unlearn = fed.run_phase(&mut trainers, Some(&forget), &self.config.unlearn_phase, rng);
+        let unlearn = fed.run_phase(
+            &mut trainers,
+            Some(&forget),
+            &self.config.unlearn_phase,
+            rng,
+        );
         let post_unlearn_params = fed.global().to_vec();
         for j in covering {
             self.forgotten.insert((client, j));
         }
         let retain = self.retain_override();
-        let recovery = fed.run_phase(&mut trainers, Some(&retain), &self.config.recover_phase, rng);
+        let recovery = fed.run_phase(
+            &mut trainers,
+            Some(&retain),
+            &self.config.recover_phase,
+            rng,
+        );
         MethodOutcome {
             unlearn,
             recovery,
@@ -330,7 +339,12 @@ mod tests {
         let clients: Vec<_> = parts.iter().map(|p| data.subset(p)).collect();
         let mut fed = Federation::new(model.clone(), clients, &mut rng);
         let mut trainers = sgd_trainers(model.clone(), 3);
-        fed.run_phase(&mut trainers, None, &Phase::training(8, 10, 32, 0.1), &mut rng);
+        fed.run_phase(
+            &mut trainers,
+            None,
+            &Phase::training(8, 10, 32, 0.1),
+            &mut rng,
+        );
         (fed, test, rng, model)
     }
 
@@ -374,7 +388,10 @@ mod tests {
             }
         }
         let after = accuracy(model.as_ref(), fed.global(), &f_test);
-        assert!(after < 0.25, "class accuracy after full sample-level forget: {after}");
+        assert!(
+            after < 0.25,
+            "class accuracy after full sample-level forget: {after}"
+        );
         let rest = test.without_class(class);
         let r_after = accuracy(model.as_ref(), fed.global(), &rest);
         assert!(r_after > 0.45, "other classes survive ({r_after})");

@@ -1,12 +1,17 @@
 //! The QuickDrop system: training-time synthesis and request serving.
 
-use crate::QuickDropConfig;
+use crate::checkpoint::MidPhase;
+use crate::{Checkpoint, QuickDropConfig};
 use qd_data::Dataset;
-use qd_distill::{augment_with_real, distilling_trainers, finetune, SyntheticSet};
-use qd_fed::{sgd_trainers, Federation, Phase, PhaseStats};
+use qd_distill::{
+    augment_with_real, distilling_trainers, finetune, DistillingTrainer, SyntheticSet,
+};
+use qd_fed::{sgd_trainers, Federation, Phase, PhaseStats, ResumeState};
 use qd_tensor::rng::Rng;
+use qd_tensor::Tensor;
 use qd_unlearn::{Capabilities, Efficiency, MethodOutcome, UnlearnRequest, UnlearningMethod};
 use std::collections::BTreeSet;
+use std::path::PathBuf;
 use std::time::Duration;
 
 /// Costs and artifacts of QuickDrop's training stage (steps 1–2 of
@@ -27,6 +32,60 @@ pub struct TrainReport {
     pub synthetic_samples: usize,
     /// Total real samples across clients.
     pub real_samples: usize,
+}
+
+/// When and where [`QuickDrop::train_with_checkpoints`] persists
+/// mid-training state.
+#[derive(Debug, Clone)]
+pub struct CheckpointPolicy {
+    /// Write a [`Checkpoint`] after every `every`-th completed round
+    /// (`0` disables periodic writes). Each write atomically replaces the
+    /// file at [`CheckpointPolicy::path`].
+    pub every: usize,
+    /// Where the checkpoint lives on disk.
+    pub path: PathBuf,
+    /// Stop training once this many rounds have completed, *without*
+    /// writing anything extra — a deterministic stand-in for a crash or
+    /// batch-queue preemption. Recovery must come from the last periodic
+    /// checkpoint, exactly as it would after a real kill.
+    pub preempt_after: Option<usize>,
+}
+
+impl CheckpointPolicy {
+    /// Checkpoint to `path` every `every` rounds, never preempting.
+    pub fn every(every: usize, path: impl Into<PathBuf>) -> Self {
+        CheckpointPolicy {
+            every,
+            path: path.into(),
+            preempt_after: None,
+        }
+    }
+}
+
+/// Outcome of a checkpointed training run.
+#[derive(Debug)]
+pub enum TrainRun {
+    /// Training ran to completion: the ready-to-serve system and its
+    /// cost report (boxed to keep the enum small).
+    Complete(Box<(QuickDrop, TrainReport)>),
+    /// Training stopped at a round boundary because
+    /// [`CheckpointPolicy::preempt_after`] fired. Continue it by loading
+    /// the last checkpoint into [`QuickDrop::resume_train`].
+    Preempted {
+        /// Rounds of the training phase completed before stopping.
+        rounds_completed: usize,
+    },
+}
+
+impl TrainRun {
+    /// The completed system and report, or `None` if the run was
+    /// preempted.
+    pub fn into_complete(self) -> Option<(QuickDrop, TrainReport)> {
+        match self {
+            TrainRun::Complete(boxed) => Some(*boxed),
+            TrainRun::Preempted { .. } => None,
+        }
+    }
 }
 
 impl TrainReport {
@@ -91,6 +150,88 @@ impl QuickDrop {
         config: QuickDropConfig,
         rng: &mut Rng,
     ) -> (QuickDrop, TrainReport) {
+        let run = Self::train_checkpointed(fed, config, rng, None, None)
+            .expect("checkpoint I/O cannot fail without a policy");
+        match run {
+            TrainRun::Complete(boxed) => *boxed,
+            TrainRun::Preempted { .. } => unreachable!("no preemption without a policy"),
+        }
+    }
+
+    /// [`QuickDrop::train`] with crash-consistent round checkpointing:
+    /// after every [`CheckpointPolicy::every`]-th round a version-2
+    /// [`Checkpoint`] holding the partial global model and the
+    /// [`MidPhase`] cursor is atomically written to
+    /// [`CheckpointPolicy::path`]. If the process dies at any point,
+    /// [`QuickDrop::resume_train`] on the surviving file continues the
+    /// run; under the loopback transport the final parameters are
+    /// bit-for-bit those of the uninterrupted run.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first I/O error raised while writing a checkpoint
+    /// (training stops at that round boundary).
+    pub fn train_with_checkpoints(
+        fed: &mut Federation,
+        config: QuickDropConfig,
+        rng: &mut Rng,
+        policy: &CheckpointPolicy,
+    ) -> std::io::Result<TrainRun> {
+        Self::train_checkpointed(fed, config, rng, None, Some(policy))
+    }
+
+    /// Continues a training run from a mid-phase [`Checkpoint`] written
+    /// by [`QuickDrop::train_with_checkpoints`].
+    ///
+    /// `fed` must be built over the same model architecture, client
+    /// datasets and seed-derived state as the original run; the global
+    /// parameters are overwritten from the checkpoint and `rng` from the
+    /// stored cursor. Under the loopback transport the continuation is
+    /// bit-for-bit identical to never having stopped. (Under a simulated
+    /// network the *model* trajectory is identical only if no impairment
+    /// is configured; the network's own random trace restarts with the
+    /// transport.) The compute-time columns of the final report cover
+    /// only the rounds executed after the resume.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`std::io::ErrorKind::InvalidData`] if the checkpoint
+    /// holds no mid-phase state or does not match the federation's
+    /// client count, plus any checkpoint-write error when `policy` is
+    /// given.
+    pub fn resume_train(
+        fed: &mut Federation,
+        checkpoint: Checkpoint,
+        rng: &mut Rng,
+        policy: Option<&CheckpointPolicy>,
+    ) -> std::io::Result<TrainRun> {
+        let invalid = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
+        let Some(mid) = checkpoint.mid_phase else {
+            return Err(invalid(
+                "deployment checkpoint carries no mid-phase state; nothing to resume",
+            ));
+        };
+        if mid.trainer_synthetic.len() != fed.n_clients()
+            || mid.trainer_round_robin.len() != fed.n_clients()
+        {
+            return Err(invalid(
+                "checkpoint was written for a different number of clients",
+            ));
+        }
+        fed.set_global(checkpoint.global);
+        Self::train_checkpointed(fed, checkpoint.config, rng, Some(mid), policy)
+    }
+
+    /// Shared core of [`QuickDrop::train`],
+    /// [`QuickDrop::train_with_checkpoints`] and
+    /// [`QuickDrop::resume_train`].
+    fn train_checkpointed(
+        fed: &mut Federation,
+        config: QuickDropConfig,
+        rng: &mut Rng,
+        resume: Option<MidPhase>,
+        policy: Option<&CheckpointPolicy>,
+    ) -> std::io::Result<TrainRun> {
         let model = fed.model().clone();
         let n = fed.n_clients();
         // Deploy over the configured network. The transport stays
@@ -100,7 +241,63 @@ impl QuickDrop {
             fed.set_transport(Box::new(qd_fed::SimNet::new(config.net.validated())));
         }
         let mut trainers = distilling_trainers(model.clone(), config.distill, n);
-        let fl_stats = fed.run_phase(&mut trainers, None, &config.train_phase, rng);
+        let cursor = resume.map(|mid| {
+            let robins = mid.trainer_round_robin;
+            for ((trainer, syn), robin) in
+                trainers.iter_mut().zip(mid.trainer_synthetic).zip(robins)
+            {
+                trainer.restore(syn, robin);
+            }
+            mid.cursor
+        });
+
+        let mut save_error: Option<std::io::Error> = None;
+        let mut preempted: Option<usize> = None;
+        let mut observer =
+            |cursor: &ResumeState, global: &[Tensor], trainers: &[DistillingTrainer]| -> bool {
+                let Some(policy) = policy else { return true };
+                if policy.every > 0 && cursor.next_round.is_multiple_of(policy.every) {
+                    let mut trainer_synthetic = Vec::with_capacity(trainers.len());
+                    let mut trainer_round_robin = Vec::with_capacity(trainers.len());
+                    for t in trainers {
+                        let (syn, robin) = t.snapshot();
+                        trainer_synthetic.push(syn);
+                        trainer_round_robin.push(robin);
+                    }
+                    let mid = MidPhase {
+                        phase: config.train_phase,
+                        cursor: cursor.clone(),
+                        trainer_synthetic,
+                        trainer_round_robin,
+                    };
+                    let ckpt = Checkpoint::capture_mid_train(global, &config, mid);
+                    if let Err(e) = ckpt.save(&policy.path) {
+                        save_error = Some(e);
+                        return false;
+                    }
+                }
+                match policy.preempt_after {
+                    Some(cap) if cursor.next_round >= cap => {
+                        preempted = Some(cursor.next_round);
+                        false
+                    }
+                    _ => true,
+                }
+            };
+        let fl_stats = fed.run_phase_resumable(
+            &mut trainers,
+            None,
+            &config.train_phase,
+            rng,
+            cursor.as_ref(),
+            Some(&mut observer),
+        );
+        if let Some(e) = save_error {
+            return Err(e);
+        }
+        if let Some(rounds_completed) = preempted {
+            return Ok(TrainRun::Preempted { rounds_completed });
+        }
 
         let mut total_compute = Duration::ZERO;
         let mut dd_compute = Duration::ZERO;
@@ -118,8 +315,7 @@ impl QuickDrop {
         let mut finetune_real_grads = 0usize;
         if let Some(ft) = &config.finetune {
             for (i, syn) in synthetic.iter_mut().enumerate() {
-                finetune_real_grads +=
-                    finetune(model.as_ref(), syn, fed.client_data(i), ft, rng);
+                finetune_real_grads += finetune(model.as_ref(), syn, fed.client_data(i), ft, rng);
             }
         }
 
@@ -153,7 +349,7 @@ impl QuickDrop {
             unlearned_classes: BTreeSet::new(),
             unlearned_clients: BTreeSet::new(),
         };
-        (system, report)
+        Ok(TrainRun::Complete(Box::new((system, report))))
     }
 
     /// The per-client synthetic sets.
@@ -257,9 +453,7 @@ impl QuickDrop {
                     let d = syn.class_dataset(c);
                     (!d.is_empty()).then_some(d)
                 }
-                UnlearnRequest::Client(t) => {
-                    (i == t && !syn.is_empty()).then(|| syn.to_dataset())
-                }
+                UnlearnRequest::Client(t) => (i == t && !syn.is_empty()).then(|| syn.to_dataset()),
             })
             .collect()
     }
@@ -384,7 +578,12 @@ impl UnlearningMethod for QuickDrop {
 
         // Step 4: recovery on the synthetic retain set.
         let retain = self.synthetic_retain();
-        let recovery = fed.run_phase(&mut trainers, Some(&retain), &self.config.recover_phase, rng);
+        let recovery = fed.run_phase(
+            &mut trainers,
+            Some(&retain),
+            &self.config.recover_phase,
+            rng,
+        );
         MethodOutcome {
             unlearn,
             recovery,
@@ -415,8 +614,12 @@ impl UnlearningMethod for QuickDrop {
             }
         }
         let retain = self.synthetic_retain();
-        let consolidation =
-            fed.run_phase(&mut trainers, Some(&retain), &self.config.recover_phase, rng);
+        let consolidation = fed.run_phase(
+            &mut trainers,
+            Some(&retain),
+            &self.config.recover_phase,
+            rng,
+        );
         stats.merge(&consolidation);
         Some(stats)
     }
@@ -516,7 +719,10 @@ mod tests {
         let (f6, _) = fr_eval_sets(&fed, UnlearnRequest::Class(6), &test);
         let a1 = qd_eval::accuracy(model.as_ref(), fed.global(), &f1);
         let a6 = qd_eval::accuracy(model.as_ref(), fed.global(), &f6);
-        assert!(a1 < 0.25, "class 1 stays forgotten after second request ({a1})");
+        assert!(
+            a1 < 0.25,
+            "class 1 stays forgotten after second request ({a1})"
+        );
         assert!(a6 < 0.25, "class 6 forgotten ({a6})");
         assert_eq!(qd.unlearned_classes().count(), 2);
     }

@@ -198,7 +198,9 @@ impl Dataset {
 
     /// A new dataset with all samples of `class` removed.
     pub fn without_class(&self, class: usize) -> Dataset {
-        let keep: Vec<usize> = (0..self.len()).filter(|&i| self.labels[i] != class).collect();
+        let keep: Vec<usize> = (0..self.len())
+            .filter(|&i| self.labels[i] != class)
+            .collect();
         self.subset(&keep)
     }
 

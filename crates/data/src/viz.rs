@@ -81,7 +81,11 @@ pub fn ascii_samples(data: &Dataset, limit: usize) -> String {
         .collect();
     let mut out = String::new();
     for i in 0..n {
-        out.push_str(&format!("{:<width$}", format!("label {}", data.label(i)), width = w + 2));
+        out.push_str(&format!(
+            "{:<width$}",
+            format!("label {}", data.label(i)),
+            width = w + 2
+        ));
     }
     out.push('\n');
     for row in 0..h {
@@ -135,7 +139,9 @@ mod tests {
 
     #[test]
     fn empty_dataset_renders_placeholder() {
-        let ds = SyntheticDataset::Digits.generate(2, &mut Rng::seed_from(1)).subset(&[]);
+        let ds = SyntheticDataset::Digits
+            .generate(2, &mut Rng::seed_from(1))
+            .subset(&[]);
         assert_eq!(ascii_samples(&ds, 3), "(no samples)\n");
     }
 }

@@ -43,7 +43,7 @@ pub fn distribution_match_step(
     steps: usize,
 ) -> (Tensor, f32) {
     assert!(lr.is_finite() && lr > 0.0, "matching lr must be positive");
-    assert!(real_x.len() > 0, "real batch must be non-empty");
+    assert!(!real_x.is_empty(), "real batch must be non-empty");
     let mut syn = syn;
     let mut first = f32::NAN;
     for step in 0..steps.max(1) {

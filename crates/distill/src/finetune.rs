@@ -171,7 +171,13 @@ mod tests {
         let empty_real = real.subset(&[]);
         let mut syn = SyntheticSet::init_from_real(&real, 10, &mut rng);
         assert_eq!(
-            finetune(&model, &mut syn, &empty_real, &FinetuneConfig::default(), &mut rng),
+            finetune(
+                &model,
+                &mut syn,
+                &empty_real,
+                &FinetuneConfig::default(),
+                &mut rng
+            ),
             0
         );
     }

@@ -60,5 +60,5 @@ pub use distribution::distribution_match_step;
 pub use finetune::{finetune, FinetuneConfig};
 pub use matching::{match_class_step, matching_distance, reference_gradients};
 pub use synset::SyntheticSet;
-pub use trajectory::{trajectory_match_step, ExpertTrajectory};
 pub use trainer::{distilling_trainers, DistillConfig, DistillingTrainer, MatchObjective};
+pub use trajectory::{trajectory_match_step, ExpertTrajectory};

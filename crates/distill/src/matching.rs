@@ -94,6 +94,7 @@ pub fn matching_distance(tape: &mut Tape, grads_s: &[Var], grads_d: &[Tensor]) -
 ///
 /// Panics if `steps == 0` would still be fine (returns unchanged), but a
 /// non-positive `lr` panics.
+#[allow(clippy::too_many_arguments)] // mirrors the paper's Algorithm 2 signature
 pub fn match_class_step(
     model: &dyn Module,
     params: &[Tensor],

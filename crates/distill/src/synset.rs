@@ -32,7 +32,7 @@ impl SyntheticSet {
         assert!(scale > 0, "scale parameter must be positive");
         let (c, h, w) = data.sample_dims();
         let mut per_class = vec![None; data.classes()];
-        for class in 0..data.classes() {
+        for (class, slot) in per_class.iter_mut().enumerate() {
             let members = data.indices_of_class(class);
             if members.is_empty() {
                 continue;
@@ -43,7 +43,7 @@ impl SyntheticSet {
             for &p in &picks {
                 buf.extend_from_slice(data.image(members[p]));
             }
-            per_class[class] = Some(Tensor::from_vec(buf, &[m, c, h, w]));
+            *slot = Some(Tensor::from_vec(buf, &[m, c, h, w]));
         }
         SyntheticSet {
             per_class,
@@ -63,13 +63,13 @@ impl SyntheticSet {
         assert!(scale > 0, "scale parameter must be positive");
         let (c, h, w) = data.sample_dims();
         let mut per_class = vec![None; data.classes()];
-        for class in 0..data.classes() {
+        for (class, slot) in per_class.iter_mut().enumerate() {
             let members = data.indices_of_class(class);
             if members.is_empty() {
                 continue;
             }
             let m = members.len().div_ceil(scale);
-            per_class[class] = Some(Tensor::randn(&[m, c, h, w], rng));
+            *slot = Some(Tensor::randn(&[m, c, h, w], rng));
         }
         SyntheticSet {
             per_class,
@@ -91,11 +91,7 @@ impl SyntheticSet {
 
     /// Total number of synthetic samples across classes.
     pub fn len(&self) -> usize {
-        self.per_class
-            .iter()
-            .flatten()
-            .map(|t| t.dims()[0])
-            .sum()
+        self.per_class.iter().flatten().map(|t| t.dims()[0]).sum()
     }
 
     /// Returns `true` if no class has synthetic samples.
@@ -147,7 +143,7 @@ impl SyntheticSet {
         for (class, samples) in self.per_class.iter().enumerate() {
             if let Some(t) = samples {
                 images.extend_from_slice(t.data());
-                labels.extend(std::iter::repeat(class).take(t.dims()[0]));
+                labels.extend(std::iter::repeat_n(class, t.dims()[0]));
             }
         }
         Dataset::new(

@@ -118,6 +118,23 @@ impl DistillingTrainer {
     pub fn config(&self) -> &DistillConfig {
         &self.config
     }
+
+    /// The round-to-round state a checkpoint must persist to resume this
+    /// trainer mid-phase: the synthetic set built so far and the
+    /// round-robin matching cursor. The timing counters are advisory
+    /// (they only feed overhead reports) and deliberately excluded.
+    pub fn snapshot(&self) -> (Option<SyntheticSet>, usize) {
+        (self.synthetic.clone(), self.round_robin)
+    }
+
+    /// Restores state captured by [`DistillingTrainer::snapshot`],
+    /// resetting the timing counters.
+    pub fn restore(&mut self, synthetic: Option<SyntheticSet>, round_robin: usize) {
+        self.synthetic = synthetic;
+        self.round_robin = round_robin;
+        self.dd_time = Duration::ZERO;
+        self.total_time = Duration::ZERO;
+    }
 }
 
 impl std::fmt::Debug for DistillingTrainer {

@@ -102,7 +102,10 @@ pub fn trajectory_match_step(
     inner_lr: f32,
     syn_lr: f32,
 ) -> f32 {
-    assert!(start < target && target < expert.len(), "bad checkpoint span");
+    assert!(
+        start < target && target < expert.len(),
+        "bad checkpoint span"
+    );
     assert!(!syn.is_empty(), "synthetic set is empty");
     let theta_start = expert.checkpoint(start);
     let theta_target = expert.checkpoint(target);
@@ -120,7 +123,7 @@ pub fn trajectory_match_step(
         .iter()
         .flat_map(|&c| {
             let m = syn.class_samples(c).unwrap().dims()[0];
-            std::iter::repeat(c).take(m)
+            std::iter::repeat_n(c, m)
         })
         .collect();
 
@@ -201,7 +204,7 @@ mod tests {
         let data = SyntheticDataset::Digits.generate(64, &mut rng);
         let expert = ExpertTrajectory::record(&model, &data, 10, 5, 16, 0.05, &mut rng);
         assert_eq!(expert.len(), 3); // init + steps 5 and 10
-        // Checkpoints actually move.
+                                     // Checkpoints actually move.
         let d: f32 = expert.checkpoint(0)[0].max_abs_diff(&expert.checkpoint(2)[0]);
         assert!(d > 0.0);
     }

@@ -1,0 +1,305 @@
+//! Client-side fault injection for chaos experiments.
+//!
+//! A [`FaultPlan`] marks a deterministic fraction of the federation as
+//! Byzantine and corrupts their uploads every round. Like `qd_net::SimNet`,
+//! every decision is a pure hash of `(seed, round, client)` — no state, no
+//! draws from the experiment's RNG stream — so fault traces are exactly
+//! reproducible, independent of thread interleaving, and unchanged by a
+//! checkpoint/resume cycle.
+//!
+//! The fault menu matches the attack/failure models of the
+//! Byzantine-robust aggregation literature (Yin et al., 2018; Pan et al.,
+//! FedOSD): NaN emitters (broken numerics), sign-flippers (gradient
+//! ascent attackers), scaled updates (model-boosting attackers), and
+//! mid-round crashes (fail-stop).
+
+use qd_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// How a Byzantine client corrupts its upload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// Uploads parameters full of NaNs (broken local numerics).
+    NanEmitter,
+    /// Uploads `global - delta` instead of `global + delta`: a gradient
+    /// ascent attacker undoing honest progress.
+    SignFlip,
+    /// Uploads `global + SCALE x delta`: a boosting attacker trying to
+    /// dominate the average.
+    Scale,
+    /// Crashes mid-round (pseudo-randomly, about half its rounds) and
+    /// uploads nothing — fail-stop rather than Byzantine.
+    Crash,
+}
+
+/// Delta magnification applied by [`FaultKind::Scale`].
+pub const BYZANTINE_SCALE: f32 = 50.0;
+
+/// A reproducible fault schedule over the federation's clients.
+///
+/// # Examples
+///
+/// ```
+/// use qd_fed::{FaultKind, FaultPlan};
+///
+/// // 20% of clients flip the sign of their update, every round.
+/// let plan = FaultPlan::new(7, 0.2).with_kinds(vec![FaultKind::SignFlip]);
+/// let n = 10;
+/// let byzantine: Vec<usize> =
+///     (0..n).filter(|&c| plan.fault_of(n, c).is_some()).collect();
+/// assert_eq!(byzantine.len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed of the fault trace; independent of the experiment seed.
+    pub seed: u64,
+    /// Fraction of clients that misbehave (rounded to the nearest whole
+    /// number of clients).
+    pub byzantine_frac: f32,
+    /// Fault kinds in play; each Byzantine client is assigned one,
+    /// pseudo-randomly but deterministically.
+    pub kinds: Vec<FaultKind>,
+}
+
+impl FaultPlan {
+    /// A plan corrupting `byzantine_frac` of the clients, drawing from
+    /// all four fault kinds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `byzantine_frac` is not in `[0, 1)`.
+    pub fn new(seed: u64, byzantine_frac: f32) -> Self {
+        assert!(
+            (0.0..1.0).contains(&byzantine_frac),
+            "byzantine_frac must be in [0, 1), got {byzantine_frac}"
+        );
+        FaultPlan {
+            seed,
+            byzantine_frac,
+            kinds: vec![
+                FaultKind::NanEmitter,
+                FaultKind::SignFlip,
+                FaultKind::Scale,
+                FaultKind::Crash,
+            ],
+        }
+    }
+
+    /// Restricts the plan to the given fault kinds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kinds` is empty.
+    pub fn with_kinds(mut self, kinds: Vec<FaultKind>) -> Self {
+        assert!(!kinds.is_empty(), "a fault plan needs at least one kind");
+        self.kinds = kinds;
+        self
+    }
+
+    /// The fault assigned to `client` in a federation of `n_clients`, or
+    /// `None` if the client is honest. Stable across rounds: a Byzantine
+    /// client stays Byzantine for the whole experiment.
+    pub fn fault_of(&self, n_clients: usize, client: usize) -> Option<FaultKind> {
+        let k = ((n_clients as f32) * self.byzantine_frac).round() as usize;
+        if k == 0 || client >= n_clients {
+            return None;
+        }
+        // Rank clients by a seeded hash; the k lowest are Byzantine. This
+        // keeps the Byzantine count exact while the membership stays
+        // pseudo-random in the seed.
+        let my_rank = mix(self.seed ^ mix(client as u64));
+        let below = (0..n_clients)
+            .filter(|&c| mix(self.seed ^ mix(c as u64)) < my_rank)
+            .count();
+        if below < k {
+            let pick = mix(self.seed.rotate_left(17) ^ mix(client as u64)) as usize;
+            Some(self.kinds[pick % self.kinds.len()])
+        } else {
+            None
+        }
+    }
+
+    /// Whether the fault fires for `client` in `round`. Corrupting faults
+    /// fire every round; [`FaultKind::Crash`] fires in roughly half the
+    /// rounds, keyed by `(seed, round, client)`.
+    pub fn fires(&self, kind: FaultKind, round: usize, client: usize) -> bool {
+        match kind {
+            FaultKind::Crash => {
+                mix(self.seed ^ mix(round as u64).rotate_left(31) ^ mix(client as u64)) & 1 == 0
+            }
+            _ => true,
+        }
+    }
+
+    /// Applies the fault to a locally trained parameter set. Returns the
+    /// corrupted upload, or `None` when the client crashes and uploads
+    /// nothing.
+    pub fn corrupt(
+        &self,
+        kind: FaultKind,
+        global_before: &[Tensor],
+        params: Vec<Tensor>,
+    ) -> Option<Vec<Tensor>> {
+        match kind {
+            FaultKind::Crash => None,
+            FaultKind::NanEmitter => Some(
+                params
+                    .into_iter()
+                    .map(|mut t| {
+                        t.data_mut().fill(f32::NAN);
+                        t
+                    })
+                    .collect(),
+            ),
+            FaultKind::SignFlip => Some(
+                params
+                    .iter()
+                    .zip(global_before)
+                    .map(|(p, g)| {
+                        // g - (p - g) = 2g - p
+                        let mut flipped = g.scale(2.0);
+                        flipped.axpy(-1.0, p);
+                        flipped
+                    })
+                    .collect(),
+            ),
+            FaultKind::Scale => Some(
+                params
+                    .iter()
+                    .zip(global_before)
+                    .map(|(p, g)| {
+                        // g + SCALE * (p - g)
+                        let mut boosted = g.clone();
+                        boosted.axpy(BYZANTINE_SCALE, p);
+                        boosted.axpy(-BYZANTINE_SCALE, g);
+                        boosted
+                    })
+                    .collect(),
+            ),
+        }
+    }
+}
+
+/// SplitMix64 finalizer — the same mixing primitive `SimNet` uses for its
+/// per-event hashes.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(vals: &[f32]) -> Tensor {
+        Tensor::from_vec(vals.to_vec(), &[vals.len()])
+    }
+
+    #[test]
+    fn byzantine_count_is_exact_and_stable() {
+        for n in [5usize, 10, 16, 31] {
+            for frac in [0.0f32, 0.2, 0.4] {
+                let plan = FaultPlan::new(3, frac);
+                let byz: Vec<usize> = (0..n).filter(|&c| plan.fault_of(n, c).is_some()).collect();
+                assert_eq!(
+                    byz.len(),
+                    ((n as f32) * frac).round() as usize,
+                    "n={n} frac={frac}"
+                );
+                // Stable: a second query returns the same set.
+                let again: Vec<usize> = (0..n).filter(|&c| plan.fault_of(n, c).is_some()).collect();
+                assert_eq!(byz, again);
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_pick_different_victims() {
+        let n = 20;
+        let sets: Vec<Vec<usize>> = (0..4)
+            .map(|seed| {
+                let plan = FaultPlan::new(seed, 0.25);
+                (0..n).filter(|&c| plan.fault_of(n, c).is_some()).collect()
+            })
+            .collect();
+        assert!(
+            sets.windows(2).any(|w| w[0] != w[1]),
+            "membership should depend on the seed"
+        );
+    }
+
+    #[test]
+    fn crash_fires_per_round_and_deterministically() {
+        let plan = FaultPlan::new(11, 0.5).with_kinds(vec![FaultKind::Crash]);
+        let trace: Vec<bool> = (0..64)
+            .map(|r| plan.fires(FaultKind::Crash, r, 3))
+            .collect();
+        let fired = trace.iter().filter(|&&f| f).count();
+        assert!(
+            (16..=48).contains(&fired),
+            "crash rate wildly off: {fired}/64"
+        );
+        let again: Vec<bool> = (0..64)
+            .map(|r| plan.fires(FaultKind::Crash, r, 3))
+            .collect();
+        assert_eq!(trace, again);
+        assert!(
+            plan.fires(FaultKind::SignFlip, 0, 3),
+            "corrupting faults always fire"
+        );
+    }
+
+    #[test]
+    fn nan_emitter_poisons_every_scalar() {
+        let plan = FaultPlan::new(0, 0.5);
+        let global = vec![t(&[1.0, 2.0])];
+        let out = plan
+            .corrupt(FaultKind::NanEmitter, &global, vec![t(&[3.0, 4.0])])
+            .unwrap();
+        assert!(out[0].data().iter().all(|v| v.is_nan()));
+    }
+
+    #[test]
+    fn sign_flip_mirrors_the_delta() {
+        let plan = FaultPlan::new(0, 0.5);
+        let global = vec![t(&[1.0, -1.0])];
+        let honest = vec![t(&[1.5, -2.0])]; // delta = (0.5, -1.0)
+        let out = plan.corrupt(FaultKind::SignFlip, &global, honest).unwrap();
+        assert!(out[0].max_abs_diff(&t(&[0.5, 0.0])) < 1e-6); // g - delta
+    }
+
+    #[test]
+    fn scale_boosts_the_delta() {
+        let plan = FaultPlan::new(0, 0.5);
+        let global = vec![t(&[1.0])];
+        let honest = vec![t(&[1.1])]; // delta = 0.1
+        let out = plan.corrupt(FaultKind::Scale, &global, honest).unwrap();
+        let expect = 1.0 + BYZANTINE_SCALE * 0.1;
+        assert!((out[0].data()[0] - expect).abs() < 1e-4);
+    }
+
+    #[test]
+    fn crash_uploads_nothing() {
+        let plan = FaultPlan::new(0, 0.5);
+        let global = vec![t(&[0.0])];
+        assert!(plan
+            .corrupt(FaultKind::Crash, &global, vec![t(&[1.0])])
+            .is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "byzantine_frac")]
+    fn rejects_total_byzantine_takeover() {
+        let _ = FaultPlan::new(0, 1.0);
+    }
+
+    #[test]
+    fn plan_round_trips_through_serde() {
+        let plan = FaultPlan::new(9, 0.3).with_kinds(vec![FaultKind::SignFlip, FaultKind::Crash]);
+        let v = serde::Serialize::to_value(&plan);
+        let back: FaultPlan = serde::Deserialize::from_value(&v).unwrap();
+        assert_eq!(back, plan);
+    }
+}

@@ -1,12 +1,17 @@
 //! The federation: global model, client datasets, round execution and
 //! FedAvg aggregation.
 
+use crate::aggregate::{
+    ClientUpdate, GuardConfig, GuardState, ResilienceStats, UpdateGuard, Violation,
+};
+use crate::faults::FaultPlan;
 use crate::{ClientTrainer, Phase};
 use qd_data::Dataset;
 use qd_net::{LoopbackTransport, NetStats, Transport};
 use qd_nn::Module;
-use qd_tensor::rng::Rng;
+use qd_tensor::rng::{Rng, RngState};
 use qd_tensor::Tensor;
+use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -49,6 +54,9 @@ pub struct PhaseStats {
     /// Wire-level costs reported by the phase's [`Transport`] (zero under
     /// the loopback default).
     pub net: NetStats,
+    /// Updates rejected, clients quarantined and quorum fallbacks taken
+    /// by the resilience layer (all zero in a fault-free run).
+    pub resilience: ResilienceStats,
 }
 
 /// Per-round averages of a [`PhaseStats`], for comparing phases that ran
@@ -78,6 +86,7 @@ impl PhaseStats {
         self.download_scalars += other.download_scalars;
         self.upload_scalars += other.upload_scalars;
         self.net.merge(&other.net);
+        self.resilience.merge(&other.resilience);
     }
 
     /// Total scalars exchanged in both directions.
@@ -103,6 +112,30 @@ impl PhaseStats {
     }
 }
 
+/// A round-boundary cursor into a running phase: everything (beyond the
+/// global model itself) needed to continue the phase bit-for-bit.
+///
+/// Produced for the observer of
+/// [`Federation::run_phase_resumable`] after every completed round and
+/// consumed by a later call's `resume` argument — the checkpoint layer in
+/// `qd-core` persists it inside `Checkpoint` v2.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResumeState {
+    /// Index of the next round to execute (the cursor emitted after
+    /// round `r` carries `r + 1`).
+    pub next_round: usize,
+    /// The phase RNG, captured at the round boundary.
+    pub rng: RngState,
+    /// Violation counts and quarantine decisions at the round boundary.
+    pub guard: GuardState,
+}
+
+/// Round-boundary hook for [`Federation::run_phase_resumable`]: called
+/// with the cursor describing the post-round state, the current global
+/// model, and the trainers; returns `false` to stop the phase at that
+/// boundary.
+pub type PhaseObserver<'a, T> = &'a mut dyn FnMut(&ResumeState, &[Tensor], &[T]) -> bool;
+
 /// A simulated FedAvg federation: `N` clients, their private datasets, and
 /// the global model parameters.
 ///
@@ -114,6 +147,8 @@ pub struct Federation {
     record_history: bool,
     history: Vec<RoundRecord>,
     transport: Box<dyn Transport>,
+    guard: UpdateGuard,
+    fault_plan: Option<FaultPlan>,
 }
 
 impl std::fmt::Debug for Federation {
@@ -137,6 +172,7 @@ impl Federation {
     pub fn new(model: Arc<dyn Module>, clients: Vec<Dataset>, rng: &mut Rng) -> Self {
         assert!(!clients.is_empty(), "federation needs at least one client");
         let global = model.init(rng);
+        let guard = UpdateGuard::new(GuardConfig::default(), clients.len());
         Federation {
             model,
             clients,
@@ -144,6 +180,8 @@ impl Federation {
             record_history: false,
             history: Vec::new(),
             transport: Box::new(LoopbackTransport::new()),
+            guard,
+            fault_plan: None,
         }
     }
 
@@ -151,6 +189,7 @@ impl Federation {
     /// retraining baselines that must restart from a fixed init).
     pub fn with_params(model: Arc<dyn Module>, clients: Vec<Dataset>, global: Vec<Tensor>) -> Self {
         assert!(!clients.is_empty(), "federation needs at least one client");
+        let guard = UpdateGuard::new(GuardConfig::default(), clients.len());
         Federation {
             model,
             clients,
@@ -158,6 +197,8 @@ impl Federation {
             record_history: false,
             history: Vec::new(),
             transport: Box::new(LoopbackTransport::new()),
+            guard,
+            fault_plan: None,
         }
     }
 
@@ -166,6 +207,24 @@ impl Federation {
     /// price rounds over a simulated network.
     pub fn set_transport(&mut self, transport: Box<dyn Transport>) {
         self.transport = transport;
+    }
+
+    /// Replaces the ingestion-time validation policy. Resets violation
+    /// counts and lifts existing quarantines.
+    pub fn set_guard(&mut self, config: GuardConfig) {
+        self.guard = UpdateGuard::new(config, self.clients.len());
+    }
+
+    /// The ingestion-time update guard (validation policy, violation
+    /// counts, quarantine decisions).
+    pub fn guard(&self) -> &UpdateGuard {
+        &self.guard
+    }
+
+    /// Installs (or, with `None`, removes) a client-side fault-injection
+    /// plan for chaos experiments.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.fault_plan = plan;
     }
 
     /// Number of clients.
@@ -260,6 +319,41 @@ impl Federation {
         phase: &Phase,
         rng: &mut Rng,
     ) -> PhaseStats {
+        self.run_phase_resumable(trainers, override_data, phase, rng, None, None)
+    }
+
+    /// Runs a federated phase with round-boundary observation and
+    /// crash-consistent resume.
+    ///
+    /// Identical to [`Federation::run_phase`] — which delegates here —
+    /// plus two hooks:
+    ///
+    /// * `resume` — a [`ResumeState`] cursor captured by a previous run of
+    ///   the *same* phase (same config, seeds, datasets, faults). The
+    ///   phase RNG and quarantine bookkeeping are restored from it and
+    ///   execution continues at `cursor.next_round`, reproducing the
+    ///   uninterrupted run bit-for-bit. `rng` is overwritten with the
+    ///   cursor's stream so later consumers stay aligned too.
+    /// * `observer` — called after every round with the cursor describing
+    ///   the post-round state, the current global model, and the trainers.
+    ///   The checkpoint layer uses it to persist mid-phase snapshots.
+    ///   Returning `false` stops the phase at this round boundary (a
+    ///   graceful preemption); the returned stats cover the rounds that
+    ///   ran, and a later call can resume from the observer's last cursor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cursor points past the phase's last round, in
+    /// addition to [`Federation::run_phase`]'s panics.
+    pub fn run_phase_resumable<T: ClientTrainer>(
+        &mut self,
+        trainers: &mut [T],
+        override_data: Option<&[Option<Dataset>]>,
+        phase: &Phase,
+        rng: &mut Rng,
+        resume: Option<&ResumeState>,
+        mut observer: Option<PhaseObserver<'_, T>>,
+    ) -> PhaseStats {
         assert_eq!(
             trainers.len(),
             self.n_clients(),
@@ -268,6 +362,20 @@ impl Federation {
         if let Some(o) = override_data {
             assert_eq!(o.len(), self.n_clients(), "override slice length mismatch");
         }
+        let start_round = match resume {
+            Some(cursor) => {
+                assert!(
+                    cursor.next_round <= phase.rounds,
+                    "resume cursor at round {} is beyond the phase's {} rounds",
+                    cursor.next_round,
+                    phase.rounds
+                );
+                *rng = Rng::from_state(&cursor.rng);
+                self.guard.restore(cursor.guard.clone());
+                cursor.next_round
+            }
+            None => 0,
+        };
         let dataset_of = |i: usize| -> Option<&Dataset> {
             match override_data {
                 Some(o) => o[i].as_ref(),
@@ -281,157 +389,221 @@ impl Federation {
         if eligible.is_empty() {
             return stats;
         }
+        let mut aggregator = phase.aggregator.build();
         let start = Instant::now();
-        for round in 0..phase.rounds {
-            let participants: Vec<usize> = if phase.participation >= 1.0 {
-                eligible.clone()
-            } else {
-                let k = ((eligible.len() as f32 * phase.participation).round() as usize)
-                    .clamp(1, eligible.len());
-                let mut picks = rng.choose_indices(eligible.len(), k);
-                picks.sort_unstable();
-                picks.into_iter().map(|j| eligible[j]).collect()
-            };
-            let sizes: Vec<usize> = participants
-                .iter()
-                .map(|&i| dataset_of(i).expect("eligible client has data").len())
-                .collect();
-            let total: usize = sizes.iter().sum();
-            let weights: Vec<f32> = sizes.iter().map(|&s| s as f32 / total as f32).collect();
-            stats.data_size = total;
-
-            // Failure injection: each sampled client may crash mid-round
-            // and deliver no update (drawn up-front for determinism).
-            let failed: Vec<bool> = participants
-                .iter()
-                .map(|_| phase.dropout > 0.0 && rng.uniform(0.0, 1.0) < phase.dropout)
-                .collect();
-
-            // Pre-fork one RNG per participant so results are independent
-            // of execution interleaving.
-            let seeds: Vec<Rng> = participants.iter().map(|&i| rng.fork(i as u64)).collect();
-
-            let global_before = self.global.clone();
-
-            // Server → clients: every participant downloads the global
-            // model through the transport. A failed download (network
-            // dropout, retry budget exhausted) means the client never
-            // sees this round and computes nothing.
-            self.transport.begin_round(&participants);
-            let mut start_params: Vec<Option<Vec<Tensor>>> = participants
-                .iter()
-                .map(|&c| self.transport.download(c, &global_before).tensors)
-                .collect();
-
-            let mut outcomes: Vec<Option<crate::LocalOutcome>> = Vec::new();
-            outcomes.resize_with(participants.len(), || None);
-
-            // Hand each reachable participating trainer to a worker thread.
-            let slot_of = |client: usize| participants.iter().position(|&p| p == client).unwrap();
-            let mut jobs: Vec<_> = trainers
-                .iter_mut()
-                .enumerate()
-                .filter(|(i, _)| {
-                    participants.contains(i) && start_params[slot_of(*i)].is_some()
-                })
-                .collect();
-            let parallelism = std::thread::available_parallelism()
-                .map(std::num::NonZeroUsize::get)
-                .unwrap_or(4);
-            for chunk in jobs.chunks_mut(parallelism) {
-                std::thread::scope(|scope| {
-                    let mut handles = Vec::new();
-                    for (client, trainer) in chunk.iter_mut() {
-                        let slot = slot_of(*client);
-                        let data = dataset_of(*client).expect("participant has data");
-                        let params = start_params[slot].take().expect("reachable participant");
-                        let mut crng = seeds[slot].clone();
-                        let phase = *phase;
-                        handles.push((
-                            slot,
-                            scope.spawn(move || trainer.local_round(params, data, &phase, &mut crng)),
-                        ));
-                    }
-                    for (slot, handle) in handles {
-                        outcomes[slot] = Some(handle.join().expect("client thread panicked"));
-                    }
-                });
-            }
-
-            // Clients → server: survivors upload their parameters through
-            // the transport; a lost upload is indistinguishable from a
-            // crashed client as far as aggregation is concerned.
-            let mut delivered: Vec<Option<Vec<Tensor>>> = Vec::new();
-            delivered.resize_with(participants.len(), || None);
-            for (slot, outcome) in outcomes.iter().enumerate() {
-                let Some(outcome) = outcome.as_ref() else {
-                    continue; // never reached: no compute, no upload
-                };
-                stats.samples_processed += outcome.samples_processed;
-                if failed[slot] {
-                    continue; // crashed mid-round: nothing to upload
+        for round in start_round..phase.rounds {
+            'round: {
+                // Quarantined clients are barred from this and all later
+                // rounds (the set can only grow as the phase runs).
+                let round_eligible: Vec<usize> = eligible
+                    .iter()
+                    .copied()
+                    .filter(|&i| !self.guard.is_quarantined(i))
+                    .collect();
+                if round_eligible.is_empty() {
+                    stats.resilience.quorum_fallbacks += 1;
+                    break 'round;
                 }
-                delivered[slot] = self
-                    .transport
-                    .upload(participants[slot], outcome.params.clone())
-                    .tensors;
-            }
-            self.transport.end_round();
-
-            // FedAvg aggregation over the clients whose update reached
-            // the server, weighted by |Zi| / |Z| and renormalized for
-            // failures.
-            let survivor_weight: f32 = weights
-                .iter()
-                .zip(&delivered)
-                .filter(|(_, d)| d.is_some())
-                .map(|(w, _)| w)
-                .sum();
-            let mut new_global: Vec<Tensor> =
-                self.global.iter().map(|t| Tensor::zeros(t.dims())).collect();
-            let mut updates = Vec::with_capacity(participants.len());
-            let mut survivors = Vec::with_capacity(participants.len());
-            let mut survivor_weights = Vec::with_capacity(participants.len());
-            for (slot, params) in delivered.iter().enumerate() {
-                let Some(params) = params.as_ref() else {
-                    continue;
+                let participants: Vec<usize> = if phase.participation >= 1.0 {
+                    round_eligible.clone()
+                } else {
+                    let k = ((round_eligible.len() as f32 * phase.participation).round() as usize)
+                        .clamp(1, round_eligible.len());
+                    let mut picks = rng.choose_indices(round_eligible.len(), k);
+                    picks.sort_unstable();
+                    picks.into_iter().map(|j| round_eligible[j]).collect()
                 };
-                let w = weights[slot] / survivor_weight;
-                survivors.push(participants[slot]);
-                survivor_weights.push(w);
-                for (g, p) in new_global.iter_mut().zip(params) {
-                    g.axpy(w, p);
+                let sizes: Vec<usize> = participants
+                    .iter()
+                    .map(|&i| dataset_of(i).expect("eligible client has data").len())
+                    .collect();
+                let total: usize = sizes.iter().sum();
+                let weights: Vec<f32> = sizes.iter().map(|&s| s as f32 / total as f32).collect();
+                stats.data_size = total;
+
+                // Failure injection: each sampled client may crash mid-round
+                // and deliver no update (drawn up-front for determinism).
+                let failed: Vec<bool> = participants
+                    .iter()
+                    .map(|_| phase.dropout > 0.0 && rng.uniform(0.0, 1.0) < phase.dropout)
+                    .collect();
+
+                // Pre-fork one RNG per participant so results are independent
+                // of execution interleaving.
+                let seeds: Vec<Rng> = participants.iter().map(|&i| rng.fork(i as u64)).collect();
+
+                let global_before = self.global.clone();
+
+                // Server → clients: every participant downloads the global
+                // model through the transport. A failed download (network
+                // dropout, retry budget exhausted) means the client never
+                // sees this round and computes nothing.
+                self.transport.begin_round(&participants);
+                let mut start_params: Vec<Option<Vec<Tensor>>> = participants
+                    .iter()
+                    .map(|&c| self.transport.download(c, &global_before).tensors)
+                    .collect();
+
+                let mut outcomes: Vec<Option<crate::LocalOutcome>> = Vec::new();
+                outcomes.resize_with(participants.len(), || None);
+
+                // Hand each reachable participating trainer to a worker thread.
+                let slot_of =
+                    |client: usize| participants.iter().position(|&p| p == client).unwrap();
+                let mut jobs: Vec<_> = trainers
+                    .iter_mut()
+                    .enumerate()
+                    .filter(|(i, _)| {
+                        participants.contains(i) && start_params[slot_of(*i)].is_some()
+                    })
+                    .collect();
+                let parallelism = std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(4);
+                for chunk in jobs.chunks_mut(parallelism) {
+                    std::thread::scope(|scope| {
+                        let mut handles = Vec::new();
+                        for (client, trainer) in chunk.iter_mut() {
+                            let slot = slot_of(*client);
+                            let data = dataset_of(*client).expect("participant has data");
+                            let params = start_params[slot].take().expect("reachable participant");
+                            let mut crng = seeds[slot].clone();
+                            let phase = *phase;
+                            handles.push((
+                                slot,
+                                scope.spawn(move || {
+                                    trainer.local_round(params, data, &phase, &mut crng)
+                                }),
+                            ));
+                        }
+                        for (slot, handle) in handles {
+                            outcomes[slot] = Some(handle.join().expect("client thread panicked"));
+                        }
+                    });
                 }
+
+                // Clients → server: survivors upload their parameters through
+                // the transport; a lost upload is indistinguishable from a
+                // crashed client as far as aggregation is concerned. Fault
+                // injection happens here — on the client, before the wire —
+                // so a Byzantine payload still pays transport costs and
+                // reaches the guard through the normal decode path.
+                let n_clients = self.n_clients();
+                let mut delivered: Vec<Option<Vec<Tensor>>> = Vec::new();
+                delivered.resize_with(participants.len(), || None);
+                for (slot, outcome) in outcomes.iter().enumerate() {
+                    let Some(outcome) = outcome.as_ref() else {
+                        continue; // never reached: no compute, no upload
+                    };
+                    stats.samples_processed += outcome.samples_processed;
+                    if failed[slot] {
+                        continue; // crashed mid-round: nothing to upload
+                    }
+                    let client = participants[slot];
+                    let mut upload = outcome.params.clone();
+                    if let Some(plan) = &self.fault_plan {
+                        if let Some(kind) = plan.fault_of(n_clients, client) {
+                            if plan.fires(kind, round, client) {
+                                match plan.corrupt(kind, &global_before, upload) {
+                                    Some(corrupted) => upload = corrupted,
+                                    None => continue, // injected mid-round crash
+                                }
+                            }
+                        }
+                    }
+                    delivered[slot] = self.transport.upload(client, upload).tensors;
+                }
+                self.transport.end_round();
+
+                let model_scalars: usize = self.global.iter().map(Tensor::len).sum();
+                stats.download_scalars += participants.len() * model_scalars;
+                stats.upload_scalars +=
+                    delivered.iter().filter(|d| d.is_some()).count() * model_scalars;
+
+                // Ingestion-time validation: every decoded update passes
+                // the guard; rejected ones are dropped before aggregation
+                // and count toward their sender's quarantine threshold.
+                let quarantined_before = self.guard.state().quarantined.len();
+                for (slot, delivery) in delivered.iter_mut().enumerate() {
+                    let Some(params) = delivery.as_ref() else {
+                        continue;
+                    };
+                    if let Err(violation) =
+                        self.guard.check(participants[slot], &global_before, params)
+                    {
+                        match violation {
+                            Violation::NonFinite => stats.resilience.rejected_non_finite += 1,
+                            Violation::NormExploded => stats.resilience.rejected_norm += 1,
+                        }
+                        *delivery = None;
+                    }
+                }
+                stats.resilience.quarantined +=
+                    self.guard.state().quarantined.len() - quarantined_before;
+
+                // Aggregation over the validated survivors, weighted by
+                // |Zi| / |Z| and renormalized for failures.
+                let survivor_weight: f32 = weights
+                    .iter()
+                    .zip(&delivered)
+                    .filter(|(_, d)| d.is_some())
+                    .map(|(w, _)| w)
+                    .sum();
+                let mut updates = Vec::with_capacity(participants.len());
+                let mut survivors = Vec::with_capacity(participants.len());
+                let mut survivor_weights = Vec::with_capacity(participants.len());
+                let mut inputs: Vec<ClientUpdate<'_>> = Vec::with_capacity(participants.len());
+                for (slot, params) in delivered.iter().enumerate() {
+                    let Some(params) = params.as_ref() else {
+                        continue;
+                    };
+                    survivors.push(participants[slot]);
+                    survivor_weights.push(weights[slot] / survivor_weight);
+                    inputs.push(ClientUpdate {
+                        client: participants[slot],
+                        weight: weights[slot],
+                        params,
+                    });
+                    if self.record_history {
+                        updates.push(
+                            params
+                                .iter()
+                                .zip(&global_before)
+                                .map(|(p, g)| p.sub(g))
+                                .collect(),
+                        );
+                    }
+                }
+                if inputs.len() < phase.min_quorum.max(1) {
+                    // Too few valid updates: the round produces no
+                    // aggregate and the previous global model stands.
+                    stats.resilience.quorum_fallbacks += 1;
+                    break 'round;
+                }
+                let new_global = aggregator.aggregate(&global_before, &inputs);
+                drop(inputs);
                 if self.record_history {
-                    updates.push(
-                        params
-                            .iter()
-                            .zip(&global_before)
-                            .map(|(p, g)| p.sub(g))
-                            .collect(),
-                    );
+                    self.history.push(RoundRecord {
+                        round_index: round,
+                        participants: survivors,
+                        global_before,
+                        updates,
+                        weights: survivor_weights,
+                    });
+                }
+                self.global = new_global;
+            }
+            stats.rounds += 1;
+            if let Some(obs) = observer.as_mut() {
+                let cursor = ResumeState {
+                    next_round: round + 1,
+                    rng: rng.state(),
+                    guard: self.guard.state().clone(),
+                };
+                if !obs(&cursor, &self.global, trainers) {
+                    break;
                 }
             }
-            let model_scalars: usize = self.global.iter().map(Tensor::len).sum();
-            stats.download_scalars += participants.len() * model_scalars;
-            stats.upload_scalars += survivors.len() * model_scalars;
-            if survivors.is_empty() {
-                // Every sampled client failed: the round produces no
-                // aggregate and the global model is unchanged.
-                stats.rounds += 1;
-                continue;
-            }
-            if self.record_history {
-                self.history.push(RoundRecord {
-                    round_index: round,
-                    participants: survivors,
-                    global_before,
-                    updates,
-                    weights: survivor_weights,
-                });
-            }
-            self.global = new_global;
-            stats.rounds += 1;
         }
         stats.wall = start.elapsed();
         stats.net = self.transport.take_stats();
@@ -537,7 +709,12 @@ mod tests {
         let none: Vec<Option<Dataset>> = vec![None, None];
         let mut fed = Federation::new(model.clone(), clients, &mut rng);
         let mut trainers = sgd_trainers(model, 2);
-        let stats = fed.run_phase(&mut trainers, Some(&none), &Phase::training(3, 2, 4, 0.1), &mut rng);
+        let stats = fed.run_phase(
+            &mut trainers,
+            Some(&none),
+            &Phase::training(3, 2, 4, 0.1),
+            &mut rng,
+        );
         assert_eq!(stats.rounds, 0);
     }
 
@@ -560,7 +737,12 @@ mod tests {
             let (model, clients, mut rng) = setup(3, 16);
             let mut fed = Federation::new(model.clone(), clients, &mut rng);
             let mut trainers = sgd_trainers(model, 3);
-            fed.run_phase(&mut trainers, None, &Phase::training(2, 3, 8, 0.05), &mut rng);
+            fed.run_phase(
+                &mut trainers,
+                None,
+                &Phase::training(2, 3, 8, 0.05),
+                &mut rng,
+            );
             fed.global().to_vec()
         };
         let a = run();
@@ -574,12 +756,7 @@ mod tests {
         let (x, y) = test.all();
         let logits = qd_nn::forward_inference(model, params, &x);
         let preds = logits.row_argmax();
-        preds
-            .iter()
-            .zip(&y)
-            .filter(|(a, b)| a == b)
-            .count() as f32
-            / y.len() as f32
+        preds.iter().zip(&y).filter(|(a, b)| a == b).count() as f32 / y.len() as f32
     }
 
     #[test]
@@ -588,7 +765,12 @@ mod tests {
         let mut fed = Federation::new(model.clone(), clients, &mut rng);
         let model_scalars: usize = fed.global().iter().map(Tensor::len).sum();
         let mut trainers = sgd_trainers(model, 3);
-        let stats = fed.run_phase(&mut trainers, None, &Phase::training(4, 1, 8, 0.05), &mut rng);
+        let stats = fed.run_phase(
+            &mut trainers,
+            None,
+            &Phase::training(4, 1, 8, 0.05),
+            &mut rng,
+        );
         // 4 rounds x 3 participants, both directions, no failures.
         assert_eq!(stats.download_scalars, 4 * 3 * model_scalars);
         assert_eq!(stats.upload_scalars, 4 * 3 * model_scalars);
@@ -675,10 +857,14 @@ mod tests {
         let seeds: Vec<Rng> = vec![seeds_rng.fork(0), seeds_rng.fork(1)];
         let mut t0 = SgdClientTrainer::new(model.clone());
         let mut s0 = seeds[0].clone();
-        let p0 = t0.local_round(global.clone(), &small, &phase, &mut s0).params;
+        let p0 = t0
+            .local_round(global.clone(), &small, &phase, &mut s0)
+            .params;
         let mut t1 = SgdClientTrainer::new(model.clone());
         let mut s1 = seeds[1].clone();
-        let p1 = t1.local_round(global.clone(), &large, &phase, &mut s1).params;
+        let p1 = t1
+            .local_round(global.clone(), &large, &phase, &mut s1)
+            .params;
 
         let mut trainers = sgd_trainers(model, 2);
         fed.run_phase(&mut trainers, None, &phase, &mut rng);
@@ -716,6 +902,12 @@ mod tests {
                 retries: scale,
                 drops: scale,
             },
+            resilience: ResilienceStats {
+                rejected_non_finite: 2 * s,
+                rejected_norm: s,
+                quarantined: s,
+                quorum_fallbacks: s,
+            },
         }
     }
 
@@ -735,6 +927,11 @@ mod tests {
         assert_eq!(total.net.delivered, 18);
         assert_eq!(total.net.retries, 3);
         assert_eq!(total.net.drops, 3);
+        assert_eq!(total.resilience.rejected_non_finite, 6);
+        assert_eq!(total.resilience.rejected_norm, 3);
+        assert_eq!(total.resilience.rejected(), 9);
+        assert_eq!(total.resilience.quarantined, 3);
+        assert_eq!(total.resilience.quorum_fallbacks, 3);
     }
 
     #[test]

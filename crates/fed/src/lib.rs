@@ -44,11 +44,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod aggregate;
+mod faults;
 mod federation;
 mod phase;
 mod trainer;
 
-pub use federation::{Federation, PhaseStats, RoundBreakdown, RoundRecord};
+pub use aggregate::{
+    Aggregator, AggregatorKind, ClientUpdate, GuardConfig, GuardState, ResilienceStats,
+    UpdateGuard, Violation, TRIM_FRAC,
+};
+pub use faults::{FaultKind, FaultPlan, BYZANTINE_SCALE};
+pub use federation::{
+    Federation, PhaseObserver, PhaseStats, ResumeState, RoundBreakdown, RoundRecord,
+};
 pub use phase::Phase;
 pub use trainer::{sgd_trainers, ClientTrainer, LocalOutcome, SgdClientTrainer};
 

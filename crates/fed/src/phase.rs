@@ -1,6 +1,7 @@
 //! Phase configuration: one federated stage (training, unlearning,
 //! recovery, relearning) described declaratively.
 
+use crate::AggregatorKind;
 use qd_nn::Direction;
 use serde::{Deserialize, Serialize};
 
@@ -43,6 +44,15 @@ pub struct Phase {
     /// survivors with renormalized weights — standard FedAvg fault
     /// handling. `0.0` disables failure injection.
     pub dropout: f32,
+    /// Server-side aggregation rule folding the surviving updates into
+    /// the next global model. [`AggregatorKind::FedAvg`] reproduces the
+    /// historical behaviour bit-for-bit.
+    pub aggregator: AggregatorKind,
+    /// Minimum number of validated updates a round needs to produce an
+    /// aggregate. A round falling short keeps the previous global model
+    /// (counted in `ResilienceStats::quorum_fallbacks`). `0` and `1` are
+    /// equivalent: any survivor aggregates.
+    pub min_quorum: usize,
 }
 
 impl Phase {
@@ -56,6 +66,8 @@ impl Phase {
             direction: Direction::Descent,
             participation: 1.0,
             dropout: 0.0,
+            aggregator: AggregatorKind::FedAvg,
+            min_quorum: 0,
         }
     }
 
@@ -106,6 +118,19 @@ impl Phase {
         self.dropout = probability;
         self
     }
+
+    /// Returns a copy using the given aggregation rule.
+    pub fn with_aggregator(mut self, aggregator: AggregatorKind) -> Self {
+        self.aggregator = aggregator;
+        self
+    }
+
+    /// Returns a copy requiring at least `quorum` validated updates per
+    /// round before the global model moves.
+    pub fn with_min_quorum(mut self, quorum: usize) -> Self {
+        self.min_quorum = quorum;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -115,10 +140,7 @@ mod tests {
     #[test]
     fn constructors_set_direction() {
         assert_eq!(Phase::training(1, 1, 1, 0.1).direction, Direction::Descent);
-        assert_eq!(
-            Phase::unlearning(1, 1, 1, 0.1).direction,
-            Direction::Ascent
-        );
+        assert_eq!(Phase::unlearning(1, 1, 1, 0.1).direction, Direction::Ascent);
     }
 
     #[test]
@@ -126,10 +148,14 @@ mod tests {
         let p = Phase::training(1, 2, 3, 0.1)
             .with_participation(0.5)
             .with_rounds(7)
-            .with_direction(Direction::Ascent);
+            .with_direction(Direction::Ascent)
+            .with_aggregator(AggregatorKind::TrimmedMean)
+            .with_min_quorum(2);
         assert_eq!(p.participation, 0.5);
         assert_eq!(p.rounds, 7);
         assert_eq!(p.direction, Direction::Ascent);
+        assert_eq!(p.aggregator, AggregatorKind::TrimmedMean);
+        assert_eq!(p.min_quorum, 2);
     }
 
     #[test]

@@ -204,7 +204,12 @@ mod tests {
         let params = model.init(&mut rng);
         let data = SyntheticDataset::Digits.generate(4, &mut rng).subset(&[]);
         let mut trainer = SgdClientTrainer::new(model);
-        let out = trainer.local_round(params.clone(), &data, &Phase::training(1, 3, 8, 0.1), &mut rng);
+        let out = trainer.local_round(
+            params.clone(),
+            &data,
+            &Phase::training(1, 3, 8, 0.1),
+            &mut rng,
+        );
         assert_eq!(out.samples_processed, 0);
         for (a, b) in out.params.iter().zip(&params) {
             assert_eq!(a.data(), b.data());

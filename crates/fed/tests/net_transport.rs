@@ -102,7 +102,10 @@ fn slow_lossy_network_reports_time_bytes_and_drops() {
     assert!(stats.net.total_bytes() > 0);
     // 6 rounds x >= 20 ms of latency each way.
     assert!(stats.net.sim >= std::time::Duration::from_millis(6 * 40));
-    assert!(stats.net.drops > 0, "30% loss over 6 rounds must drop something");
+    assert!(
+        stats.net.drops > 0,
+        "30% loss over 6 rounds must drop something"
+    );
     // Unreachable clients compute nothing, so uploads fall short of the
     // loopback count for the same phase.
     assert!(stats.upload_scalars < stats.download_scalars);
@@ -113,7 +116,10 @@ fn quantized_wire_still_learns() {
     // QuantU8 is lossy, so parameters diverge from the loopback run, but
     // training must remain finite and the traffic must shrink.
     let phase = Phase::training(3, 4, 8, 0.1);
-    let quant = NetConfig { quantized: true, ..NetConfig::default() };
+    let quant = NetConfig {
+        quantized: true,
+        ..NetConfig::default()
+    };
     let (qp, q_stats) = run(42, Some(quant), &phase);
     let (_, f_stats) = run(42, Some(NetConfig::default()), &phase);
     assert!(qp.iter().all(|t| t.all_finite()));
@@ -127,7 +133,11 @@ fn quantized_wire_still_learns() {
 
 #[test]
 fn phase_stats_surface_net_costs_per_round() {
-    let cfg = NetConfig { latency_ms: 10.0, seed: 1, ..NetConfig::default() };
+    let cfg = NetConfig {
+        latency_ms: 10.0,
+        seed: 1,
+        ..NetConfig::default()
+    };
     let phase = Phase::training(4, 1, 8, 0.1);
     let (_, stats) = run(2, Some(cfg), &phase);
     let per_round = stats.per_round();

@@ -1,0 +1,286 @@
+//! Integration tests for the resilience layer: fault injection through
+//! the real round loop, guard-driven quarantine, quorum fallback, robust
+//! aggregation under attack, and bit-for-bit mid-phase resume.
+
+use qd_fed::{
+    sgd_trainers, AggregatorKind, ClientTrainer, FaultKind, FaultPlan, Federation, GuardConfig,
+    Phase, ResumeState,
+};
+use qd_nn::{Mlp, Module};
+use qd_tensor::rng::Rng;
+use qd_tensor::Tensor;
+use std::sync::Arc;
+
+const N_CLIENTS: usize = 5;
+
+fn build(seed: u64) -> (Federation, Vec<Box<dyn ClientTrainer>>, Rng) {
+    let mut rng = Rng::seed_from(seed);
+    let model: Arc<dyn Module> = Arc::new(Mlp::new(&[256, 16, 10]));
+    let clients: Vec<_> = (0..N_CLIENTS)
+        .map(|_| qd_data::SyntheticDataset::Digits.generate(24, &mut rng))
+        .collect();
+    let fed = Federation::new(model.clone(), clients, &mut rng);
+    let trainers = sgd_trainers(model, N_CLIENTS);
+    (fed, trainers, rng)
+}
+
+fn assert_bit_identical(a: &[Tensor], b: &[Tensor]) {
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(b) {
+        for (u, v) in x.data().iter().zip(y.data()) {
+            assert_eq!(u.to_bits(), v.to_bits());
+        }
+    }
+}
+
+#[test]
+fn nan_emitters_are_rejected_then_quarantined() {
+    let (mut fed, mut trainers, mut rng) = build(3);
+    let plan = FaultPlan::new(1, 0.2).with_kinds(vec![FaultKind::NanEmitter]);
+    let byzantine: Vec<usize> = (0..N_CLIENTS)
+        .filter(|&c| plan.fault_of(N_CLIENTS, c).is_some())
+        .collect();
+    assert_eq!(byzantine.len(), 1);
+    fed.set_fault_plan(Some(plan));
+    fed.set_guard(GuardConfig {
+        quarantine_after: 3,
+        ..GuardConfig::default()
+    });
+    let phase = Phase::training(6, 2, 8, 0.1);
+    let stats = fed.run_phase(&mut trainers, None, &phase, &mut rng);
+    // The emitter violates once per round until its third strike bans it.
+    assert_eq!(stats.resilience.rejected_non_finite, 3);
+    assert_eq!(stats.resilience.quarantined, 1);
+    assert!(fed.guard().is_quarantined(byzantine[0]));
+    assert!(fed.global().iter().all(Tensor::all_finite));
+    assert_eq!(stats.rounds, 6);
+}
+
+#[test]
+fn min_quorum_freezes_the_model_when_updates_run_short() {
+    let (mut fed, mut trainers, mut rng) = build(4);
+    let before = fed.global().to_vec();
+    // Quorum above the client count: every round must fall back.
+    let phase = Phase::training(3, 2, 8, 0.1).with_min_quorum(N_CLIENTS + 1);
+    let stats = fed.run_phase(&mut trainers, None, &phase, &mut rng);
+    assert_eq!(stats.resilience.quorum_fallbacks, 3);
+    assert_eq!(stats.rounds, 3);
+    assert_bit_identical(&before, fed.global());
+}
+
+#[test]
+fn fault_traces_are_reproducible() {
+    let run = |fed_seed: u64, fault_seed: u64| {
+        let (mut fed, mut trainers, mut rng) = build(fed_seed);
+        fed.set_fault_plan(Some(
+            FaultPlan::new(fault_seed, 0.4).with_kinds(vec![FaultKind::Crash]),
+        ));
+        let stats = fed.run_phase(
+            &mut trainers,
+            None,
+            &Phase::training(4, 2, 8, 0.1),
+            &mut rng,
+        );
+        (fed.global().to_vec(), stats.upload_scalars)
+    };
+    let (params_a, uploads_a) = run(7, 1);
+    let (params_b, uploads_b) = run(7, 1);
+    assert_bit_identical(&params_a, &params_b);
+    assert_eq!(uploads_a, uploads_b);
+    // A different fault seed crashes a different trace.
+    let (_, uploads_c) = run(7, 2);
+    assert_ne!(uploads_a, uploads_c);
+}
+
+#[test]
+fn robust_aggregators_survive_a_boosting_attack() {
+    // One boosting attacker (delta x50). For every aggregator, measure
+    // how far its attacked trajectory lands from its own clean one.
+    let final_params = |kind: AggregatorKind, attack: bool| {
+        let (mut fed, mut trainers, mut rng) = build(11);
+        if attack {
+            fed.set_fault_plan(Some(
+                FaultPlan::new(5, 0.2).with_kinds(vec![FaultKind::Scale]),
+            ));
+        }
+        let phase = Phase::training(5, 4, 8, 0.1).with_aggregator(kind);
+        fed.run_phase(&mut trainers, None, &phase, &mut rng);
+        fed.global().to_vec()
+    };
+    let drift = |kind: AggregatorKind| -> f32 {
+        let clean = final_params(kind, false);
+        let attacked = final_params(kind, true);
+        attacked
+            .iter()
+            .zip(&clean)
+            .map(|(a, b)| a.sub(b).norm().powi(2))
+            .sum::<f32>()
+            .sqrt()
+    };
+    let avg_drift = drift(AggregatorKind::FedAvg);
+    for kind in [
+        AggregatorKind::Median,
+        AggregatorKind::TrimmedMean,
+        AggregatorKind::NormClip,
+    ] {
+        let robust_drift = drift(kind);
+        // The booster drags FedAvg far off course; robust rules barely
+        // register the attack.
+        assert!(
+            robust_drift < 0.2 * avg_drift,
+            "{kind:?} drift {robust_drift} should be well under fedavg drift {avg_drift}"
+        );
+    }
+}
+
+#[test]
+fn robust_rules_hold_accuracy_under_byzantine_clients() {
+    // The paper-level chaos check: 10 clients, 20% Byzantine (a NaN
+    // emitter / sign-flipper mix), ingestion guard disabled so the
+    // aggregation rule itself is what's under test. Plain FedAvg must
+    // demonstrably degrade; coordinate-wise median and trimmed mean must
+    // stay within 5 accuracy points of the fault-free FedAvg run.
+    let n = 10;
+    let mut data_rng = Rng::seed_from(31);
+    let test = qd_data::SyntheticDataset::Digits.generate(200, &mut data_rng);
+    let accuracy_of = |kind: AggregatorKind, attack: bool| -> f32 {
+        let mut rng = Rng::seed_from(31);
+        let model: Arc<dyn Module> = Arc::new(Mlp::new(&[256, 16, 10]));
+        let clients: Vec<_> = (0..n)
+            .map(|_| qd_data::SyntheticDataset::Digits.generate(60, &mut rng))
+            .collect();
+        let mut fed = Federation::new(model.clone(), clients, &mut rng);
+        fed.set_guard(GuardConfig::disabled());
+        if attack {
+            fed.set_fault_plan(Some(
+                FaultPlan::new(13, 0.2)
+                    .with_kinds(vec![FaultKind::NanEmitter, FaultKind::SignFlip]),
+            ));
+        }
+        let mut trainers = sgd_trainers(model.clone(), n);
+        let phase = Phase::training(8, 6, 16, 0.1).with_aggregator(kind);
+        fed.run_phase(&mut trainers, None, &phase, &mut rng);
+        let (x, y) = test.all();
+        let logits = qd_nn::forward_inference(model.as_ref(), fed.global(), &x);
+        let preds = logits.row_argmax();
+        preds.iter().zip(&y).filter(|(a, b)| a == b).count() as f32 / y.len() as f32
+    };
+
+    let clean = accuracy_of(AggregatorKind::FedAvg, false);
+    assert!(clean > 0.5, "fault-free FedAvg must learn (got {clean})");
+
+    let attacked_fedavg = accuracy_of(AggregatorKind::FedAvg, true);
+    assert!(
+        attacked_fedavg < clean - 0.2,
+        "20% Byzantine clients must wreck plain FedAvg: clean {clean}, attacked {attacked_fedavg}"
+    );
+
+    for kind in [AggregatorKind::Median, AggregatorKind::TrimmedMean] {
+        let robust = accuracy_of(kind, true);
+        assert!(
+            robust > clean - 0.05,
+            "{kind:?} under attack ({robust}) must stay within 5 points of clean FedAvg ({clean})"
+        );
+    }
+}
+
+#[test]
+fn observer_can_preempt_the_phase() {
+    let (mut fed, mut trainers, mut rng) = build(8);
+    let phase = Phase::training(6, 2, 8, 0.1);
+    let stats = fed.run_phase_resumable(
+        &mut trainers,
+        None,
+        &phase,
+        &mut rng,
+        None,
+        Some(&mut |cursor, _, _| cursor.next_round < 2),
+    );
+    assert_eq!(stats.rounds, 2, "returning false stops at that boundary");
+}
+
+#[test]
+fn observer_cursor_resumes_bit_for_bit() {
+    let phase = Phase::training(6, 3, 8, 0.1).with_participation(0.6);
+
+    // Uninterrupted reference run.
+    let (mut fed_ref, mut trainers_ref, mut rng_ref) = build(21);
+    fed_ref.run_phase(&mut trainers_ref, None, &phase, &mut rng_ref);
+    let after_phase_draw_ref = rng_ref.uniform(0.0, 1.0);
+
+    // Interrupted run: capture the cursor after round 3, then restart the
+    // whole experiment from scratch and resume from the cursor.
+    let (mut fed_a, mut trainers_a, mut rng_a) = build(21);
+    let mut snapshot: Option<(ResumeState, Vec<Tensor>)> = None;
+    fed_a.run_phase_resumable(
+        &mut trainers_a,
+        None,
+        &phase,
+        &mut rng_a,
+        None,
+        Some(&mut |cursor, global, _trainers| {
+            if cursor.next_round == 3 {
+                snapshot = Some((cursor.clone(), global.to_vec()));
+            }
+            true
+        }),
+    );
+    let (cursor, global_at_3) = snapshot.expect("observer saw round 3");
+
+    let (mut fed_b, mut trainers_b, mut rng_b) = build(21);
+    fed_b.set_global(global_at_3);
+    // Fast-forward the trainers' RNG-independent state: SGD trainers are
+    // stateless, so nothing to replay. rng_b's position is irrelevant —
+    // resume overwrites it from the cursor.
+    let stats = fed_b.run_phase_resumable(
+        &mut trainers_b,
+        None,
+        &phase,
+        &mut rng_b,
+        Some(&cursor),
+        None,
+    );
+    assert_eq!(stats.rounds, 3, "resume executes only the remaining rounds");
+    assert_bit_identical(fed_ref.global(), fed_b.global());
+    // The caller's RNG continues the reference stream exactly.
+    assert_eq!(
+        rng_b.uniform(0.0, 1.0).to_bits(),
+        after_phase_draw_ref.to_bits()
+    );
+}
+
+#[test]
+fn resume_cursor_beyond_phase_is_rejected() {
+    let (mut fed, mut trainers, mut rng) = build(2);
+    let phase = Phase::training(2, 1, 8, 0.1);
+    let cursor = ResumeState {
+        next_round: 5,
+        rng: rng.state(),
+        guard: fed.guard().state().clone(),
+    };
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        fed.run_phase_resumable(&mut trainers, None, &phase, &mut rng, Some(&cursor), None)
+    }));
+    assert!(result.is_err(), "cursor past the last round must panic");
+}
+
+#[test]
+fn resume_state_round_trips_through_json() {
+    let (mut fed, mut trainers, mut rng) = build(6);
+    let mut captured: Option<ResumeState> = None;
+    fed.run_phase_resumable(
+        &mut trainers,
+        None,
+        &Phase::training(2, 1, 8, 0.1),
+        &mut rng,
+        None,
+        Some(&mut |cursor, _, _| {
+            captured = Some(cursor.clone());
+            true
+        }),
+    );
+    let cursor = captured.unwrap();
+    let json = serde_json::to_string(&cursor).unwrap();
+    let back: ResumeState = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, cursor);
+}

@@ -74,43 +74,67 @@ impl NetConfig {
             && !self.quantized
     }
 
+    /// Checks every field against its meaningful range, returning a
+    /// human-readable description of the first problem found.
+    /// Certain-failure probabilities are rejected because no round could
+    /// ever complete.
+    ///
+    /// This is the non-panicking twin of [`NetConfig::validated`], meant
+    /// for construction from untrusted input (CLI flags, config files).
+    pub fn validate(&self) -> Result<(), String> {
+        let non_negative = |name: &str, v: f32| -> Result<(), String> {
+            if v >= 0.0 && v.is_finite() {
+                Ok(())
+            } else {
+                Err(format!("{name} must be finite and non-negative, got {v}"))
+            }
+        };
+        non_negative("latency_ms", self.latency_ms)?;
+        non_negative("bandwidth_mbps", self.bandwidth_mbps)?;
+        non_negative("jitter_ms", self.jitter_ms)?;
+        if !(0.0..1.0).contains(&self.dropout_prob) {
+            return Err(format!(
+                "dropout_prob must be in [0, 1), got {}",
+                self.dropout_prob
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.straggler_frac) {
+            return Err(format!(
+                "straggler_frac must be in [0, 1], got {}",
+                self.straggler_frac
+            ));
+        }
+        if self.straggler_slowdown.is_nan() || self.straggler_slowdown < 1.0 {
+            return Err(format!(
+                "straggler_slowdown must be >= 1, got {}",
+                self.straggler_slowdown
+            ));
+        }
+        if !(0.0..1.0).contains(&self.loss_prob) {
+            return Err(format!(
+                "loss_prob must be in [0, 1), got {}",
+                self.loss_prob
+            ));
+        }
+        non_negative("timeout_ms", self.timeout_ms)?;
+        if self.backoff.is_nan() || self.backoff < 1.0 {
+            return Err(format!("backoff must be >= 1, got {}", self.backoff));
+        }
+        Ok(())
+    }
+
     /// Panics if any field is outside its meaningful range; returns the
-    /// config otherwise. Certain-failure probabilities are rejected
-    /// because no round could ever complete.
+    /// config otherwise. See [`NetConfig::validate`] for the
+    /// non-panicking variant.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the validation error's message on the first
+    /// out-of-range field.
     pub fn validated(self) -> Self {
-        assert!(
-            self.latency_ms >= 0.0 && self.latency_ms.is_finite(),
-            "latency_ms must be finite and non-negative"
-        );
-        assert!(
-            self.bandwidth_mbps >= 0.0 && self.bandwidth_mbps.is_finite(),
-            "bandwidth_mbps must be finite and non-negative"
-        );
-        assert!(
-            self.jitter_ms >= 0.0 && self.jitter_ms.is_finite(),
-            "jitter_ms must be finite and non-negative"
-        );
-        assert!(
-            (0.0..1.0).contains(&self.dropout_prob),
-            "dropout_prob must be in [0, 1)"
-        );
-        assert!(
-            (0.0..=1.0).contains(&self.straggler_frac),
-            "straggler_frac must be in [0, 1]"
-        );
-        assert!(
-            self.straggler_slowdown >= 1.0,
-            "straggler_slowdown must be >= 1"
-        );
-        assert!(
-            (0.0..1.0).contains(&self.loss_prob),
-            "loss_prob must be in [0, 1)"
-        );
-        assert!(
-            self.timeout_ms >= 0.0 && self.timeout_ms.is_finite(),
-            "timeout_ms must be finite and non-negative"
-        );
-        assert!(self.backoff >= 1.0, "backoff must be >= 1");
+        if let Err(msg) = self.validate() {
+            panic!("{msg}");
+        }
         self
     }
 
@@ -167,6 +191,26 @@ mod tests {
             ..NetConfig::default()
         }
         .validated();
+    }
+
+    #[test]
+    fn validate_names_the_offending_field() {
+        type Case = (fn(&mut NetConfig), &'static str);
+        let cases: [Case; 6] = [
+            (|c| c.latency_ms = -1.0, "latency_ms"),
+            (|c| c.jitter_ms = f32::NAN, "jitter_ms"),
+            (|c| c.dropout_prob = 1.0, "dropout_prob"),
+            (|c| c.straggler_frac = 1.5, "straggler_frac"),
+            (|c| c.loss_prob = -0.1, "loss_prob"),
+            (|c| c.backoff = 0.5, "backoff"),
+        ];
+        for (mutate, field) in cases {
+            let mut c = NetConfig::default();
+            mutate(&mut c);
+            let err = c.validate().unwrap_err();
+            assert!(err.contains(field), "error {err:?} should name {field}");
+        }
+        assert!(NetConfig::default().validate().is_ok());
     }
 
     #[test]

@@ -76,7 +76,13 @@ pub struct Conv2d {
 
 impl Conv2d {
     /// A `kernel x kernel` convolution with explicit stride and padding.
-    pub fn new(in_channels: usize, out_channels: usize, kernel: usize, stride: usize, pad: usize) -> Self {
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Self {
         Conv2d {
             in_channels,
             out_channels,
@@ -95,7 +101,12 @@ impl Conv2d {
 impl Module for Conv2d {
     fn forward(&self, tape: &mut Tape, params: &[Var], x: Var) -> Var {
         let dims = tape.value(x).dims().to_vec();
-        assert_eq!(dims.len(), 4, "Conv2d expects (N, C, H, W), got rank {}", dims.len());
+        assert_eq!(
+            dims.len(),
+            4,
+            "Conv2d expects (N, C, H, W), got rank {}",
+            dims.len()
+        );
         let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
         assert_eq!(c, self.in_channels, "Conv2d channel mismatch");
         let geo = Conv2dGeometry::new(c, h, w, self.kernel, self.stride, self.pad);

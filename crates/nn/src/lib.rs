@@ -50,7 +50,9 @@ mod models;
 mod module;
 mod optim;
 
-pub use layers::{AvgPool2d, Conv2d, Flatten, InstanceNorm2d, Linear, MaxPool2d, Relu, Sigmoid, Tanh};
+pub use layers::{
+    AvgPool2d, Conv2d, Flatten, InstanceNorm2d, Linear, MaxPool2d, Relu, Sigmoid, Tanh,
+};
 pub use loss::{cross_entropy, mse, one_hot};
 pub use models::{ConvNet, LeNet, Mlp};
 pub use module::{forward_inference, Module, Sequential};

@@ -69,7 +69,10 @@ impl ConvNet {
         }
         children.push(Box::new(Flatten));
         let final_hw = input_hw / div;
-        children.push(Box::new(Linear::new(filters * final_hw * final_hw, classes)));
+        children.push(Box::new(Linear::new(
+            filters * final_hw * final_hw,
+            classes,
+        )));
         ConvNet {
             seq: Sequential::new(children),
             in_channels,
@@ -139,7 +142,11 @@ impl ConvNet {
     /// parameter list.
     pub fn block_output(&self, tape: &mut Tape, params: &[Var], x: Var, block: usize) -> Var {
         assert!(block < self.blocks, "block {block} out of range");
-        assert_eq!(params.len(), self.param_count(), "full parameter list required");
+        assert_eq!(
+            params.len(),
+            self.param_count(),
+            "full parameter list required"
+        );
         let mut h = x;
         let mut offset = 0;
         for child in self.seq.children().iter().take((block + 1) * 4) {
@@ -376,7 +383,7 @@ mod tests {
         let shapes = net.param_shapes();
         assert_eq!(shapes[0], vec![128, 3 * 9]); // block 1 conv
         assert_eq!(shapes[4], vec![128, 128 * 9]); // block 2 conv
-        // After 3 halvings of 32: 4x4 spatial extent into the classifier.
+                                                   // After 3 halvings of 32: 4x4 spatial extent into the classifier.
         assert_eq!(shapes[net.classifier_weight_index()], vec![10, 128 * 16]);
     }
 

@@ -95,7 +95,7 @@ impl Conv2dGeometry {
 pub fn im2col(x: &Tensor, geo: &Conv2dGeometry) -> Tensor {
     let per_image = geo.in_channels * geo.in_h * geo.in_w;
     assert!(
-        per_image > 0 && x.len() % per_image == 0,
+        per_image > 0 && x.len().is_multiple_of(per_image),
         "input of {} elements is not a whole number of {}x{}x{} images",
         x.len(),
         geo.in_channels,
@@ -157,7 +157,7 @@ pub fn col2im(cols_t: &Tensor, geo: &Conv2dGeometry) -> Tensor {
     );
     let per_image_rows = geo.out_h * geo.out_w;
     assert!(
-        per_image_rows > 0 && cols_t.dims()[0] % per_image_rows == 0,
+        per_image_rows > 0 && cols_t.dims()[0].is_multiple_of(per_image_rows),
         "col2im row count {} is not a multiple of OH*OW = {}",
         cols_t.dims()[0],
         per_image_rows
@@ -207,10 +207,13 @@ pub fn col2im(cols_t: &Tensor, geo: &Conv2dGeometry) -> Tensor {
 /// Panics if `h` or `w` is not divisible by `k`, or the buffer length does
 /// not match `N*C*H*W` for some `N`.
 pub fn avg_pool2d(x: &Tensor, c: usize, h: usize, w: usize, k: usize) -> Tensor {
-    assert!(k > 0 && h % k == 0 && w % k == 0, "pooling {h}x{w} by {k}");
+    assert!(
+        k > 0 && h.is_multiple_of(k) && w.is_multiple_of(k),
+        "pooling {h}x{w} by {k}"
+    );
     let per_image = c * h * w;
     assert!(
-        per_image > 0 && x.len() % per_image == 0,
+        per_image > 0 && x.len().is_multiple_of(per_image),
         "input of {} elements is not a whole number of {c}x{h}x{w} images",
         x.len()
     );
@@ -249,7 +252,7 @@ pub fn avg_pool2d(x: &Tensor, c: usize, h: usize, w: usize, k: usize) -> Tensor 
 pub fn avg_unpool2d(y: &Tensor, c: usize, oh: usize, ow: usize, k: usize) -> Tensor {
     let per_image = c * oh * ow;
     assert!(
-        per_image > 0 && y.len() % per_image == 0,
+        per_image > 0 && y.len().is_multiple_of(per_image),
         "input of {} elements is not a whole number of {c}x{oh}x{ow} maps",
         y.len()
     );

@@ -20,7 +20,8 @@ impl Tensor {
         let (m, k) = (self.dims()[0], self.dims()[1]);
         let (k2, n) = (other.dims()[0], other.dims()[1]);
         assert_eq!(
-            k, k2,
+            k,
+            k2,
             "matmul inner-dimension mismatch: {} vs {}",
             self.shape(),
             other.shape()

@@ -10,11 +10,11 @@ impl Tensor {
     /// Panics if the tensor is not rank 2.
     pub fn sum_rows(&self) -> Tensor {
         assert_eq!(self.shape().rank(), 2, "sum_rows requires rank 2");
-        let (m, n) = (self.dims()[0], self.dims()[1]);
+        let n = self.dims()[1];
         let mut out = vec![0.0f32; n];
-        for i in 0..m {
-            for j in 0..n {
-                out[j] += self.data()[i * n + j];
+        for row in self.data().chunks_exact(n) {
+            for (slot, v) in out.iter_mut().zip(row) {
+                *slot += v;
             }
         }
         Tensor::from_vec(out, &[n])

@@ -146,6 +146,64 @@ impl Rng {
         idx.truncate(n);
         idx
     }
+
+    /// Captures the full generator state for persistence (e.g. inside a
+    /// crash-consistent round checkpoint). Restoring it with
+    /// [`Rng::from_state`] resumes the stream bit-for-bit.
+    pub fn state(&self) -> RngState {
+        RngState {
+            words: self.inner.state(),
+            spare_normal: self.spare_normal,
+        }
+    }
+
+    /// Rebuilds a generator from a captured [`RngState`].
+    pub fn from_state(state: &RngState) -> Self {
+        Rng {
+            inner: StdRng::from_state(state.words),
+            spare_normal: state.spare_normal,
+        }
+    }
+}
+
+/// The serializable state of an [`Rng`]: the xoshiro words plus the
+/// cached Box–Muller spare, so a restored generator continues the exact
+/// stream of the captured one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RngState {
+    /// The xoshiro256++ state words.
+    pub words: [u64; 4],
+    /// Cached second output of the Box–Muller transform, if any.
+    pub spare_normal: Option<f32>,
+}
+
+impl serde::Serialize for RngState {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            (
+                "words".to_string(),
+                serde::Serialize::to_value(&self.words.to_vec()),
+            ),
+            (
+                "spare_normal".to_string(),
+                serde::Serialize::to_value(&self.spare_normal),
+            ),
+        ])
+    }
+}
+
+impl serde::Deserialize for RngState {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let words: Vec<u64> = serde::Deserialize::from_value(v.field("RngState", "words")?)?;
+        let words: [u64; 4] = words
+            .try_into()
+            .map_err(|_| serde::DeError::new("RngState.words must hold exactly 4 words"))?;
+        let spare_normal = serde::Deserialize::from_value(v.field("RngState", "spare_normal")?)?;
+        Ok(RngState {
+            words,
+            spare_normal,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -243,6 +301,36 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn state_capture_resumes_the_exact_stream() {
+        let mut rng = Rng::seed_from(13);
+        let _ = rng.normal(); // leave a Box–Muller spare cached
+        let mut resumed = Rng::from_state(&rng.state());
+        for _ in 0..64 {
+            assert_eq!(rng.normal().to_bits(), resumed.normal().to_bits());
+            assert_eq!(
+                rng.uniform(0.0, 1.0).to_bits(),
+                resumed.uniform(0.0, 1.0).to_bits()
+            );
+            assert_eq!(rng.below(17), resumed.below(17));
+        }
+    }
+
+    #[test]
+    fn rng_state_round_trips_through_serde() {
+        let mut rng = Rng::seed_from(21);
+        let _ = rng.normal();
+        let state = rng.state();
+        let v = serde::Serialize::to_value(&state);
+        let back = <RngState as serde::Deserialize>::from_value(&v).unwrap();
+        assert_eq!(back, state);
+        let bad = serde::Value::Map(vec![(
+            "words".to_string(),
+            serde::Serialize::to_value(&vec![1u64, 2]),
+        )]);
+        assert!(<RngState as serde::Deserialize>::from_value(&bad).is_err());
     }
 
     #[test]

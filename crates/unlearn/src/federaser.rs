@@ -5,8 +5,8 @@ use crate::{
     retain_override, Capabilities, Efficiency, MethodOutcome, UnlearnRequest, UnlearningMethod,
 };
 use qd_data::Dataset;
-use qd_fed::{Federation, Phase, PhaseStats, RoundRecord, SgdClientTrainer};
 use qd_fed::ClientTrainer as _;
+use qd_fed::{Federation, Phase, PhaseStats, RoundRecord, SgdClientTrainer};
 use qd_tensor::rng::Rng;
 use qd_tensor::Tensor;
 use std::time::Instant;
@@ -44,12 +44,7 @@ impl FedEraser {
     /// Creates a FedEraser with `calibration_steps` local steps per
     /// retained round (far fewer than the original `T` — this is where the
     /// speedup over retraining comes from) and a final recovery phase.
-    pub fn new(
-        calibration_steps: usize,
-        batch_size: usize,
-        lr: f32,
-        recover_phase: Phase,
-    ) -> Self {
+    pub fn new(calibration_steps: usize, batch_size: usize, lr: f32, recover_phase: Phase) -> Self {
         FedEraser {
             calibration_steps,
             batch_size,
@@ -209,11 +204,25 @@ mod tests {
         let mut fed = Federation::new(model.clone(), clients, &mut rng);
         fed.set_record_history(true);
         let mut trainers = sgd_trainers(model, 3);
-        fed.run_phase(&mut trainers, None, &Phase::training(2, 1, 8, 0.05), &mut rng);
+        fed.run_phase(
+            &mut trainers,
+            None,
+            &Phase::training(2, 1, 8, 0.05),
+            &mut rng,
+        );
         let after_two = fed.history_storage_scalars();
-        fed.run_phase(&mut trainers, None, &Phase::training(2, 1, 8, 0.05), &mut rng);
+        fed.run_phase(
+            &mut trainers,
+            None,
+            &Phase::training(2, 1, 8, 0.05),
+            &mut rng,
+        );
         let after_four = fed.history_storage_scalars();
-        assert_eq!(after_four, 2 * after_two, "storage should scale with rounds");
+        assert_eq!(
+            after_four,
+            2 * after_two,
+            "storage should scale with rounds"
+        );
         // Per round: global model + 3 client updates = 4 model-sizes.
         let model_scalars = 256 * 10 + 10;
         assert_eq!(after_two, 2 * 4 * model_scalars);

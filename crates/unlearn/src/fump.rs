@@ -81,11 +81,7 @@ impl FuMp {
     /// Mean absolute activation per channel of the final block, per
     /// class, aggregated over all clients' probe batches (simulating the
     /// clients' local relevance reports).
-    fn class_channel_activation(
-        &self,
-        fed: &Federation,
-        rng: &mut Rng,
-    ) -> (Vec<Vec<f32>>, usize) {
+    fn class_channel_activation(&self, fed: &Federation, rng: &mut Rng) -> (Vec<Vec<f32>>, usize) {
         let classes = self.convnet.classes();
         let filters = self.convnet.filters();
         let block = self.convnet.blocks() - 1;
@@ -116,9 +112,9 @@ impl FuMp {
                 let dims = v.dims(); // (n, filters, h, w)
                 let hw = dims[2] * dims[3];
                 for b in 0..dims[0] {
-                    for ch in 0..filters {
+                    for (ch, slot) in act[class].iter_mut().enumerate() {
                         let plane = &v.data()[(b * filters + ch) * hw..(b * filters + ch + 1) * hw];
-                        act[class][ch] += plane.iter().map(|a| a.abs()).sum::<f32>() / hw as f32;
+                        *slot += plane.iter().map(|a| a.abs()).sum::<f32>() / hw as f32;
                     }
                 }
                 counts[class] += dims[0];
@@ -263,7 +259,12 @@ mod tests {
         let clients: Vec<_> = parts.iter().map(|p| data.subset(p)).collect();
         let mut fed = Federation::new(model.clone(), clients, &mut rng);
         let mut trainers = sgd_trainers(model.clone(), 3);
-        fed.run_phase(&mut trainers, None, &Phase::training(5, 6, 32, 0.1), &mut rng);
+        fed.run_phase(
+            &mut trainers,
+            None,
+            &Phase::training(5, 6, 32, 0.1),
+            &mut rng,
+        );
 
         let (f, r) = crate::fr_eval_sets(&fed, UnlearnRequest::Class(2), &test);
         let (fa0, _) = split_accuracy(model.as_ref(), fed.global(), &f, &r);
@@ -282,12 +283,20 @@ mod tests {
         assert_eq!(zero_rows, 4, "50% of 8 filters pruned");
 
         let (fa, ra) = split_accuracy(model.as_ref(), fed.global(), &f, &r);
-        assert!(fa < fa0 * 0.7, "pruning should hurt the target class: {fa0} -> {fa}");
+        assert!(
+            fa < fa0 * 0.7,
+            "pruning should hurt the target class: {fa0} -> {fa}"
+        );
         assert!(ra > 0.4, "recovery should keep other classes usable ({ra})");
 
         // Relearning is unsupported.
         assert!(m
-            .relearn(&mut fed, UnlearnRequest::Class(2), &Phase::training(1, 1, 8, 0.1), &mut rng)
+            .relearn(
+                &mut fed,
+                UnlearnRequest::Class(2),
+                &Phase::training(1, 1, 8, 0.1),
+                &mut rng
+            )
             .is_none());
     }
 

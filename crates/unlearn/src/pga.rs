@@ -199,7 +199,11 @@ mod tests {
         let mut params = vec![Tensor::from_vec(vec![13.0, 4.0], &[2])]; // dist 10
         m.project(&mut params, &reference);
         let d = params[0].sub(&reference[0]);
-        assert!((d.norm() - 0.5).abs() < 1e-4, "projected distance {}", d.norm());
+        assert!(
+            (d.norm() - 0.5).abs() < 1e-4,
+            "projected distance {}",
+            d.norm()
+        );
         // Inside the ball: untouched.
         let mut near = vec![Tensor::from_vec(vec![3.1, 4.0], &[2])];
         m.project(&mut near, &reference);
@@ -216,7 +220,12 @@ mod tests {
         let clients: Vec<_> = parts.iter().map(|p| data.subset(p)).collect();
         let mut fed = Federation::new(model.clone(), clients, &mut rng);
         let mut trainers = sgd_trainers(model.clone(), 4);
-        fed.run_phase(&mut trainers, None, &Phase::training(8, 10, 32, 0.1), &mut rng);
+        fed.run_phase(
+            &mut trainers,
+            None,
+            &Phase::training(8, 10, 32, 0.1),
+            &mut rng,
+        );
 
         let request = UnlearnRequest::Class(3);
         let (f, r) = crate::fr_eval_sets(&fed, request, &test);

@@ -32,8 +32,7 @@ pub fn forget_override(fed: &Federation, request: UnlearnRequest) -> Vec<Option<
                 (!f.is_empty()).then_some(f)
             }
             UnlearnRequest::Client(target) => {
-                (i == target && !fed.client_data(i).is_empty())
-                    .then(|| fed.client_data(i).clone())
+                (i == target && !fed.client_data(i).is_empty()).then(|| fed.client_data(i).clone())
             }
         })
         .collect()
@@ -49,8 +48,7 @@ pub fn retain_override(fed: &Federation, request: UnlearnRequest) -> Vec<Option<
                 (!r.is_empty()).then_some(r)
             }
             UnlearnRequest::Client(target) => {
-                (i != target && !fed.client_data(i).is_empty())
-                    .then(|| fed.client_data(i).clone())
+                (i != target && !fed.client_data(i).is_empty()).then(|| fed.client_data(i).clone())
             }
         })
         .collect()

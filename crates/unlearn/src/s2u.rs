@@ -99,7 +99,7 @@ impl UnlearningMethod for S2U {
             let global = fed.global().to_vec();
             let mut new_global: Vec<Tensor> =
                 global.iter().map(|t| Tensor::zeros(t.dims())).collect();
-            for i in 0..fed.n_clients() {
+            for (i, &weight) in weights.iter().enumerate() {
                 if fed.client_data(i).is_empty() {
                     continue;
                 }
@@ -109,7 +109,7 @@ impl UnlearningMethod for S2U {
                     trainer.local_round(global.clone(), fed.client_data(i), &self.phase, &mut crng);
                 samples += outcome.samples_processed;
                 for (g, p) in new_global.iter_mut().zip(&outcome.params) {
-                    g.axpy(weights[i], p);
+                    g.axpy(weight, p);
                 }
             }
             fed.set_global(new_global);
@@ -159,7 +159,12 @@ mod tests {
         let clients = vec![target_data, r1, r2];
         let mut fed = Federation::new(model.clone(), clients, &mut rng);
         let mut trainers = sgd_trainers(model.clone(), 3);
-        fed.run_phase(&mut trainers, None, &Phase::training(6, 8, 32, 0.1), &mut rng);
+        fed.run_phase(
+            &mut trainers,
+            None,
+            &Phase::training(6, 8, 32, 0.1),
+            &mut rng,
+        );
 
         let (f, r) = crate::fr_eval_sets(&fed, UnlearnRequest::Client(0), &all);
         let (fa0, ra0) = split_accuracy(model.as_ref(), fed.global(), &f, &r);

@@ -105,10 +105,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "must ascend")]
     fn rejects_descending_unlearn_phase() {
-        let _ = SgaOriginal::new(
-            Phase::training(1, 1, 1, 0.1),
-            Phase::training(1, 1, 1, 0.1),
-        );
+        let _ = SgaOriginal::new(Phase::training(1, 1, 1, 0.1), Phase::training(1, 1, 1, 0.1));
     }
 
     #[test]
@@ -123,7 +120,12 @@ mod tests {
 
         // Train first so there is something to forget.
         let mut trainers = sgd_trainers(model.clone(), 4);
-        fed.run_phase(&mut trainers, None, &Phase::training(10, 10, 32, 0.1), &mut rng);
+        fed.run_phase(
+            &mut trainers,
+            None,
+            &Phase::training(10, 10, 32, 0.1),
+            &mut rng,
+        );
         let (f, r) = crate::fr_eval_sets(&fed, UnlearnRequest::Class(5), &test);
         let (fa0, _) = split_accuracy(model.as_ref(), fed.global(), &f, &r);
         assert!(fa0 > 0.4, "trained model should know class 5 ({fa0})");
@@ -135,8 +137,7 @@ mod tests {
         let outcome = method.unlearn(&mut fed, UnlearnRequest::Class(5), &mut rng);
 
         // After the ascent stage alone the class is forgotten.
-        let (fa_mid, _) =
-            split_accuracy(model.as_ref(), &outcome.post_unlearn_params, &f, &r);
+        let (fa_mid, _) = split_accuracy(model.as_ref(), &outcome.post_unlearn_params, &f, &r);
         assert!(fa_mid < 0.2, "post-unlearn forget accuracy {fa_mid}");
 
         // After recovery the retained classes are restored.

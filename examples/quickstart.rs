@@ -61,6 +61,14 @@ fn main() {
         outcome.total().wall.as_secs_f64() * 1000.0,
         outcome.unlearn.data_size + outcome.recovery.data_size
     );
-    println!("  forget-set accuracy {:.1}% -> {:.1}%", f0 * 100.0, f1 * 100.0);
-    println!("  retain-set accuracy {:.1}% -> {:.1}%", r0 * 100.0, r1 * 100.0);
+    println!(
+        "  forget-set accuracy {:.1}% -> {:.1}%",
+        f0 * 100.0,
+        f1 * 100.0
+    );
+    println!(
+        "  retain-set accuracy {:.1}% -> {:.1}%",
+        r0 * 100.0,
+        r1 * 100.0
+    );
 }

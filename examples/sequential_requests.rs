@@ -9,8 +9,8 @@
 //! ```
 
 use quickdrop::{
-    per_class_accuracy, partition_dirichlet, Federation, Mlp, Module, QuickDrop,
-    QuickDropConfig, Rng, SyntheticDataset, UnlearnRequest, UnlearningMethod,
+    partition_dirichlet, per_class_accuracy, Federation, Mlp, Module, QuickDrop, QuickDropConfig,
+    Rng, SyntheticDataset, UnlearnRequest, UnlearningMethod,
 };
 use std::sync::Arc;
 use std::time::Duration;

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Pre-commit gate: formatting, lints on the network crate, full test run.
+# Pre-commit gate: formatting, lints, full test run, chaos smoke.
 #
 #   ./scripts/check.sh
 #
@@ -7,15 +7,16 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-# Formatting is enforced on the network crate (the rest of the workspace
-# predates the gate and is checked only by clippy/tests).
-echo "== cargo fmt --check (qd-net)"
-cargo fmt -p qd-net -- --check
+echo "== cargo fmt --check (workspace)"
+cargo fmt -- --check
 
-echo "== cargo clippy (qd-net, -D warnings)"
-cargo clippy --offline -p qd-net --no-deps --all-targets -- -D warnings
+echo "== cargo clippy (workspace, -D warnings)"
+cargo clippy --offline --workspace --no-deps --all-targets -- -D warnings
 
 echo "== cargo test"
 cargo test --offline --workspace -q
+
+echo "== chaos bench (smoke mode)"
+cargo bench --offline -p qd-bench --bench chaos -- --test
 
 echo "all checks passed"

@@ -85,6 +85,6 @@ pub use qd_nn::{ConvNet, Direction, LeNet, Mlp, Module, Sgd};
 pub use qd_tensor::rng::Rng;
 pub use qd_tensor::Tensor;
 pub use qd_unlearn::{
-    fr_eval_sets, FedEraser, FuMp, PgaHalimi, RetrainOracle, S2U, SgaOriginal, UnlearnRequest,
-    UnlearningMethod,
+    fr_eval_sets, FedEraser, FuMp, PgaHalimi, RetrainOracle, SgaOriginal, UnlearnRequest,
+    UnlearningMethod, S2U,
 };

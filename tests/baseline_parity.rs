@@ -4,8 +4,8 @@
 
 use quickdrop::{
     fr_eval_sets, partition_iid, split_accuracy, Dataset, FedEraser, Federation, Mlp, Module,
-    Phase, QuickDrop, QuickDropConfig, RetrainOracle, Rng, SgaOriginal, SyntheticDataset,
-    Tensor, UnlearnRequest, UnlearningMethod,
+    Phase, QuickDrop, QuickDropConfig, RetrainOracle, Rng, SgaOriginal, SyntheticDataset, Tensor,
+    UnlearnRequest, UnlearningMethod,
 };
 use std::sync::Arc;
 
@@ -123,7 +123,10 @@ fn quickdrop_communication_scales_with_rounds_not_data() {
 #[test]
 fn federaser_replays_recorded_history() {
     let mut t = train(12);
-    assert!(!t.fed.history().is_empty(), "history recorded during training");
+    assert!(
+        !t.fed.history().is_empty(),
+        "history recorded during training"
+    );
     let n_records = t.fed.history().len();
     let request = UnlearnRequest::Client(1);
     let mut fe = FedEraser::new(2, 16, 0.1, Phase::training(1, 4, 32, 0.1));
@@ -153,12 +156,8 @@ fn unlearning_moves_behaviour_toward_the_oracle() {
     qd.unlearn(&mut t.fed, request, &mut t.rng);
     let unlearned_params = t.fed.global().to_vec();
 
-    let agree_trained = quickdrop::prediction_agreement(
-        t.model.as_ref(),
-        &t.snapshot,
-        &oracle_params,
-        &f_test,
-    );
+    let agree_trained =
+        quickdrop::prediction_agreement(t.model.as_ref(), &t.snapshot, &oracle_params, &f_test);
     let agree_unlearned = quickdrop::prediction_agreement(
         t.model.as_ref(),
         &unlearned_params,
@@ -179,7 +178,10 @@ fn capability_table_matches_paper_table1() {
     assert!(retrain.capabilities().class_level && retrain.capabilities().client_level);
 
     let fe = FedEraser::new(1, 8, 0.1, recover);
-    assert!(!fe.capabilities().storage_efficient, "FedEraser stores history");
+    assert!(
+        !fe.capabilities().storage_efficient,
+        "FedEraser stores history"
+    );
 
     let s2u = quickdrop::S2U::new(recover, 0.1);
     assert!(!s2u.capabilities().class_level && s2u.capabilities().client_level);

@@ -30,7 +30,9 @@ fn single_client_federation_works_end_to_end() {
 fn unlearning_a_class_nobody_holds_is_a_noop() {
     let (fed, mut rng, _) = mini_fed(2, 60, 2);
     // Rebuild clients without class 9 anywhere.
-    let stripped: Vec<_> = (0..2).map(|i| fed.client_data(i).without_class(9)).collect();
+    let stripped: Vec<_> = (0..2)
+        .map(|i| fed.client_data(i).without_class(9))
+        .collect();
     let model = fed.model().clone();
     let mut fed = Federation::new(model, stripped, &mut rng);
     let (mut qd, _) = QuickDrop::train(&mut fed, QuickDropConfig::scaled_test(), &mut rng);
@@ -120,7 +122,12 @@ fn client_unlearning_of_each_client_in_turn() {
 fn phase_with_zero_rounds_is_free() {
     let (mut fed, mut rng, _) = mini_fed(2, 60, 8);
     let mut trainers = quickdrop::fed::sgd_trainers(fed.model().clone(), 2);
-    let stats = fed.run_phase(&mut trainers, None, &Phase::training(0, 5, 8, 0.1), &mut rng);
+    let stats = fed.run_phase(
+        &mut trainers,
+        None,
+        &Phase::training(0, 5, 8, 0.1),
+        &mut rng,
+    );
     assert_eq!(stats.rounds, 0);
     assert_eq!(stats.samples_processed, 0);
 }

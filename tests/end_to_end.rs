@@ -3,9 +3,8 @@
 //! the paper's claims at miniature scale.
 
 use quickdrop::{
-    accuracy, fr_eval_sets, partition_dirichlet, split_accuracy, Dataset, Federation, Mlp,
-    Module, Phase, QuickDrop, QuickDropConfig, Rng, SyntheticDataset, UnlearnRequest,
-    UnlearningMethod,
+    accuracy, fr_eval_sets, partition_dirichlet, split_accuracy, Dataset, Federation, Mlp, Module,
+    Phase, QuickDrop, QuickDropConfig, Rng, SyntheticDataset, UnlearnRequest, UnlearningMethod,
 };
 use std::sync::Arc;
 
@@ -85,10 +84,9 @@ fn relearning_restores_the_class_from_synthetic_data_only() {
     assert!(f_gone < 0.2);
 
     let phase = w.qd.config().relearn_phase;
-    let stats = w
-        .qd
-        .relearn(&mut w.fed, request, &phase, &mut w.rng)
-        .expect("relearn supported");
+    let stats =
+        w.qd.relearn(&mut w.fed, request, &phase, &mut w.rng)
+            .expect("relearn supported");
     // Relearning (including its consolidation pass over the synthetic
     // retain set) also runs on synthetic-scale data only.
     let real_total: usize = (0..w.fed.n_clients())

@@ -91,7 +91,7 @@ proptest! {
             let root = t.sqrt(sum);
             t.value(root).item()
         };
-        let numeric = numeric_grad(build, &[x0.clone()], 0, 1e-3);
+        let numeric = numeric_grad(build, std::slice::from_ref(&x0), 0, 1e-3);
         let mut t = Tape::new();
         let x = t.leaf(x0);
         let sq = t.mul(x, x);

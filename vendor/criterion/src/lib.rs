@@ -109,7 +109,10 @@ impl BenchmarkGroup<'_> {
         let mut total_iters = 0u64;
         let run_start = Instant::now();
         for _ in 0..self.sample_size {
-            let mut b = Bencher { target_iters: iters_per_sample, ..Bencher::default() };
+            let mut b = Bencher {
+                target_iters: iters_per_sample,
+                ..Bencher::default()
+            };
             routine(&mut b);
             if b.iters == 0 {
                 continue;
@@ -160,7 +163,11 @@ impl Bencher {
 
 impl Default for Bencher {
     fn default() -> Self {
-        Bencher { elapsed: Duration::ZERO, iters: 0, target_iters: 0 }
+        Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+            target_iters: 0,
+        }
     }
 }
 
@@ -199,7 +206,9 @@ mod tests {
         let mut calls = 0u64;
         {
             let mut group = c.benchmark_group("t");
-            group.sample_size(2).measurement_time(Duration::from_millis(10));
+            group
+                .sample_size(2)
+                .measurement_time(Duration::from_millis(10));
             group.bench_function("noop", |b| b.iter(|| calls += 1));
             group.finish();
         }

@@ -280,8 +280,7 @@ macro_rules! prop_assert_ne {
     ($left:expr, $right:expr $(,)?) => {{
         let (l, r) = (&$left, &$right);
         if *l == *r {
-            return ::std::result::Result::Err(
-                format!("assertion failed: {:?} == {:?}", l, r));
+            return ::std::result::Result::Err(format!("assertion failed: {:?} == {:?}", l, r));
         }
     }};
 }

@@ -159,6 +159,28 @@ pub mod rngs {
         fn rotl(x: u64, k: u32) -> u64 {
             x.rotate_left(k)
         }
+
+        /// The generator's internal state, for persistence. Restoring the
+        /// returned words with [`StdRng::from_state`] resumes the stream
+        /// exactly where it left off.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from words previously returned by
+        /// [`StdRng::state`].
+        ///
+        /// # Panics
+        ///
+        /// Panics if all words are zero (the xoshiro fixed point, which
+        /// no reachable state ever holds).
+        pub fn from_state(s: [u64; 4]) -> Self {
+            assert!(
+                s.iter().any(|&w| w != 0),
+                "all-zero xoshiro state is unreachable"
+            );
+            StdRng { s }
+        }
     }
 
     impl SeedableRng for StdRng {

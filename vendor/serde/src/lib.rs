@@ -93,9 +93,7 @@ impl Value {
         match *self {
             Value::U64(v) => Some(v),
             Value::I64(v) if v >= 0 => Some(v as u64),
-            Value::F64(v) if v >= 0.0 && v.fract() == 0.0 && v <= u64::MAX as f64 => {
-                Some(v as u64)
-            }
+            Value::F64(v) if v >= 0.0 && v.fract() == 0.0 && v <= u64::MAX as f64 => Some(v as u64),
             _ => None,
         }
     }
@@ -104,7 +102,9 @@ impl Value {
         match *self {
             Value::I64(v) => Some(v),
             Value::U64(v) if v <= i64::MAX as u64 => Some(v as i64),
-            Value::F64(v) if v.fract() == 0.0 && (i64::MIN as f64..=i64::MAX as f64).contains(&v) => {
+            Value::F64(v)
+                if v.fract() == 0.0 && (i64::MIN as f64..=i64::MAX as f64).contains(&v) =>
+            {
                 Some(v as i64)
             }
             _ => None,
@@ -147,6 +147,18 @@ pub trait Deserialize: Sized {
     ///
     /// Returns [`DeError`] when the tree's shape does not match `Self`.
     fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
 }
 
 impl<T: Serialize + ?Sized> Serialize for &T {

@@ -31,11 +31,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         Item::NamedStruct { name, fields } => {
             let entries: String = fields
                 .iter()
-                .map(|f| {
-                    format!(
-                        "(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})),"
-                    )
-                })
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})),"))
                 .collect();
             format!(
                 "impl ::serde::Serialize for {name} {{\n\
@@ -78,7 +74,8 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
             )
         }
     };
-    code.parse().expect("serde_derive stub emitted invalid Rust")
+    code.parse()
+        .expect("serde_derive stub emitted invalid Rust")
 }
 
 /// Derives the vendored `serde::Deserialize`.
@@ -149,7 +146,8 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
             )
         }
     };
-    code.parse().expect("serde_derive stub emitted invalid Rust")
+    code.parse()
+        .expect("serde_derive stub emitted invalid Rust")
 }
 
 fn parse_item(input: TokenStream) -> Item {
@@ -251,7 +249,9 @@ fn parse_named_fields(stream: TokenStream) -> Vec<String> {
         let field = expect_ident(&tokens, &mut i);
         match tokens.get(i) {
             Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
-            other => panic!("serde_derive stub: expected `:` after field `{field}`, found {other:?}"),
+            other => {
+                panic!("serde_derive stub: expected `:` after field `{field}`, found {other:?}")
+            }
         }
         skip_to_field_end(&tokens, &mut i);
         fields.push(field);

@@ -63,10 +63,7 @@ pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
     let value = p.parse_value()?;
     p.skip_ws();
     if p.pos != p.bytes.len() {
-        return Err(Error::new(format!(
-            "trailing characters at byte {}",
-            p.pos
-        )));
+        return Err(Error::new(format!("trailing characters at byte {}", p.pos)));
     }
     Ok(T::from_value(&value)?)
 }
@@ -169,10 +166,7 @@ impl Parser<'_> {
             self.pos += lit.len();
             Ok(value)
         } else {
-            Err(Error::new(format!(
-                "invalid literal at byte {}",
-                self.pos
-            )))
+            Err(Error::new(format!("invalid literal at byte {}", self.pos)))
         }
     }
 
@@ -211,7 +205,12 @@ impl Parser<'_> {
                     self.pos += 1;
                     return Ok(Value::Seq(items));
                 }
-                _ => return Err(Error::new(format!("expected ',' or ']' at byte {}", self.pos))),
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected ',' or ']' at byte {}",
+                        self.pos
+                    )))
+                }
             }
         }
     }
@@ -239,7 +238,12 @@ impl Parser<'_> {
                     self.pos += 1;
                     return Ok(Value::Map(entries));
                 }
-                _ => return Err(Error::new(format!("expected ',' or '}}' at byte {}", self.pos))),
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected ',' or '}}' at byte {}",
+                        self.pos
+                    )))
+                }
             }
         }
     }
