@@ -1,0 +1,186 @@
+//! Tail-latency harness: deadline-driven rounds under heavy dropout and
+//! stragglers.
+//!
+//! The paper assumes every sampled client answers promptly; this harness
+//! trains QuickDrop over a hostile network — 30% per-round client
+//! dropout, 30% stragglers at a 10x slowdown, 20% message loss — and
+//! compares three stacks:
+//!
+//! * **fault-free**: the loopback transport, the paper's setting;
+//! * **baseline**: the bare [`qd_fed::SimNet`] with no reliability
+//!   layer, where lost clients silently shrink the aggregate and rounds
+//!   below quorum are forfeited;
+//! * **reliable**: the same network behind [`qd_fed::ReliableTransport`]
+//!   (retry + backoff, a per-round deadline, hedged sends) with
+//!   over-provisioned sampling and the client-health circuit breaker.
+//!
+//! The headline number is quorum completion: the fraction of rounds that
+//! aggregate at least `min_quorum` updates. Pass `--test` for a
+//! seconds-scale smoke run.
+
+use qd_bench::{bench_config, print_paper_reference, Setup, Split};
+use qd_core::QuickDrop;
+use qd_data::SyntheticDataset;
+use qd_fed::{NetConfig, Phase, RetryConfig};
+
+const DROPOUT: f32 = 0.3;
+const STRAGGLERS: f32 = 0.3;
+const LOSS: f32 = 0.2;
+const MIN_QUORUM: usize = 4;
+const SLACK: usize = 4;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Arm {
+    FaultFree,
+    Baseline,
+    Reliable,
+}
+
+struct Row {
+    label: &'static str,
+    test_acc: f32,
+    rounds: usize,
+    fallbacks: usize,
+    timed_out: u64,
+    retries: u64,
+    hedges: u64,
+    cooled_down: usize,
+}
+
+impl Row {
+    fn quorum_pct(&self) -> f64 {
+        if self.rounds == 0 {
+            return 0.0;
+        }
+        (self.rounds - self.fallbacks) as f64 / self.rounds as f64 * 100.0
+    }
+}
+
+fn faulty_net(retry: RetryConfig) -> NetConfig {
+    NetConfig {
+        latency_ms: 40.0,
+        bandwidth_mbps: 20.0,
+        jitter_ms: 10.0,
+        loss_prob: LOSS,
+        dropout_prob: DROPOUT,
+        straggler_frac: STRAGGLERS,
+        straggler_slowdown: 10.0,
+        seed: 31,
+        retry,
+        ..NetConfig::default()
+    }
+}
+
+fn run_one(arm: Arm, smoke: bool) -> Row {
+    let (train_n, test_n, rounds) = if smoke {
+        (400, 160, 6)
+    } else {
+        (1200, 500, 24)
+    };
+    let mut setup = Setup::build(
+        SyntheticDataset::Digits,
+        10,
+        Split::Iid,
+        train_n,
+        test_n,
+        42,
+    );
+    let mut cfg = bench_config(rounds);
+    if smoke {
+        cfg.train_phase = Phase::training(rounds, 2, 16, 0.08);
+        cfg.distill.scale = 20;
+    }
+    // 10 clients at 50% participation: target k = 5, quorum 4.
+    cfg.train_phase = cfg
+        .train_phase
+        .with_participation(0.5)
+        .with_min_quorum(MIN_QUORUM);
+    let label = match arm {
+        Arm::FaultFree => "loopback (fault-free)",
+        Arm::Baseline => "bare simnet",
+        Arm::Reliable => "reliable stack",
+    };
+    match arm {
+        Arm::FaultFree => {}
+        Arm::Baseline => cfg = cfg.with_net(faulty_net(RetryConfig::default())),
+        Arm::Reliable => {
+            // Retries paper over message loss, the deadline bounds each
+            // client's round budget, hedged sends race the stragglers,
+            // slack over-provisions the draw so dropped-out clients don't
+            // cost the round its quorum, and the breaker rests clients
+            // that keep failing.
+            cfg = cfg.with_net(faulty_net(RetryConfig {
+                max_attempts: 4,
+                base_backoff_ms: 20.0,
+                deadline_ms: 1600.0,
+                hedge_after_ms: 600.0,
+            }));
+            cfg.train_phase = cfg
+                .train_phase
+                .with_sample_slack(SLACK)
+                .with_cooldown_rounds(2);
+        }
+    }
+    let (_, report) = QuickDrop::train(&mut setup.fed, cfg, &mut setup.rng);
+    let test_acc = qd_eval::accuracy(setup.model.as_ref(), setup.fed.global(), &setup.test);
+    Row {
+        label,
+        test_acc,
+        rounds: report.fl_stats.rounds,
+        fallbacks: report.fl_stats.resilience.quorum_fallbacks,
+        timed_out: report.fl_stats.net.timed_out,
+        retries: report.fl_stats.net.retries,
+        hedges: report.fl_stats.net.hedges,
+        cooled_down: report.fl_stats.resilience.cooled_down,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test");
+    println!(
+        "tail: {:.0}% dropout, {:.0}% stragglers at 10x, {:.0}% loss, \
+         quorum {MIN_QUORUM} of 5 sampled (slack {SLACK} on the reliable stack){}",
+        DROPOUT * 100.0,
+        STRAGGLERS * 100.0,
+        LOSS * 100.0,
+        if smoke { " [smoke]" } else { "" },
+    );
+    let rows: Vec<Row> = [Arm::FaultFree, Arm::Baseline, Arm::Reliable]
+        .into_iter()
+        .map(|arm| run_one(arm, smoke))
+        .collect();
+
+    println!(
+        "  {:<22} {:>9} {:>9} {:>9} {:>8} {:>7} {:>7} {:>7}",
+        "stack", "test acc", "quorum", "forfeit", "timeout", "retry", "hedge", "cooled"
+    );
+    for r in &rows {
+        println!(
+            "  {:<22} {:>8.1}% {:>8.1}% {:>9} {:>8} {:>7} {:>7} {:>7}",
+            r.label,
+            r.test_acc * 100.0,
+            r.quorum_pct(),
+            r.fallbacks,
+            r.timed_out,
+            r.retries,
+            r.hedges,
+            r.cooled_down,
+        );
+    }
+    let (fault_free, baseline, reliable) = (&rows[0], &rows[1], &rows[2]);
+    println!(
+        "reliable stack completes {:.1}% of rounds at quorum (baseline {:.1}%), \
+         {:+.1} accuracy points vs fault-free",
+        reliable.quorum_pct(),
+        baseline.quorum_pct(),
+        (reliable.test_acc - fault_free.test_acc) * 100.0,
+    );
+
+    print_paper_reference(&[
+        "no direct paper counterpart: the paper assumes prompt, reliable clients;",
+        "shape to reproduce: the reliable stack completes >= 95% of rounds at",
+        "quorum and lands within one accuracy point of the fault-free run, while",
+        "the bare network forfeits a large fraction of its rounds to lost quorums",
+        "and pays for it in accuracy.",
+    ]);
+}

@@ -62,6 +62,9 @@ USAGE:
                         [--net-jitter-ms MS] [--dropout-prob P]
                         [--straggler-frac F] [--loss-prob P]
                         [--net-seed X] [--quantized]
+                        [--retry-max N] [--retry-backoff-ms MS]
+                        [--round-deadline-ms MS] [--hedge-after-ms MS]
+                        [--sample-slack N] [--cooldown-rounds N]
   quickdrop-cli unlearn --ckpt ckpt.json (--class C | --client I)
                         [--out ckpt.json] [--dataset D] [--seed X]
   quickdrop-cli relearn --ckpt ckpt.json (--class C | --client I)
@@ -104,6 +107,12 @@ fn net_config_from(args: &Args) -> Result<qd_fed::NetConfig, CliError> {
         loss_prob: args.get_f32("loss-prob", 0.0)?,
         seed: args.get_u64("net-seed", 0)?,
         quantized: args.flag("quantized"),
+        retry: qd_fed::RetryConfig {
+            max_attempts: args.get_usize("retry-max", 1)? as u32,
+            base_backoff_ms: args.get_f32("retry-backoff-ms", 50.0)?,
+            deadline_ms: args.get_f32("round-deadline-ms", 0.0)?,
+            hedge_after_ms: args.get_f32("hedge-after-ms", 0.0)?,
+        },
         ..qd_fed::NetConfig::default()
     };
     net.validate()
@@ -209,7 +218,9 @@ fn train(args: &Args) -> Result<String, CliError> {
     config.train_phase = config
         .train_phase
         .with_aggregator(aggregator)
-        .with_min_quorum(quorum);
+        .with_min_quorum(quorum)
+        .with_sample_slack(args.get_usize("sample-slack", 0)?)
+        .with_cooldown_rounds(args.get_usize("cooldown-rounds", 0)?);
     config.unlearn_phase = Phase::unlearning(1, steps.min(6), batch, lr / 2.0);
     config.max_unlearn_rounds = 4;
     config.net = net_config_from(args)?;
@@ -249,11 +260,14 @@ fn train(args: &Args) -> Result<String, CliError> {
     let net_line = if report.fl_stats.net.total_bytes() > 0 {
         let n = &report.fl_stats.net;
         format!(
-            "network: {:.1} KiB on the wire, {:.0} ms simulated, {} drops, {} retries\n",
+            "network: {:.1} KiB on the wire, {:.0} ms simulated, {} drops, \
+             {} retries, {} timed out, {} hedged\n",
             n.total_bytes() as f64 / 1024.0,
             n.sim.as_secs_f64() * 1000.0,
             n.drops,
             n.retries,
+            n.timed_out,
+            n.hedges,
         )
     } else {
         String::new()
@@ -473,6 +487,14 @@ mod tests {
             "--net-seed",
             "9",
             "--quantized",
+            "--retry-max",
+            "4",
+            "--retry-backoff-ms",
+            "25",
+            "--round-deadline-ms",
+            "900",
+            "--hedge-after-ms",
+            "300",
         ]);
         let net = net_config_from(&a).unwrap();
         assert_eq!(net.latency_ms, 20.0);
@@ -482,8 +504,16 @@ mod tests {
         assert_eq!(net.seed, 9);
         assert!(net.quantized);
         assert!(!net.is_ideal());
-        // Defaults stay ideal so the loopback fast path is kept.
-        assert!(net_config_from(&args(&["train"])).unwrap().is_ideal());
+        assert_eq!(net.retry.max_attempts, 4);
+        assert_eq!(net.retry.base_backoff_ms, 25.0);
+        assert_eq!(net.retry.deadline_ms, 900.0);
+        assert_eq!(net.retry.hedge_after_ms, 300.0);
+        assert!(net.retry.is_active());
+        // Defaults stay ideal so the loopback fast path is kept, with
+        // the passive retry policy that never wraps the transport.
+        let defaults = net_config_from(&args(&["train"])).unwrap();
+        assert!(defaults.is_ideal());
+        assert!(!defaults.retry.is_active());
     }
 
     #[test]
@@ -493,6 +523,21 @@ mod tests {
             vec!["train", "--loss-prob", "-0.1"],
             vec!["train", "--straggler-frac", "2"],
             vec!["train", "--net-latency-ms", "-5"],
+            vec!["train", "--retry-max", "0"],
+            vec![
+                "train",
+                "--round-deadline-ms",
+                "10",
+                "--retry-backoff-ms",
+                "50",
+            ],
+            vec![
+                "train",
+                "--round-deadline-ms",
+                "100",
+                "--hedge-after-ms",
+                "100",
+            ],
         ] {
             let err = net_config_from(&args(&bad)).unwrap_err();
             assert!(matches!(err, CliError::Usage(_)), "{bad:?}");

@@ -392,6 +392,7 @@ mod tests {
                 next_round: 2,
                 rng: Rng::seed_from(3).state(),
                 guard: qd_fed::GuardState::default(),
+                health: qd_fed::HealthState::default(),
             },
             trainer_synthetic: vec![None, Some(qd.synthetic_sets()[0].clone())],
             trainer_round_robin: vec![0, 4],

@@ -424,6 +424,11 @@ pub struct ResilienceStats {
     /// Rounds that fell back to the previous global model because fewer
     /// than `min_quorum` valid updates arrived.
     pub quorum_fallbacks: usize,
+    /// Circuit-breaker openings: clients sent into cooldown after
+    /// consecutive transport failures (see `crate::ClientHealth`).
+    pub cooled_down: usize,
+    /// Clients re-admitted from cooldown as half-open probes.
+    pub half_open_probes: usize,
 }
 
 impl ResilienceStats {
@@ -433,6 +438,8 @@ impl ResilienceStats {
         self.rejected_norm += other.rejected_norm;
         self.quarantined += other.quarantined;
         self.quorum_fallbacks += other.quorum_fallbacks;
+        self.cooled_down += other.cooled_down;
+        self.half_open_probes += other.half_open_probes;
     }
 
     /// Total updates rejected at ingestion.
@@ -636,16 +643,22 @@ mod tests {
             rejected_norm: 2,
             quarantined: 3,
             quorum_fallbacks: 4,
+            cooled_down: 5,
+            half_open_probes: 6,
         };
         let b = ResilienceStats {
             rejected_non_finite: 10,
             rejected_norm: 20,
             quarantined: 30,
             quorum_fallbacks: 40,
+            cooled_down: 50,
+            half_open_probes: 60,
         };
         a.merge(&b);
         assert_eq!(a.rejected(), 33);
         assert_eq!(a.quarantined, 33);
         assert_eq!(a.quorum_fallbacks, 44);
+        assert_eq!(a.cooled_down, 55);
+        assert_eq!(a.half_open_probes, 66);
     }
 }

@@ -5,6 +5,7 @@ use crate::aggregate::{
     ClientUpdate, GuardConfig, GuardState, ResilienceStats, UpdateGuard, Violation,
 };
 use crate::faults::FaultPlan;
+use crate::health::{ClientHealth, HealthConfig, HealthState};
 use crate::{ClientTrainer, Phase};
 use qd_data::Dataset;
 use qd_net::{LoopbackTransport, NetStats, Transport};
@@ -128,6 +129,10 @@ pub struct ResumeState {
     pub rng: RngState,
     /// Violation counts and quarantine decisions at the round boundary.
     pub guard: GuardState,
+    /// Circuit-breaker failure counts and cooldowns at the round
+    /// boundary, so a resumed phase re-samples (and re-excludes) exactly
+    /// the clients the uninterrupted run would have.
+    pub health: HealthState,
 }
 
 /// Round-boundary hook for [`Federation::run_phase_resumable`]: called
@@ -148,6 +153,7 @@ pub struct Federation {
     history: Vec<RoundRecord>,
     transport: Box<dyn Transport>,
     guard: UpdateGuard,
+    health: ClientHealth,
     fault_plan: Option<FaultPlan>,
 }
 
@@ -173,6 +179,7 @@ impl Federation {
         assert!(!clients.is_empty(), "federation needs at least one client");
         let global = model.init(rng);
         let guard = UpdateGuard::new(GuardConfig::default(), clients.len());
+        let health = ClientHealth::new(HealthConfig::default(), clients.len());
         Federation {
             model,
             clients,
@@ -181,6 +188,7 @@ impl Federation {
             history: Vec::new(),
             transport: Box::new(LoopbackTransport::new()),
             guard,
+            health,
             fault_plan: None,
         }
     }
@@ -190,6 +198,7 @@ impl Federation {
     pub fn with_params(model: Arc<dyn Module>, clients: Vec<Dataset>, global: Vec<Tensor>) -> Self {
         assert!(!clients.is_empty(), "federation needs at least one client");
         let guard = UpdateGuard::new(GuardConfig::default(), clients.len());
+        let health = ClientHealth::new(HealthConfig::default(), clients.len());
         Federation {
             model,
             clients,
@@ -198,6 +207,7 @@ impl Federation {
             history: Vec::new(),
             transport: Box::new(LoopbackTransport::new()),
             guard,
+            health,
             fault_plan: None,
         }
     }
@@ -219,6 +229,18 @@ impl Federation {
     /// counts, quarantine decisions).
     pub fn guard(&self) -> &UpdateGuard {
         &self.guard
+    }
+
+    /// Replaces the transport-health circuit-breaker policy. Resets
+    /// failure streaks and lifts any open cooldowns.
+    pub fn set_health(&mut self, config: HealthConfig) {
+        self.health = ClientHealth::new(config, self.clients.len());
+    }
+
+    /// The per-client transport health tracker (failure streaks, open
+    /// breakers, half-open probes).
+    pub fn health(&self) -> &ClientHealth {
+        &self.health
     }
 
     /// Installs (or, with `None`, removes) a client-side fault-injection
@@ -372,6 +394,7 @@ impl Federation {
                 );
                 *rng = Rng::from_state(&cursor.rng);
                 self.guard.restore(cursor.guard.clone());
+                self.health.restore(cursor.health.clone());
                 cursor.next_round
             }
             None => 0,
@@ -393,25 +416,35 @@ impl Federation {
         let start = Instant::now();
         for round in start_round..phase.rounds {
             'round: {
+                // Open circuit breakers advance one round; the ones that
+                // expire re-admit their client as a half-open probe.
+                stats.resilience.half_open_probes += self.health.tick();
                 // Quarantined clients are barred from this and all later
-                // rounds (the set can only grow as the phase runs).
+                // rounds (the set can only grow as the phase runs);
+                // cooling clients sit out until their breaker half-opens.
                 let round_eligible: Vec<usize> = eligible
                     .iter()
                     .copied()
-                    .filter(|&i| !self.guard.is_quarantined(i))
+                    .filter(|&i| !self.guard.is_quarantined(i) && !self.health.is_cooling(i))
                     .collect();
                 if round_eligible.is_empty() {
                     stats.resilience.quorum_fallbacks += 1;
                     break 'round;
                 }
-                let participants: Vec<usize> = if phase.participation >= 1.0 {
-                    round_eligible.clone()
+                // Over-provisioned sampling: draw `target_k + slack`
+                // clients, aggregate only the first `target_k` whose
+                // round trips complete. With `sample_slack == 0` the
+                // draw is identical to the historical one.
+                let (participants, target_k): (Vec<usize>, usize) = if phase.participation >= 1.0 {
+                    let n = round_eligible.len();
+                    (round_eligible.clone(), n)
                 } else {
                     let k = ((round_eligible.len() as f32 * phase.participation).round() as usize)
                         .clamp(1, round_eligible.len());
-                    let mut picks = rng.choose_indices(round_eligible.len(), k);
+                    let sampled = (k + phase.sample_slack).min(round_eligible.len());
+                    let mut picks = rng.choose_indices(round_eligible.len(), sampled);
                     picks.sort_unstable();
-                    picks.into_iter().map(|j| round_eligible[j]).collect()
+                    (picks.into_iter().map(|j| round_eligible[j]).collect(), k)
                 };
                 let sizes: Vec<usize> = participants
                     .iter()
@@ -439,10 +472,16 @@ impl Federation {
                 // dropout, retry budget exhausted) means the client never
                 // sees this round and computes nothing.
                 self.transport.begin_round(&participants);
-                let mut start_params: Vec<Option<Vec<Tensor>>> = participants
-                    .iter()
-                    .map(|&c| self.transport.download(c, &global_before).tensors)
-                    .collect();
+                let mut start_params: Vec<Option<Vec<Tensor>>> =
+                    Vec::with_capacity(participants.len());
+                // Per-slot simulated round-trip time, the arrival order
+                // used to pick the first `target_k` finishers.
+                let mut path_time: Vec<Duration> = Vec::with_capacity(participants.len());
+                for &c in &participants {
+                    let d = self.transport.download(c, &global_before);
+                    path_time.push(d.sim);
+                    start_params.push(d.tensors);
+                }
 
                 let mut outcomes: Vec<Option<crate::LocalOutcome>> = Vec::new();
                 outcomes.resize_with(participants.len(), || None);
@@ -511,7 +550,9 @@ impl Federation {
                             }
                         }
                     }
-                    delivered[slot] = self.transport.upload(client, upload).tensors;
+                    let d = self.transport.upload(client, upload);
+                    path_time[slot] += d.sim;
+                    delivered[slot] = d.tensors;
                 }
                 self.transport.end_round();
 
@@ -519,6 +560,35 @@ impl Federation {
                 stats.download_scalars += participants.len() * model_scalars;
                 stats.upload_scalars +=
                     delivered.iter().filter(|d| d.is_some()).count() * model_scalars;
+
+                // Transport-level health: a completed round trip resets a
+                // client's failure streak; anything else (failed download,
+                // mid-round crash, lost or timed-out upload) is a strike
+                // that can open the circuit breaker. Runs before slack
+                // trimming — a discarded extra arrival is the server's
+                // choice, not a client fault.
+                for (slot, d) in delivered.iter().enumerate() {
+                    let client = participants[slot];
+                    if d.is_some() {
+                        self.health.on_success(client);
+                    } else if self.health.on_failure(client, phase.cooldown_rounds) {
+                        stats.resilience.cooled_down += 1;
+                    }
+                }
+
+                // Over-provisioned rounds keep only the first `target_k`
+                // arrivals by simulated completion time (ties broken by
+                // client id — `participants` is sorted, so the stable
+                // sort on time alone preserves id order within a tie).
+                if participants.len() > target_k {
+                    let mut arrived: Vec<usize> = (0..participants.len())
+                        .filter(|&s| delivered[s].is_some())
+                        .collect();
+                    arrived.sort_by_key(|&s| (path_time[s], participants[s]));
+                    for &s in arrived.iter().skip(target_k) {
+                        delivered[s] = None;
+                    }
+                }
 
                 // Ingestion-time validation: every decoded update passes
                 // the guard; rejected ones are dropped before aggregation
@@ -599,6 +669,7 @@ impl Federation {
                     next_round: round + 1,
                     rng: rng.state(),
                     guard: self.guard.state().clone(),
+                    health: self.health.state().clone(),
                 };
                 if !obs(&cursor, &self.global, trainers) {
                     break;
@@ -898,15 +969,21 @@ mod tests {
                 bytes_down: 1000 * scale,
                 bytes_up: 500 * scale,
                 sim: Duration::from_millis(4 * scale),
+                transfers: 11 * scale,
                 delivered: 6 * scale,
                 retries: scale,
                 drops: scale,
+                timed_out: 3 * scale,
+                unreachable: scale,
+                hedges: 2 * scale,
             },
             resilience: ResilienceStats {
                 rejected_non_finite: 2 * s,
                 rejected_norm: s,
                 quarantined: s,
                 quorum_fallbacks: s,
+                cooled_down: 3 * s,
+                half_open_probes: 2 * s,
             },
         }
     }
@@ -924,14 +1001,20 @@ mod tests {
         assert_eq!(total.net.bytes_down, 3000);
         assert_eq!(total.net.bytes_up, 1500);
         assert_eq!(total.net.sim, Duration::from_millis(12));
+        assert_eq!(total.net.transfers, 33);
         assert_eq!(total.net.delivered, 18);
         assert_eq!(total.net.retries, 3);
         assert_eq!(total.net.drops, 3);
+        assert_eq!(total.net.timed_out, 9);
+        assert_eq!(total.net.unreachable, 3);
+        assert_eq!(total.net.hedges, 6);
         assert_eq!(total.resilience.rejected_non_finite, 6);
         assert_eq!(total.resilience.rejected_norm, 3);
         assert_eq!(total.resilience.rejected(), 9);
         assert_eq!(total.resilience.quarantined, 3);
         assert_eq!(total.resilience.quorum_fallbacks, 3);
+        assert_eq!(total.resilience.cooled_down, 9);
+        assert_eq!(total.resilience.half_open_probes, 6);
     }
 
     #[test]

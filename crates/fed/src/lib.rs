@@ -17,7 +17,7 @@
 //!
 //! # Update history
 //!
-//! When [`Federation::record_history`] is enabled, every round's starting
+//! When [`Federation::set_record_history`] is enabled, every round's starting
 //! global model and per-client updates are retained — the storage that
 //! FedEraser trades for unlearning speed.
 //!
@@ -47,6 +47,7 @@
 mod aggregate;
 mod faults;
 mod federation;
+mod health;
 mod phase;
 mod trainer;
 
@@ -58,9 +59,13 @@ pub use faults::{FaultKind, FaultPlan, BYZANTINE_SCALE};
 pub use federation::{
     Federation, PhaseObserver, PhaseStats, ResumeState, RoundBreakdown, RoundRecord,
 };
+pub use health::{ClientHealth, HealthConfig, HealthState};
 pub use phase::Phase;
 pub use trainer::{sgd_trainers, ClientTrainer, LocalOutcome, SgdClientTrainer};
 
 // Re-exported so downstream crates can configure a federation's network
 // without depending on `qd-net` directly.
-pub use qd_net::{LoopbackTransport, NetConfig, NetStats, SimNet, Transport};
+pub use qd_net::{
+    Delivery, LoopbackTransport, NetConfig, NetStats, ReliableTransport, RetryConfig, SimNet,
+    Transport,
+};

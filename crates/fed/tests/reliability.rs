@@ -1,0 +1,202 @@
+//! Integration tests for the deadline-driven reliability layer:
+//! over-provisioned sampling, the client-health circuit breaker, and
+//! bit-for-bit resume with health state in the cursor.
+
+use qd_fed::{
+    sgd_trainers, ClientTrainer, Federation, HealthConfig, NetConfig, Phase, ReliableTransport,
+    ResumeState, RetryConfig, SimNet,
+};
+use qd_nn::{Mlp, Module};
+use qd_tensor::rng::Rng;
+use qd_tensor::Tensor;
+use std::sync::Arc;
+
+fn build(seed: u64, n_clients: usize) -> (Federation, Vec<Box<dyn ClientTrainer>>, Rng) {
+    let mut rng = Rng::seed_from(seed);
+    let model: Arc<dyn Module> = Arc::new(Mlp::new(&[256, 16, 10]));
+    let clients: Vec<_> = (0..n_clients)
+        .map(|_| qd_data::SyntheticDataset::Digits.generate(16, &mut rng))
+        .collect();
+    let fed = Federation::new(model.clone(), clients, &mut rng);
+    let trainers = sgd_trainers(model, n_clients);
+    (fed, trainers, rng)
+}
+
+fn assert_bit_identical(a: &[Tensor], b: &[Tensor]) {
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(b) {
+        for (u, v) in x.data().iter().zip(y.data()) {
+            assert_eq!(u.to_bits(), v.to_bits());
+        }
+    }
+}
+
+#[test]
+fn sample_slack_caps_the_aggregation_cohort_at_target_k() {
+    // 10 clients at 30% participation: target k = 3, slack 4 means 7 are
+    // sampled each round — but no round may ever aggregate more than 3.
+    let (mut fed, mut trainers, mut rng) = build(2, 10);
+    fed.set_record_history(true);
+    let phase = Phase::training(6, 1, 8, 0.05)
+        .with_participation(0.3)
+        .with_sample_slack(4);
+    let stats = fed.run_phase(&mut trainers, None, &phase, &mut rng);
+    assert_eq!(stats.rounds, 6);
+    for rec in fed.history() {
+        assert_eq!(rec.participants.len(), 3, "slack must be trimmed back to k");
+        let total: f32 = rec.weights.iter().sum();
+        assert!((total - 1.0).abs() < 1e-4, "weights renormalize over kept");
+    }
+    // All 7 sampled clients paid a download, only the kept 3 an upload.
+    let model_scalars: usize = fed.global().iter().map(Tensor::len).sum();
+    assert_eq!(stats.download_scalars, 6 * 7 * model_scalars);
+}
+
+#[test]
+fn slack_keeps_rounds_at_quorum_under_dropout() {
+    // With 40% mid-round failures and k = 2 of 8, a slack of 4 should
+    // rescue rounds the slack-less run loses to quorum fallback.
+    let run = |slack: usize| {
+        let (mut fed, mut trainers, mut rng) = build(5, 8);
+        let phase = Phase::training(12, 1, 8, 0.05)
+            .with_participation(0.25)
+            .with_dropout(0.4)
+            .with_min_quorum(2)
+            .with_sample_slack(slack);
+        fed.run_phase(&mut trainers, None, &phase, &mut rng)
+            .resilience
+            .quorum_fallbacks
+    };
+    let without = run(0);
+    let with = run(4);
+    assert!(
+        with < without,
+        "slack should reduce quorum fallbacks: {with} vs {without}"
+    );
+}
+
+#[test]
+fn breaker_cools_down_failing_clients_and_probes_reentry() {
+    let (mut fed, mut trainers, mut rng) = build(3, 4);
+    fed.set_health(HealthConfig { breaker_after: 1 });
+    // Heavy mid-round crashes with a one-strike breaker: failures open
+    // cooldowns, cooldowns expire into half-open probes.
+    let phase = Phase::training(14, 1, 8, 0.05)
+        .with_dropout(0.5)
+        .with_cooldown_rounds(2);
+    let stats = fed.run_phase(&mut trainers, None, &phase, &mut rng);
+    assert_eq!(stats.rounds, 14);
+    assert!(
+        stats.resilience.cooled_down > 0,
+        "0.5 dropout with a one-strike breaker must trip: {:?}",
+        stats.resilience
+    );
+    assert!(
+        stats.resilience.half_open_probes > 0,
+        "expired cooldowns must re-enter as probes: {:?}",
+        stats.resilience
+    );
+}
+
+#[test]
+fn zero_cooldown_leaves_the_sampling_pool_alone() {
+    // cooldown_rounds == 0 disables the breaker: health bookkeeping runs
+    // but never removes a client, so the trace matches a run under the
+    // most trigger-happy policy bit-for-bit.
+    let run = |config: HealthConfig| {
+        let (mut fed, mut trainers, mut rng) = build(9, 5);
+        fed.set_health(config);
+        let phase = Phase::training(8, 1, 8, 0.05)
+            .with_participation(0.6)
+            .with_dropout(0.4);
+        fed.run_phase(&mut trainers, None, &phase, &mut rng);
+        fed.global().to_vec()
+    };
+    let strict = run(HealthConfig { breaker_after: 1 });
+    let lax = run(HealthConfig { breaker_after: 100 });
+    assert_bit_identical(&strict, &lax);
+}
+
+#[test]
+fn resume_mid_phase_with_open_breaker_is_bit_for_bit() {
+    // Run 12 rounds with faults and an aggressive breaker, capturing the
+    // cursor after round 5 — by which point some client has cooled down —
+    // then resume a fresh federation from it and compare final params.
+    let phase = Phase::training(12, 1, 8, 0.05)
+        .with_participation(0.75)
+        .with_dropout(0.5)
+        .with_sample_slack(1)
+        .with_cooldown_rounds(3);
+    let health = HealthConfig { breaker_after: 1 };
+
+    let (mut fed, mut trainers, mut rng) = build(11, 4);
+    fed.set_health(health);
+    let mut mid: Option<(ResumeState, Vec<Tensor>)> = None;
+    let mut observer = |cursor: &ResumeState, global: &[Tensor], _: &[Box<dyn ClientTrainer>]| {
+        if cursor.next_round == 5 {
+            mid = Some((cursor.clone(), global.to_vec()));
+        }
+        true
+    };
+    fed.run_phase_resumable(
+        &mut trainers,
+        None,
+        &phase,
+        &mut rng,
+        None,
+        Some(&mut observer),
+    );
+    let full = fed.global().to_vec();
+    let (cursor, global_at_5) = mid.expect("phase reached round 5");
+    assert!(
+        cursor.health.cooldown.iter().any(|&c| c > 0),
+        "test premise: some breaker must be open at the capture point, got {:?}",
+        cursor.health
+    );
+
+    let (mut fed2, mut trainers2, _) = build(11, 4);
+    fed2.set_health(health);
+    fed2.set_global(global_at_5);
+    let mut rng2 = Rng::seed_from(0); // overwritten by the cursor
+    fed2.run_phase_resumable(&mut trainers2, None, &phase, &mut rng2, Some(&cursor), None);
+    assert_bit_identical(&full, fed2.global());
+}
+
+#[test]
+fn reliable_simnet_federation_recovers_lossy_rounds() {
+    // End-to-end through the real round loop: a lossy link that the
+    // retry wrapper papers over, where the bare transport loses uploads.
+    let net = NetConfig {
+        loss_prob: 0.4,
+        max_retries: 0,
+        seed: 21,
+        ..NetConfig::default()
+    };
+    let run = |retry: Option<RetryConfig>| {
+        let (mut fed, mut trainers, mut rng) = build(13, 4);
+        let sim = SimNet::new(net);
+        match retry {
+            Some(r) => fed.set_transport(Box::new(ReliableTransport::new(sim, r, net.seed))),
+            None => fed.set_transport(Box::new(sim)),
+        }
+        let phase = Phase::training(6, 1, 8, 0.05);
+        fed.run_phase(&mut trainers, None, &phase, &mut rng)
+    };
+    let bare = run(None);
+    let wrapped = run(Some(RetryConfig {
+        max_attempts: 5,
+        base_backoff_ms: 10.0,
+        ..RetryConfig::default()
+    }));
+    assert!(bare.net.drops > 0, "baseline must lose transfers");
+    assert!(wrapped.net.drops < bare.net.drops);
+    assert!(wrapped.net.retries > bare.net.retries);
+    assert!(
+        wrapped.upload_scalars > bare.upload_scalars,
+        "recovered transfers mean more updates aggregated"
+    );
+    assert_eq!(
+        wrapped.net.drops + wrapped.net.timed_out + wrapped.net.unreachable + wrapped.net.delivered,
+        wrapped.net.transfers
+    );
+}

@@ -257,6 +257,7 @@ fn resume_cursor_beyond_phase_is_rejected() {
         next_round: 5,
         rng: rng.state(),
         guard: fed.guard().state().clone(),
+        health: fed.health().state().clone(),
     };
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         fed.run_phase_resumable(&mut trainers, None, &phase, &mut rng, Some(&cursor), None)

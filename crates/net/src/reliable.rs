@@ -1,0 +1,527 @@
+//! Application-level reliability on top of any [`Transport`]: bounded
+//! re-requests with deterministic exponential backoff, a per-round
+//! deadline, and hedged duplicates for stragglers.
+
+use crate::sim::mix;
+use crate::{Delivery, NetStats, RetryConfig, Transport};
+use qd_tensor::rng::Rng;
+use qd_tensor::Tensor;
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// Stream tags for the wrapper's own (backoff-jitter) draws, disjoint
+/// by construction from the wrapped transport's: the wrapper mixes its
+/// seed with [`WRAP_MIX`] first.
+const TAG_BACKOFF_DOWN: u64 = 0x05;
+const TAG_BACKOFF_UP: u64 = 0x06;
+
+/// Domain separator between the wrapper's streams and the inner
+/// transport's (which may share the same seed).
+const WRAP_MIX: u64 = 0x5E1F_AB1E_0DEA_D11E;
+
+/// Wraps a [`Transport`] with the server-side reliability loop of a
+/// deadline-driven round:
+///
+/// * **Retry** — a failed transfer is re-requested up to
+///   [`RetryConfig::max_attempts`] times in total, waiting an
+///   exponentially growing backoff (seeded jitter on top) between
+///   attempts. Re-requests are *fresh* transfers of the wrapped
+///   transport, so under [`crate::SimNet`] they draw new loss/jitter
+///   randomness.
+/// * **Deadline** — each client has a per-round budget of simulated
+///   time ([`RetryConfig::deadline_ms`]). A transfer that would land
+///   past it is abandoned, counted as [`NetStats::timed_out`] and
+///   returned undelivered; this is what keeps a straggling or flaky
+///   client from stalling the round indefinitely.
+/// * **Hedging** — a transfer that *succeeds* but takes longer than
+///   [`RetryConfig::hedge_after_ms`] is raced against a duplicate
+///   issued at that threshold; the earlier arrival wins. Both copies
+///   pay wire bytes.
+///
+/// The wrapper owns the [`NetStats`] its callers see: outcome counters
+/// are per *logical* transfer (one download/upload call), so a delivery
+/// that needed three re-requests is one `delivered` plus two `retries`,
+/// never three separate outcomes — the invariant `delivered + drops +
+/// timed_out + unreachable == transfers` holds at this level. The inner
+/// transport's own counters are drained and discarded.
+///
+/// With the passive [`RetryConfig::default`] every transfer maps to
+/// exactly one inner attempt with unchanged timing, so wrapping changes
+/// no outcome — but the default federation wiring skips the wrapper
+/// entirely unless [`RetryConfig::is_active`].
+pub struct ReliableTransport<T: Transport> {
+    inner: T,
+    retry: RetryConfig,
+    seed: u64,
+    round: u64,
+    /// Per-client simulated time spent this round (deadline budget and
+    /// round-makespan bookkeeping, backoff waits included).
+    elapsed: BTreeMap<usize, Duration>,
+    stats: NetStats,
+}
+
+impl<T: Transport> std::fmt::Debug for ReliableTransport<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ReliableTransport(round {}, {:?})",
+            self.round, self.retry
+        )
+    }
+}
+
+impl<T: Transport> ReliableTransport<T> {
+    /// Wraps `inner` with the given (validated) policy. `seed` drives
+    /// the backoff jitter; reusing the network seed is fine — the
+    /// wrapper's streams are domain-separated from the transport's.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the validation error's message if `retry` is
+    /// nonsensical (see [`RetryConfig::validate`]).
+    pub fn new(inner: T, retry: RetryConfig, seed: u64) -> Self {
+        if let Err(msg) = retry.validate() {
+            panic!("{msg}");
+        }
+        ReliableTransport {
+            inner,
+            retry,
+            seed,
+            round: 0,
+            elapsed: BTreeMap::new(),
+            stats: NetStats::default(),
+        }
+    }
+
+    /// The wrapped transport.
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+
+    /// The reliability policy in force.
+    pub fn retry(&self) -> &RetryConfig {
+        &self.retry
+    }
+
+    /// The seeded backoff jitter in `[0, 1)` for one re-request, a pure
+    /// function of `(seed, round, client, direction, attempt)`.
+    fn jitter(&self, client: usize, tag: u64, attempt: u32) -> f64 {
+        let s = mix(self.seed ^ WRAP_MIX)
+            ^ mix(self.round.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ ((client as u64) << 8)
+                ^ tag
+                ^ (u64::from(attempt) << 24));
+        let mut rng = Rng::seed_from(mix(s));
+        f64::from(rng.uniform(0.0, 1.0))
+    }
+
+    /// The backoff wait before re-request number `attempt` (1-based
+    /// count of *failed* attempts so far): `base · 2^(attempt-1)`,
+    /// stretched by the seeded jitter.
+    fn backoff(&self, client: usize, tag: u64, attempt: u32) -> Duration {
+        let base = self.retry.base_backoff_ms as f64;
+        let exp = f64::from(2u32.saturating_pow(attempt.saturating_sub(1)).min(1 << 16));
+        let ms = base * exp * (1.0 + self.jitter(client, tag, attempt));
+        Duration::from_secs_f64(ms / 1e3)
+    }
+
+    /// Bills one inner attempt's wire bytes and link-level retries
+    /// (`attempts - 1` re-sends below the wrapper, e.g. `SimNet`'s
+    /// bounded loss retry) into the wrapper's own stats — which replace
+    /// the inner transport's wholesale.
+    fn bill(&mut self, tag: u64, d: &Delivery) {
+        if tag == TAG_BACKOFF_DOWN {
+            self.stats.bytes_down += d.bytes;
+        } else {
+            self.stats.bytes_up += d.bytes;
+        }
+        self.stats.retries += u64::from(d.attempts.saturating_sub(1));
+    }
+
+    /// Runs one logical transfer through the retry/deadline/hedge loop.
+    /// `send` issues one fresh attempt on the wrapped transport.
+    fn reliable<F>(&mut self, client: usize, tag: u64, mut send: F) -> Delivery
+    where
+        F: FnMut(&mut T) -> Delivery,
+    {
+        self.stats.transfers += 1;
+        let spent = self.elapsed.get(&client).copied().unwrap_or_default();
+        let deadline = self.retry.deadline();
+        // The budget was already exhausted by an earlier transfer (e.g.
+        // the download ate the whole round): give up without sending.
+        if deadline.is_some_and(|d| spent >= d) {
+            self.stats.timed_out += 1;
+            return Delivery {
+                tensors: None,
+                bytes: 0,
+                sim: Duration::ZERO,
+                attempts: 0,
+            };
+        }
+        let mut total = Duration::ZERO;
+        let mut bytes = 0u64;
+        let mut attempts = 0u32;
+        let mut failed_tries = 0u32;
+        for try_no in 1..=self.retry.max_attempts {
+            let d = send(&mut self.inner);
+            self.bill(tag, &d);
+            bytes += d.bytes;
+            attempts += d.attempts;
+            if d.attempts == 0 {
+                // Known unreachable for the whole round; re-requesting
+                // cannot help, so pass the verdict through.
+                total += d.sim;
+                *self.elapsed.entry(client).or_default() += total;
+                self.stats.unreachable += 1;
+                return Delivery {
+                    tensors: None,
+                    bytes,
+                    sim: total,
+                    attempts: 0,
+                };
+            }
+            if d.delivered() {
+                let mut sim = d.sim;
+                // Hedge a straggling success: a duplicate issued at the
+                // threshold races the original; earlier arrival wins.
+                if let Some(threshold) = self.retry.hedge_after() {
+                    if sim > threshold {
+                        let h = send(&mut self.inner);
+                        self.bill(tag, &h);
+                        bytes += h.bytes;
+                        attempts += h.attempts;
+                        self.stats.hedges += 1;
+                        if h.delivered() && threshold + h.sim < sim {
+                            sim = threshold + h.sim;
+                        }
+                    }
+                }
+                total += sim;
+                if deadline.is_some_and(|dl| spent + total > dl) {
+                    // Arrived, but past the round deadline: the server
+                    // has already moved on.
+                    *self.elapsed.entry(client).or_default() += total;
+                    self.stats.timed_out += 1;
+                    return Delivery {
+                        tensors: None,
+                        bytes,
+                        sim: total,
+                        attempts,
+                    };
+                }
+                *self.elapsed.entry(client).or_default() += total;
+                self.stats.delivered += 1;
+                return Delivery {
+                    tensors: d.tensors,
+                    bytes,
+                    sim: total,
+                    attempts,
+                };
+            }
+            // Failed attempt: charge its time, then back off before the
+            // next re-request (if any budget remains).
+            total += d.sim;
+            failed_tries += 1;
+            if deadline.is_some_and(|dl| spent + total >= dl) {
+                *self.elapsed.entry(client).or_default() += total;
+                self.stats.timed_out += 1;
+                return Delivery {
+                    tensors: None,
+                    bytes,
+                    sim: total,
+                    attempts,
+                };
+            }
+            if try_no < self.retry.max_attempts {
+                total += self.backoff(client, tag, failed_tries);
+                self.stats.retries += 1;
+            }
+        }
+        // Every attempt failed: a genuine drop.
+        *self.elapsed.entry(client).or_default() += total;
+        self.stats.drops += 1;
+        Delivery {
+            tensors: None,
+            bytes,
+            sim: total,
+            attempts,
+        }
+    }
+}
+
+impl<T: Transport> Transport for ReliableTransport<T> {
+    fn begin_round(&mut self, participants: &[usize]) {
+        self.round += 1;
+        self.elapsed.clear();
+        self.inner.begin_round(participants);
+    }
+
+    fn download(&mut self, client: usize, params: &[Tensor]) -> Delivery {
+        self.reliable(client, TAG_BACKOFF_DOWN, |inner| {
+            inner.download(client, params)
+        })
+    }
+
+    fn upload(&mut self, client: usize, params: Vec<Tensor>) -> Delivery {
+        self.reliable(client, TAG_BACKOFF_UP, |inner| {
+            inner.upload(client, params.clone())
+        })
+    }
+
+    fn end_round(&mut self) {
+        self.inner.end_round();
+        // The wrapper owns the accounting: wire bytes and per-transfer
+        // outcomes were folded in as deliveries completed, and the
+        // round's cost is the slowest client's path *including* backoff
+        // waits — so the inner transport's view is dropped wholesale.
+        let _ = self.inner.take_stats();
+        if let Some(makespan) = self.elapsed.values().max() {
+            self.stats.sim += *makespan;
+        }
+        self.elapsed.clear();
+    }
+
+    fn take_stats(&mut self) -> NetStats {
+        std::mem::take(&mut self.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NetConfig, SimNet};
+    use qd_tensor::rng::Rng as TRng;
+
+    fn params() -> Vec<Tensor> {
+        let mut rng = TRng::seed_from(3);
+        vec![Tensor::randn(&[32, 16], &mut rng)]
+    }
+
+    /// Drives `transfers`-many download+upload rounds and returns stats.
+    fn drive(mut t: impl Transport, rounds: usize, clients: &[usize]) -> NetStats {
+        let p = params();
+        for _ in 0..rounds {
+            t.begin_round(clients);
+            let mut got = Vec::new();
+            for &c in clients {
+                if t.download(c, &p).delivered() {
+                    got.push(c);
+                }
+            }
+            for &c in &got {
+                t.upload(c, p.clone());
+            }
+            t.end_round();
+        }
+        t.take_stats()
+    }
+
+    fn assert_partition(s: &NetStats) {
+        assert_eq!(
+            s.drops + s.timed_out + s.unreachable + s.delivered,
+            s.transfers,
+            "{s:?}"
+        );
+    }
+
+    #[test]
+    fn passive_policy_is_a_transparent_passthrough() {
+        let cfg = NetConfig {
+            latency_ms: 10.0,
+            jitter_ms: 5.0,
+            loss_prob: 0.2,
+            dropout_prob: 0.2,
+            seed: 6,
+            ..NetConfig::default()
+        };
+        let bare = drive(SimNet::new(cfg), 5, &[0, 1, 2]);
+        let wrapped = drive(
+            ReliableTransport::new(SimNet::new(cfg), RetryConfig::default(), cfg.seed),
+            5,
+            &[0, 1, 2],
+        );
+        assert_eq!(bare, wrapped, "default RetryConfig must change nothing");
+        assert_partition(&wrapped);
+    }
+
+    #[test]
+    fn retry_recovers_transfers_the_bare_network_drops() {
+        let cfg = NetConfig {
+            loss_prob: 0.45,
+            max_retries: 0, // the link layer gives up immediately
+            seed: 9,
+            ..NetConfig::default()
+        };
+        let bare = drive(SimNet::new(cfg), 20, &[0, 1, 2]);
+        assert!(bare.drops > 0, "baseline must drop something: {bare:?}");
+        let retry = RetryConfig {
+            max_attempts: 6,
+            base_backoff_ms: 10.0,
+            ..RetryConfig::default()
+        };
+        let wrapped = drive(
+            ReliableTransport::new(SimNet::new(cfg), retry, cfg.seed),
+            20,
+            &[0, 1, 2],
+        );
+        assert_partition(&wrapped);
+        assert!(wrapped.retries > 0, "re-requests must be counted");
+        assert!(
+            wrapped.drops < bare.drops,
+            "retry must recover drops: {} vs {}",
+            wrapped.drops,
+            bare.drops
+        );
+        assert!(
+            wrapped.bytes_down + wrapped.bytes_up > bare.bytes_down + bare.bytes_up,
+            "re-requests pay wire bytes"
+        );
+    }
+
+    #[test]
+    fn backoff_waits_are_deterministic_and_grow() {
+        let t = ReliableTransport::new(
+            crate::LoopbackTransport::new(),
+            RetryConfig {
+                max_attempts: 4,
+                base_backoff_ms: 100.0,
+                ..RetryConfig::default()
+            },
+            7,
+        );
+        let b1 = t.backoff(3, TAG_BACKOFF_DOWN, 1);
+        let b2 = t.backoff(3, TAG_BACKOFF_DOWN, 2);
+        let b3 = t.backoff(3, TAG_BACKOFF_DOWN, 3);
+        // base · 2^(n-1) · (1 + jitter in [0, 1)).
+        assert!(b1 >= Duration::from_millis(100) && b1 < Duration::from_millis(200));
+        assert!(b2 >= Duration::from_millis(200) && b2 < Duration::from_millis(400));
+        assert!(b3 >= Duration::from_millis(400) && b3 < Duration::from_millis(800));
+        assert_eq!(b1, t.backoff(3, TAG_BACKOFF_DOWN, 1), "seeded, not sampled");
+        assert_ne!(
+            t.backoff(4, TAG_BACKOFF_DOWN, 1),
+            b1,
+            "jitter is per-client"
+        );
+    }
+
+    #[test]
+    fn deadline_turns_stragglers_into_timeouts() {
+        // 400 ms of latency against a 300 ms round budget: every
+        // download lands past the deadline and must be abandoned, never
+        // counted as delivered or dropped.
+        let cfg = NetConfig {
+            latency_ms: 400.0,
+            seed: 2,
+            ..NetConfig::default()
+        };
+        let retry = RetryConfig {
+            deadline_ms: 300.0,
+            base_backoff_ms: 10.0,
+            ..RetryConfig::default()
+        };
+        let stats = drive(
+            ReliableTransport::new(SimNet::new(cfg), retry, cfg.seed),
+            3,
+            &[0, 1],
+        );
+        assert_partition(&stats);
+        assert_eq!(stats.delivered, 0);
+        assert_eq!(stats.drops, 0);
+        assert_eq!(stats.timed_out, 6);
+        assert!(stats.bytes_down > 0, "the attempt still hit the wire");
+    }
+
+    #[test]
+    fn unreachable_verdicts_pass_through_uncounted_as_drops() {
+        let cfg = NetConfig {
+            dropout_prob: 0.5,
+            seed: 5,
+            ..NetConfig::default()
+        };
+        let retry = RetryConfig {
+            max_attempts: 3,
+            base_backoff_ms: 1.0,
+            ..RetryConfig::default()
+        };
+        let stats = drive(
+            ReliableTransport::new(SimNet::new(cfg), retry, cfg.seed),
+            10,
+            &[0, 1, 2, 3],
+        );
+        assert_partition(&stats);
+        assert!(stats.unreachable > 0, "dropout must fire: {stats:?}");
+        assert_eq!(stats.drops, 0, "no loss configured, so no drops");
+    }
+
+    #[test]
+    fn hedging_caps_straggler_tails() {
+        // Huge jitter, no loss: slow transfers get a hedged duplicate
+        // issued at 50 ms, so no delivery can take longer than
+        // 50 ms + one fresh draw — and the simulated makespan shrinks.
+        let cfg = NetConfig {
+            latency_ms: 5.0,
+            jitter_ms: 500.0,
+            seed: 8,
+            ..NetConfig::default()
+        };
+        let plain = drive(SimNet::new(cfg), 8, &[0, 1, 2]);
+        let retry = RetryConfig {
+            hedge_after_ms: 50.0,
+            ..RetryConfig::default()
+        };
+        let hedged = drive(
+            ReliableTransport::new(SimNet::new(cfg), retry, cfg.seed),
+            8,
+            &[0, 1, 2],
+        );
+        assert_partition(&hedged);
+        assert!(hedged.hedges > 0, "500 ms jitter must trigger hedges");
+        assert!(
+            hedged.sim < plain.sim,
+            "hedging should cut the tail: {:?} vs {:?}",
+            hedged.sim,
+            plain.sim
+        );
+        assert!(hedged.bytes_down > plain.bytes_down, "duplicates pay bytes");
+    }
+
+    #[test]
+    fn wrapped_runs_are_seed_deterministic() {
+        let cfg = NetConfig {
+            latency_ms: 5.0,
+            jitter_ms: 10.0,
+            loss_prob: 0.3,
+            dropout_prob: 0.2,
+            seed: 11,
+            ..NetConfig::default()
+        };
+        let retry = RetryConfig {
+            max_attempts: 3,
+            base_backoff_ms: 20.0,
+            deadline_ms: 4000.0,
+            hedge_after_ms: 30.0,
+        };
+        let a = drive(
+            ReliableTransport::new(SimNet::new(cfg), retry, cfg.seed),
+            6,
+            &[0, 1, 2, 3],
+        );
+        let b = drive(
+            ReliableTransport::new(SimNet::new(cfg), retry, cfg.seed),
+            6,
+            &[0, 1, 2, 3],
+        );
+        assert_eq!(a, b);
+        assert_partition(&a);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_attempts")]
+    fn constructor_rejects_invalid_policy() {
+        let bad = RetryConfig {
+            max_attempts: 0,
+            ..RetryConfig::default()
+        };
+        let _ = ReliableTransport::new(crate::LoopbackTransport::new(), bad, 0);
+    }
+}

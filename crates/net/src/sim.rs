@@ -12,6 +12,12 @@ const TAG_STRAGGLER: u64 = 0x02;
 const TAG_DOWN: u64 = 0x03;
 const TAG_UP: u64 = 0x04;
 
+/// Mixes the 1-based per-round call sequence into an event stream, so a
+/// re-requested transfer (same round, client and direction — e.g. from a
+/// [`crate::ReliableTransport`] retry or hedge) sees fresh randomness
+/// instead of deterministically replaying its first failure.
+const SEQ_MIX: u64 = 0xD1B5_4A32_D192_ED03;
+
 /// A simulated server ↔ client network with per-link latency, bandwidth
 /// and jitter, plus fault injection (round-long client dropout,
 /// persistent stragglers, message loss with bounded retry).
@@ -34,6 +40,10 @@ pub struct SimNet {
     unreachable: Vec<usize>,
     /// Per-client network path time accumulated this round.
     path: BTreeMap<usize, Duration>,
+    /// 1-based count of transfer calls per `(client, direction)` this
+    /// round, folded into the event streams so repeated calls (retries,
+    /// hedges) draw independently.
+    seq: BTreeMap<(usize, u64), u64>,
     /// The encoded global model of the current round (identical for
     /// every participant, so it is encoded once).
     down_frame: Option<(Payload, Vec<Tensor>)>,
@@ -52,7 +62,7 @@ impl std::fmt::Debug for SimNet {
 }
 
 /// SplitMix64 finalizer, used to derive independent stream seeds.
-fn mix(mut z: u64) -> u64 {
+pub(crate) fn mix(mut z: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
@@ -67,6 +77,7 @@ impl SimNet {
             stats: NetStats::default(),
             unreachable: Vec::new(),
             path: BTreeMap::new(),
+            seq: BTreeMap::new(),
             down_frame: None,
         }
     }
@@ -76,11 +87,25 @@ impl SimNet {
         &self.config
     }
 
-    /// An RNG for one `(round, client, event)` triple.
-    fn event_rng(&self, client: usize, tag: u64) -> Rng {
+    /// An RNG for one `(round, client, event, seq)` tuple. `seq` is the
+    /// 1-based index of the call within the round, so re-requests of the
+    /// same transfer draw independent streams.
+    fn event_rng(&self, client: usize, tag: u64, seq: u64) -> Rng {
         let s = self.config.seed
-            ^ mix(self.round.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (client as u64) << 8 ^ tag);
+            ^ mix(self.round.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ (client as u64) << 8
+                ^ tag
+                ^ seq.wrapping_mul(SEQ_MIX));
         Rng::seed_from(mix(s))
+    }
+
+    /// The next 1-based call sequence number for `(client, tag)` this
+    /// round. Per-client counters keep the draws independent of the
+    /// order clients are serviced in.
+    fn next_seq(&mut self, client: usize, tag: u64) -> u64 {
+        let n = self.seq.entry((client, tag)).or_insert(0);
+        *n += 1;
+        *n
     }
 
     /// Whether `client`'s link is persistently slow (round-independent).
@@ -143,11 +168,12 @@ impl Transport for SimNet {
     fn begin_round(&mut self, participants: &[usize]) {
         self.round += 1;
         self.path.clear();
+        self.seq.clear();
         self.down_frame = None;
         self.unreachable.clear();
         if self.config.dropout_prob > 0.0 {
             for &c in participants {
-                let mut rng = self.event_rng(c, TAG_DROPOUT);
+                let mut rng = self.event_rng(c, TAG_DROPOUT, 1);
                 if rng.uniform(0.0, 1.0) < self.config.dropout_prob {
                     self.unreachable.push(c);
                 }
@@ -156,12 +182,15 @@ impl Transport for SimNet {
     }
 
     fn download(&mut self, client: usize, params: &[Tensor]) -> Delivery {
+        self.stats.transfers += 1;
         if self.unreachable.contains(&client) {
             // The server gives up on the unreachable client after one
-            // timeout; nothing usable crosses the wire.
+            // timeout; nothing usable crosses the wire. `attempts == 0`
+            // marks the peer as known unreachable for the round, which
+            // gets its own counter — distinct from retry-exhausted drops.
             let wait = Duration::from_secs_f64(self.config.timeout_ms as f64 / 1e3);
             self.charge_path(client, wait);
-            self.stats.drops += 1;
+            self.stats.unreachable += 1;
             return Delivery {
                 tensors: None,
                 bytes: 0,
@@ -178,7 +207,8 @@ impl Transport for SimNet {
             let (frame, decoded) = self.down_frame.as_ref().unwrap();
             (frame.len() as u64, decoded.clone())
         };
-        let mut rng = self.event_rng(client, TAG_DOWN);
+        let seq = self.next_seq(client, TAG_DOWN);
+        let mut rng = self.event_rng(client, TAG_DOWN, seq);
         let (delivered, sim, attempts, bytes) = self.attempt_transfer(client, frame_len, &mut rng);
         self.stats.bytes_down += bytes;
         self.stats.retries += u64::from(attempts - 1);
@@ -207,8 +237,10 @@ impl Transport for SimNet {
             !self.unreachable.contains(&client),
             "a client that never got the model cannot upload"
         );
+        self.stats.transfers += 1;
         let frame = Payload::encode(&params, self.config.wire_format());
-        let mut rng = self.event_rng(client, TAG_UP);
+        let seq = self.next_seq(client, TAG_UP);
+        let mut rng = self.event_rng(client, TAG_UP, seq);
         let (delivered, sim, attempts, bytes) =
             self.attempt_transfer(client, frame.len() as u64, &mut rng);
         self.stats.bytes_up += bytes;
@@ -240,6 +272,7 @@ impl Transport for SimNet {
             self.stats.sim += *makespan;
         }
         self.path.clear();
+        self.seq.clear();
         self.down_frame = None;
         self.unreachable.clear();
     }
@@ -384,7 +417,16 @@ mod tests {
         }
         assert!(dropped > 10, "dropout never fired ({dropped})");
         assert!(delivered > 10, "everything dropped ({delivered})");
-        assert_eq!(net.take_stats().drops, dropped as u64);
+        // Known-unreachable clients are accounted separately from
+        // retry-exhausted drops (there is no loss here, so no drops at
+        // all), and outcomes partition the transfer count.
+        let stats = net.take_stats();
+        assert_eq!(stats.unreachable, dropped as u64);
+        assert_eq!(stats.drops, 0);
+        assert_eq!(
+            stats.drops + stats.timed_out + stats.unreachable + stats.delivered,
+            stats.transfers
+        );
     }
 
     #[test]
@@ -442,6 +484,33 @@ mod tests {
             ds.sim.as_secs_f64() > 4.0 * df.sim.as_secs_f64(),
             "straggler {slow} not slower: {ds:?} vs {df:?}"
         );
+    }
+
+    #[test]
+    fn repeated_calls_in_a_round_draw_fresh_streams() {
+        // A re-requested transfer (what ReliableTransport's retry does)
+        // must not deterministically replay its first outcome: the call
+        // sequence number feeds the event stream.
+        let cfg = NetConfig {
+            jitter_ms: 50.0,
+            seed: 4,
+            ..NetConfig::default()
+        };
+        let mut net = SimNet::new(cfg);
+        let p = params();
+        net.begin_round(&[0]);
+        let first = net.download(0, &p);
+        let second = net.download(0, &p);
+        assert_ne!(
+            first.sim, second.sim,
+            "second call in a round must draw its own jitter"
+        );
+        net.end_round();
+        // ...while a fresh simulator replays the same per-seq draws.
+        let mut again = SimNet::new(cfg);
+        again.begin_round(&[0]);
+        assert_eq!(again.download(0, &p).sim, first.sim);
+        assert_eq!(again.download(0, &p).sim, second.sim);
     }
 
     #[test]

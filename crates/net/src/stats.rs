@@ -16,13 +16,25 @@ pub struct NetStats {
     /// client's download + upload path (rounds are network-parallel
     /// across clients, so the makespan is the per-round cost).
     pub sim: Duration,
+    /// Logical transfers requested of the transport (one per
+    /// download/upload call, whatever its outcome). Every transfer ends
+    /// in exactly one of `delivered`, `drops`, `timed_out` or
+    /// `unreachable`, so the four always sum to this field.
+    pub transfers: u64,
     /// Transfers that reached their destination.
     pub delivered: u64,
     /// Extra attempts caused by message loss.
     pub retries: u64,
-    /// Failed deliveries: round-long client dropouts plus transfers whose
-    /// retry budget ran out.
+    /// Failed deliveries: transfers whose retry budget ran out.
     pub drops: u64,
+    /// Transfers abandoned because the client's cumulative simulated
+    /// time crossed the round deadline (`RetryConfig::deadline_ms`).
+    pub timed_out: u64,
+    /// Transfers never attempted because the peer was known unreachable
+    /// for the whole round (`Delivery::attempts == 0`).
+    pub unreachable: u64,
+    /// Hedged duplicate attempts raced against straggling transfers.
+    pub hedges: u64,
 }
 
 impl NetStats {
@@ -31,14 +43,24 @@ impl NetStats {
         self.bytes_down += other.bytes_down;
         self.bytes_up += other.bytes_up;
         self.sim += other.sim;
+        self.transfers += other.transfers;
         self.delivered += other.delivered;
         self.retries += other.retries;
         self.drops += other.drops;
+        self.timed_out += other.timed_out;
+        self.unreachable += other.unreachable;
+        self.hedges += other.hedges;
     }
 
     /// Bytes on the wire in both directions.
     pub fn total_bytes(&self) -> u64 {
         self.bytes_down + self.bytes_up
+    }
+
+    /// Transfers that failed for any reason (the complement of
+    /// `delivered` among `transfers`).
+    pub fn failed(&self) -> u64 {
+        self.drops + self.timed_out + self.unreachable
     }
 }
 
@@ -46,43 +68,56 @@ impl NetStats {
 mod tests {
     use super::*;
 
+    /// A stats block with every counter distinct (scaled by `k`) whose
+    /// outcome counters satisfy the transfer invariant.
+    fn sample(k: u64) -> NetStats {
+        NetStats {
+            bytes_down: 10 * k,
+            bytes_up: 4 * k,
+            sim: Duration::from_millis(5 * k),
+            transfers: 12 * k,
+            delivered: 3 * k,
+            retries: 9 * k,
+            drops: 2 * k,
+            timed_out: 6 * k,
+            unreachable: k,
+            hedges: 7 * k,
+        }
+    }
+
     #[test]
     fn merge_adds_every_counter() {
-        let mut a = NetStats {
-            bytes_down: 10,
-            bytes_up: 4,
-            sim: Duration::from_millis(5),
-            delivered: 3,
-            retries: 1,
-            drops: 2,
-        };
-        let b = NetStats {
-            bytes_down: 1,
-            bytes_up: 2,
-            sim: Duration::from_millis(7),
-            delivered: 4,
-            retries: 5,
-            drops: 6,
-        };
-        a.merge(&b);
+        let mut a = sample(1);
+        a.merge(&sample(2));
+        assert_eq!(a, sample(3));
+        assert_eq!(a.total_bytes(), 42);
+        assert_eq!(a.failed(), 27);
+    }
+
+    #[test]
+    fn transfer_outcomes_partition_transfers_across_merges() {
+        // Every transfer ends in exactly one outcome bucket, and merging
+        // preserves that: drops + timed_out + unreachable + delivered
+        // must equal transfers before and after.
+        let mut a = sample(1);
         assert_eq!(
-            a,
-            NetStats {
-                bytes_down: 11,
-                bytes_up: 6,
-                sim: Duration::from_millis(12),
-                delivered: 7,
-                retries: 6,
-                drops: 8,
-            }
+            a.drops + a.timed_out + a.unreachable + a.delivered,
+            a.transfers
         );
-        assert_eq!(a.total_bytes(), 17);
+        a.merge(&sample(5));
+        a.merge(&NetStats::default());
+        assert_eq!(
+            a.drops + a.timed_out + a.unreachable + a.delivered,
+            a.transfers
+        );
+        assert_eq!(a.failed() + a.delivered, a.transfers);
     }
 
     #[test]
     fn default_is_all_zero() {
         let s = NetStats::default();
         assert_eq!(s.total_bytes(), 0);
+        assert_eq!(s.failed(), 0);
         assert_eq!(s.sim, Duration::ZERO);
     }
 }

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Pre-commit gate: formatting, lints, full test run, chaos smoke.
+# Pre-commit gate: formatting, lints, docs, full test run, bench smokes.
 #
 #   ./scripts/check.sh
 #
@@ -13,10 +13,16 @@ cargo fmt -- --check
 echo "== cargo clippy (workspace, -D warnings)"
 cargo clippy --offline --workspace --no-deps --all-targets -- -D warnings
 
+echo "== cargo doc (workspace, -D warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --offline --workspace --no-deps
+
 echo "== cargo test"
 cargo test --offline --workspace -q
 
 echo "== chaos bench (smoke mode)"
 cargo bench --offline -p qd-bench --bench chaos -- --test
+
+echo "== tail bench (smoke mode, 30% dropout)"
+cargo bench --offline -p qd-bench --bench tail -- --test
 
 echo "all checks passed"

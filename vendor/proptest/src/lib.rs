@@ -65,7 +65,8 @@ pub mod test_runner {
     }
 }
 
-/// The [`Strategy`] trait and its implementations for ranges.
+/// The [`Strategy`](strategy::Strategy) trait and its implementations
+/// for ranges.
 pub mod strategy {
     use crate::test_runner::TestRng;
     use std::ops::{Range, RangeInclusive};
@@ -137,7 +138,7 @@ pub mod collection {
     use crate::test_runner::TestRng;
     use std::ops::Range;
 
-    /// Anything usable as the size argument of [`vec`].
+    /// Anything usable as the size argument of [`vec()`].
     pub trait IntoSizeRange {
         /// Draws the concrete length.
         fn pick(&self, rng: &mut TestRng) -> usize;
