@@ -94,6 +94,14 @@ impl Args {
         self.flags.iter().any(|f| f == key)
     }
 
+    /// Returns `true` if the option was given *with a value* (contrast
+    /// [`Args::flag`], which matches value-less occurrences). Lets a
+    /// command distinguish "flag absent, use the inert default" from
+    /// "flag present at its default value".
+    pub fn has_option(&self, key: &str) -> bool {
+        self.options.contains_key(key)
+    }
+
     /// A string option, or `default` if absent.
     pub fn get_str(&self, key: &str, default: &str) -> String {
         self.options

@@ -1,13 +1,15 @@
 //! The CLI subcommands.
 
 use crate::{Args, ParseError};
-use qd_core::{Checkpoint, CheckpointPolicy, QuickDrop, QuickDropConfig, TrainRun};
+use qd_core::{
+    Checkpoint, CheckpointPolicy, QuickDrop, QuickDropConfig, RequestJournal, ServeError, TrainRun,
+};
 use qd_data::{ascii_samples, partition_dirichlet, partition_iid, Dataset, SyntheticDataset};
 use qd_eval::{per_class_accuracy, split_accuracy};
 use qd_fed::{Federation, Phase};
 use qd_nn::{ConvNet, Module};
 use qd_tensor::rng::Rng;
-use qd_unlearn::{UnlearnRequest, UnlearningMethod};
+use qd_unlearn::{GuardPolicy, UnlearnRequest, UnlearningMethod, DEFAULT_DRIFT_BUDGET};
 use std::fmt;
 use std::sync::Arc;
 
@@ -46,6 +48,15 @@ impl From<std::io::Error> for CliError {
     }
 }
 
+impl From<ServeError> for CliError {
+    fn from(e: ServeError) -> Self {
+        match e {
+            ServeError::Io(io) => CliError::Io(io),
+            ServeError::Diverged(d) => CliError::Usage(d.to_string()),
+        }
+    }
+}
+
 /// Usage text printed by `help` and on errors.
 pub const USAGE: &str = "\
 quickdrop-cli — federated unlearning via synthetic data
@@ -67,8 +78,11 @@ USAGE:
                         [--sample-slack N] [--cooldown-rounds N]
   quickdrop-cli unlearn --ckpt ckpt.json (--class C | --client I)
                         [--out ckpt.json] [--dataset D] [--seed X]
+                        [--drift-budget F] [--retain-probe L]
+                        [--ascent-retries N] [--journal [PATH]]
   quickdrop-cli relearn --ckpt ckpt.json (--class C | --client I)
                         [--out ckpt.json] [--dataset D] [--seed X]
+                        [--journal [PATH]]
   quickdrop-cli eval    --ckpt ckpt.json [--dataset D] [--samples N] [--seed X]
   quickdrop-cli show    --ckpt ckpt.json [--client I] [--limit N]
   quickdrop-cli help
@@ -118,6 +132,42 @@ fn net_config_from(args: &Args) -> Result<qd_fed::NetConfig, CliError> {
     net.validate()
         .map_err(|msg| CliError::Usage(format!("bad --net option: {msg}")))?;
     Ok(net)
+}
+
+/// Reads the `--drift-budget` / `--retain-probe` / `--ascent-retries`
+/// family into a [`GuardPolicy`], or `None` when no guard flag was
+/// given — keeping the unguarded serving path bit-for-bit untouched.
+/// Out-of-range values surface `GuardPolicy::validate`'s verdict as a
+/// usage error.
+fn guard_policy_from(args: &Args) -> Result<Option<GuardPolicy>, CliError> {
+    let requested = args.has_option("drift-budget")
+        || args.has_option("retain-probe")
+        || args.has_option("ascent-retries");
+    if !requested {
+        return Ok(None);
+    }
+    let policy = GuardPolicy {
+        drift_budget: args.get_f32("drift-budget", DEFAULT_DRIFT_BUDGET)?,
+        retain_probe: args.get_f32("retain-probe", 0.0)?,
+        ascent_retries: args.get_usize("ascent-retries", 3)? as u32,
+        ..GuardPolicy::default()
+    };
+    policy
+        .validate()
+        .map_err(|msg| CliError::Usage(format!("bad guard option: {msg}")))?;
+    Ok(Some(policy))
+}
+
+/// The journal location: `--journal PATH` names it explicitly, a bare
+/// `--journal` derives `<ckpt>.journal`, absence disables journaling.
+fn journal_path_from(args: &Args, ckpt: &str) -> Option<std::path::PathBuf> {
+    if args.has_option("journal") {
+        Some(std::path::PathBuf::from(args.get_str("journal", "")))
+    } else if args.flag("journal") {
+        Some(RequestJournal::path_for_checkpoint(ckpt))
+    } else {
+        None
+    }
 }
 
 fn request_from(args: &Args) -> Result<UnlearnRequest, CliError> {
@@ -314,13 +364,50 @@ fn serve(args: &Args, mode: ServeMode) -> Result<String, CliError> {
             (test.clone(), test.clone())
         }
     };
+    let policy = guard_policy_from(args)?;
+    let journal_path = journal_path_from(args, &path);
+    // With --journal, the model, RNG stream and request progress continue
+    // from the journal's last record: a request interrupted by a crash in
+    // an earlier invocation is finished here before the new one is served,
+    // reproducing the uninterrupted stream bit-for-bit.
+    let mut journal = match &journal_path {
+        Some(jp) => Some(RequestJournal::open(jp)?),
+        None => None,
+    };
+    let resumed_line = match &mut journal {
+        Some(journal) => qd
+            .resume_requests(&mut fed, journal, policy.as_ref(), &mut rng)
+            .map_err(CliError::from)?
+            .map(|_| "finished an in-flight request from the journal\n")
+            .unwrap_or_default(),
+        None => "",
+    };
     let report = match mode {
         ServeMode::Unlearn => {
-            let outcome = qd.unlearn(&mut fed, request, &mut rng);
+            let outcome = if let Some(journal) = &mut journal {
+                qd.serve_journaled(&mut fed, journal, request, policy.as_ref(), &mut rng, None)
+                    .map_err(CliError::from)?
+                    .into_complete()
+                    .expect("no preemption configured")
+            } else if let Some(policy) = &policy {
+                qd.unlearn_guarded(&mut fed, request, policy, &mut rng)
+                    .map_err(|e| CliError::Usage(e.to_string()))?
+            } else {
+                qd.unlearn(&mut fed, request, &mut rng)
+            };
+            let guard_line = outcome
+                .guard
+                .map(|s| {
+                    format!(
+                        "guard: {} attempt(s), {} rollback(s), final drift {:.2}\n",
+                        s.steps, s.rollbacks, s.final_drift
+                    )
+                })
+                .unwrap_or_default();
             let (fa, ra) = split_accuracy(model.as_ref(), fed.global(), &f_set, &r_set);
             format!(
                 "unlearned {request} in {:.0} ms over {} synthetic samples; \
-                 F-Set {:.1}%, R-Set {:.1}%\n",
+                 F-Set {:.1}%, R-Set {:.1}%\n{guard_line}",
                 outcome.total().wall.as_secs_f64() * 1000.0,
                 outcome.unlearn.data_size,
                 fa * 100.0,
@@ -329,9 +416,13 @@ fn serve(args: &Args, mode: ServeMode) -> Result<String, CliError> {
         }
         ServeMode::Relearn => {
             let phase = qd.config().relearn_phase;
-            let stats = qd
-                .relearn(&mut fed, request, &phase, &mut rng)
-                .expect("QuickDrop supports relearning");
+            let stats = if let Some(journal) = &mut journal {
+                qd.relearn_journaled(&mut fed, journal, request, &phase, &mut rng)
+                    .map_err(CliError::from)?
+            } else {
+                qd.relearn(&mut fed, request, &phase, &mut rng)
+                    .expect("QuickDrop supports relearning")
+            };
             let (fa, ra) = split_accuracy(model.as_ref(), fed.global(), &f_set, &r_set);
             format!(
                 "relearned {request} in {:.0} ms; F-Set {:.1}%, R-Set {:.1}%\n",
@@ -341,6 +432,7 @@ fn serve(args: &Args, mode: ServeMode) -> Result<String, CliError> {
             )
         }
     };
+    let report = format!("{resumed_line}{report}");
     Checkpoint::capture(fed.global(), &qd).save(&out)?;
     Ok(format!("{report}checkpoint written to {out}\n"))
 }
@@ -468,6 +560,116 @@ mod tests {
         .unwrap();
         assert!(out.contains("relearned class 3"));
         std::fs::remove_file(&ckpt).ok();
+    }
+
+    #[test]
+    fn guard_flags_build_a_policy() {
+        // No guard flag: serving stays on the unguarded path.
+        assert!(guard_policy_from(&args(&["unlearn"])).unwrap().is_none());
+        // Any one flag opts in; the others keep library defaults.
+        let p = guard_policy_from(&args(&["unlearn", "--retain-probe", "2.5"]))
+            .unwrap()
+            .expect("guard requested");
+        assert_eq!(p.drift_budget, DEFAULT_DRIFT_BUDGET);
+        assert_eq!(p.retain_probe, 2.5);
+        assert_eq!(p.ascent_retries, 3);
+        let p = guard_policy_from(&args(&[
+            "unlearn",
+            "--drift-budget",
+            "0.8",
+            "--ascent-retries",
+            "5",
+        ]))
+        .unwrap()
+        .expect("guard requested");
+        assert_eq!(p.drift_budget, 0.8);
+        assert_eq!(p.ascent_retries, 5);
+        // Library validation verdicts surface as usage errors.
+        for bad in [
+            vec!["unlearn", "--drift-budget", "-1"],
+            vec!["unlearn", "--retain-probe", "nan"],
+            vec!["unlearn", "--ascent-retries", "99"],
+        ] {
+            let err = guard_policy_from(&args(&bad)).unwrap_err();
+            assert!(matches!(err, CliError::Usage(_)), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn journal_path_derives_from_checkpoint_when_bare() {
+        assert_eq!(journal_path_from(&args(&["unlearn"]), "d.json"), None);
+        assert_eq!(
+            journal_path_from(&args(&["unlearn", "--journal"]), "d.json"),
+            Some(std::path::PathBuf::from("d.json.journal"))
+        );
+        assert_eq!(
+            journal_path_from(&args(&["unlearn", "--journal", "w.journal"]), "d.json"),
+            Some(std::path::PathBuf::from("w.journal"))
+        );
+    }
+
+    #[test]
+    fn guarded_journaled_lifecycle() {
+        let ckpt = tmp("guarded_lifecycle.json");
+        let journal = format!("{ckpt}.journal");
+        std::fs::remove_file(&journal).ok();
+        run(&args(&[
+            "train",
+            "--out",
+            &ckpt,
+            "--clients",
+            "2",
+            "--samples",
+            "200",
+            "--rounds",
+            "3",
+            "--steps",
+            "4",
+            "--scale",
+            "20",
+            "--iid",
+            "--seed",
+            "7",
+        ]))
+        .unwrap();
+
+        // Guarded + journaled serving reports the guard's verdict and
+        // leaves a durable trace next to the checkpoint.
+        let out = run(&args(&[
+            "unlearn",
+            "--ckpt",
+            &ckpt,
+            "--class",
+            "3",
+            "--seed",
+            "7",
+            "--drift-budget",
+            "2.0",
+            "--journal",
+        ]))
+        .unwrap();
+        assert!(out.contains("unlearned class 3"), "{out}");
+        assert!(out.contains("guard: 1 attempt(s), 0 rollback(s)"), "{out}");
+        let j = RequestJournal::open(&journal).unwrap();
+        assert_eq!(j.records().len(), 3, "RECEIVED/UNLEARNED/RECOVERED");
+
+        // The next invocation picks the stream up from the journal.
+        let out = run(&args(&[
+            "relearn",
+            "--ckpt",
+            &ckpt,
+            "--class",
+            "3",
+            "--seed",
+            "7",
+            "--journal",
+        ]))
+        .unwrap();
+        assert!(out.contains("relearned class 3"), "{out}");
+        let j = RequestJournal::open(&journal).unwrap();
+        assert_eq!(j.records().len(), 4);
+        std::fs::remove_file(&ckpt).ok();
+        std::fs::remove_file(&journal).ok();
     }
 
     #[test]

@@ -1,0 +1,668 @@
+//! Durable unlearning-request journal.
+//!
+//! A deployment checkpoint (`Checkpoint`) captures the system *between*
+//! requests; it says nothing about a request that was in flight when the
+//! process died. The journal closes that gap: an append-only log next to
+//! the checkpoint file records every request's progress through the
+//! state machine
+//!
+//! ```text
+//! RECEIVED → UNLEARNED → RECOVERED → (RELEARNED)
+//! ```
+//!
+//! with, at each transition, the global parameters and RNG state at that
+//! boundary. After a crash, [`QuickDrop::resume_requests`] restores the
+//! model and RNG stream from the last record and finishes the incomplete
+//! stages idempotently, so kill-and-resume mid-unlearn reproduces the
+//! uninterrupted run bit-for-bit — the same guarantee the round
+//! checkpointing of PR 2 gives mid-training.
+//!
+//! Each append atomically rewrites the whole journal file (tmp + fsync +
+//! rename, the [`Checkpoint::save`] discipline). At QuickDrop's synthetic
+//! scales a journal is a few records of a small model, so the rewrite
+//! costs less than one ascent round; in exchange a crash at any byte
+//! leaves either the previous journal or the new one, never a torn file.
+
+use crate::{Checkpoint, QuickDrop};
+use qd_fed::{Federation, PhaseStats};
+use qd_nn::relative_drift;
+use qd_tensor::rng::{Rng, RngState};
+use qd_tensor::Tensor;
+use qd_unlearn::{
+    check_attempt, probe_sample, GuardPolicy, GuardStats, GuardViolation, MethodOutcome,
+    UnlearnError, UnlearnRequest,
+};
+use serde::{Deserialize, Serialize};
+use std::io::Read as _;
+use std::path::{Path, PathBuf};
+
+/// Current journal format version.
+pub const JOURNAL_VERSION: u32 = 1;
+
+/// Where a journaled request stands. States are strictly ordered; a
+/// request only ever moves forward (relearning appends a new terminal
+/// record rather than rewinding).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum RequestState {
+    /// Accepted for serving; no model change yet.
+    Received,
+    /// Ascent stage done (and guard-accepted, when a guard is active).
+    Unlearned,
+    /// Recovery stage done — the request is fully served.
+    Recovered,
+    /// Erased knowledge restored on explicit relearn. Terminal.
+    Relearned,
+}
+
+impl std::fmt::Display for RequestState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            RequestState::Received => "RECEIVED",
+            RequestState::Unlearned => "UNLEARNED",
+            RequestState::Recovered => "RECOVERED",
+            RequestState::Relearned => "RELEARNED",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One journal entry: a request reaching `state`, with everything needed
+/// to continue from exactly this boundary.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JournalRecord {
+    /// Request sequence number (shared by all records of one request).
+    pub seq: u64,
+    /// The request being served.
+    pub request: UnlearnRequest,
+    /// The state this record certifies.
+    pub state: RequestState,
+    /// RNG stream position at the boundary.
+    pub rng: RngState,
+    /// Global model parameters at the boundary.
+    pub global: Vec<Tensor>,
+    /// Guard bookkeeping accumulated so far (`None` for unguarded
+    /// serving and for RECEIVED records).
+    pub guard: Option<GuardStats>,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct JournalFile {
+    version: u32,
+    records: Vec<JournalRecord>,
+}
+
+/// The append-only request journal, bound to one file on disk.
+#[derive(Debug)]
+pub struct RequestJournal {
+    path: PathBuf,
+    records: Vec<JournalRecord>,
+}
+
+impl RequestJournal {
+    /// Opens the journal at `path`, loading any existing records; a
+    /// missing file starts an empty journal (created on first append).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`std::io::ErrorKind::InvalidData`] naming the file when
+    /// its contents are corrupt, versionless, or of a version this build
+    /// does not read, plus any error from reading the file.
+    pub fn open(path: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let path = path.into();
+        if !path.exists() {
+            return Ok(RequestJournal {
+                path,
+                records: Vec::new(),
+            });
+        }
+        let mut json = String::new();
+        std::fs::File::open(&path)?.read_to_string(&mut json)?;
+        let invalid = |detail: String| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("journal {}: {detail}", path.display()),
+            )
+        };
+        let value: serde::Value = serde_json::from_str(&json)
+            .map_err(|e| invalid(format!("corrupt or truncated JSON: {e}")))?;
+        let version = value
+            .get("version")
+            .ok_or_else(|| invalid("no version field; not a journal file".to_string()))?;
+        let version: u32 = serde::Deserialize::from_value(version)
+            .map_err(|e| invalid(format!("malformed version field: {e}")))?;
+        if version != JOURNAL_VERSION {
+            return Err(invalid(format!(
+                "format version {version}; this build reads only version {JOURNAL_VERSION}"
+            )));
+        }
+        let file: JournalFile = serde::Deserialize::from_value(&value)
+            .map_err(|e| invalid(format!("malformed version-{version} payload: {e}")))?;
+        Ok(RequestJournal {
+            path,
+            records: file.records,
+        })
+    }
+
+    /// All records, oldest first.
+    pub fn records(&self) -> &[JournalRecord] {
+        &self.records
+    }
+
+    /// The most recent record.
+    pub fn last(&self) -> Option<&JournalRecord> {
+        self.records.last()
+    }
+
+    /// The sequence number the next request will get.
+    pub fn next_seq(&self) -> u64 {
+        self.records.last().map_or(0, |r| r.seq + 1)
+    }
+
+    /// Appends a record and atomically persists the journal.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from the atomic rewrite; the in-memory
+    /// record list is only extended once the file is durable.
+    pub fn append(&mut self, record: JournalRecord) -> std::io::Result<()> {
+        self.records.push(record);
+        if let Err(e) = self.persist() {
+            self.records.pop();
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    fn persist(&self) -> std::io::Result<()> {
+        use std::io::Write as _;
+        let file = JournalFile {
+            version: JOURNAL_VERSION,
+            records: self.records.clone(),
+        };
+        let json = serde_json::to_string(&file).map_err(std::io::Error::other)?;
+        let mut tmp_name = self
+            .path
+            .file_name()
+            .ok_or_else(|| std::io::Error::other("journal path has no file name"))?
+            .to_os_string();
+        tmp_name.push(".tmp");
+        let tmp = self.path.with_file_name(tmp_name);
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(json.as_bytes())?;
+        f.sync_all()?;
+        drop(f);
+        let renamed = std::fs::rename(&tmp, &self.path);
+        if renamed.is_err() {
+            std::fs::remove_file(&tmp).ok();
+        }
+        renamed
+    }
+
+    /// Conventional journal path next to a deployment checkpoint:
+    /// `<checkpoint>.journal`.
+    pub fn path_for_checkpoint(checkpoint: impl AsRef<Path>) -> PathBuf {
+        let ckpt = checkpoint.as_ref();
+        let mut name = ckpt.file_name().map_or_else(
+            || std::ffi::OsString::from("deployment"),
+            |n| n.to_os_string(),
+        );
+        name.push(".journal");
+        ckpt.with_file_name(name)
+    }
+}
+
+/// How a journaled serve call ended.
+#[derive(Debug)]
+pub enum ServeRun {
+    /// The request was fully served (boxed to keep the enum small).
+    Complete(Box<MethodOutcome>),
+    /// Serving stopped right after appending the record for `state` —
+    /// the deterministic stand-in for a crash at that boundary. Continue
+    /// with [`QuickDrop::resume_requests`].
+    Preempted {
+        /// The last state made durable before stopping.
+        state: RequestState,
+    },
+}
+
+impl ServeRun {
+    /// The completed outcome, or `None` if the run was preempted.
+    pub fn into_complete(self) -> Option<MethodOutcome> {
+        match self {
+            ServeRun::Complete(outcome) => Some(*outcome),
+            ServeRun::Preempted { .. } => None,
+        }
+    }
+}
+
+/// Why a journaled serve call failed.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Journal or checkpoint I/O failed.
+    Io(std::io::Error),
+    /// The divergence guard exhausted its backoff; the federation holds
+    /// the pre-request model. The journal keeps the request at RECEIVED,
+    /// so a later resume deterministically surfaces this same error —
+    /// the operator decides whether to drop the request or relax the
+    /// policy.
+    Diverged(UnlearnError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "journal I/O: {e}"),
+            ServeError::Diverged(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+impl QuickDrop {
+    /// Serves one request with every stage boundary made durable in
+    /// `journal` before the next stage runs (write-ahead discipline:
+    /// RECEIVED before any model change, UNLEARNED before recovery,
+    /// RECOVERED before returning).
+    ///
+    /// With a `policy`, the ascent stage runs under the divergence guard
+    /// exactly as in [`QuickDrop::unlearn_guarded`] — drift/non-finite
+    /// gate, rollback, halved-LR retries — and the UNLEARNED record is
+    /// only written for a guard-accepted ascent, so the journal never
+    /// certifies a diverged model. `preempt_at` stops serving right
+    /// after that state's record is durable, *without* any further
+    /// writes — a deterministic crash stand-in for the resume tests.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] on journal I/O failure (the request may be
+    /// partially served; the journal tells how far), or
+    /// [`ServeError::Diverged`] when the guard exhausted its backoff
+    /// (model and RNG rolled back; no UNLEARNED record written).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `policy` fails [`GuardPolicy::validate`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn serve_journaled(
+        &mut self,
+        fed: &mut Federation,
+        journal: &mut RequestJournal,
+        request: UnlearnRequest,
+        policy: Option<&GuardPolicy>,
+        rng: &mut Rng,
+        preempt_at: Option<RequestState>,
+    ) -> Result<ServeRun, ServeError> {
+        if let Some(policy) = policy {
+            if let Err(msg) = policy.validate() {
+                panic!("invalid guard policy: {msg}");
+            }
+        }
+        let seq = journal.next_seq();
+        journal.append(JournalRecord {
+            seq,
+            request,
+            state: RequestState::Received,
+            rng: rng.state(),
+            global: fed.global().to_vec(),
+            guard: None,
+        })?;
+        if preempt_at == Some(RequestState::Received) {
+            return Ok(ServeRun::Preempted {
+                state: RequestState::Received,
+            });
+        }
+        self.finish_from_received(fed, journal, seq, request, policy, rng, preempt_at)
+    }
+
+    /// Runs ascent (guarded when `policy` is set) from the current
+    /// federation state, appends the UNLEARNED record, then recovery and
+    /// the RECOVERED record. Shared by [`QuickDrop::serve_journaled`]
+    /// and the RECEIVED arm of [`QuickDrop::resume_requests`].
+    #[allow(clippy::too_many_arguments)]
+    fn finish_from_received(
+        &mut self,
+        fed: &mut Federation,
+        journal: &mut RequestJournal,
+        seq: u64,
+        request: UnlearnRequest,
+        policy: Option<&GuardPolicy>,
+        rng: &mut Rng,
+        preempt_at: Option<RequestState>,
+    ) -> Result<ServeRun, ServeError> {
+        let reference = fed.global().to_vec();
+        let rng_mark = rng.state();
+        let mut stats = GuardStats::default();
+        let mut last_violation = GuardViolation::NonFinite;
+        let mut lr_scale = 1.0f32;
+        let retries = policy.map_or(0, |p| p.ascent_retries);
+        let mut accepted: Option<PhaseStats> = None;
+        for attempt in 0..=retries {
+            let (unlearn, post) = self.ascent_stage(fed, request, rng, lr_scale);
+            stats.steps += 1;
+            stats.final_drift = relative_drift(&post, &reference);
+            let gate = match policy {
+                Some(policy) => {
+                    check_attempt(policy, fed.model().as_ref(), &reference, &post, &post, None)
+                        .map(|_| ())
+                }
+                None => Ok(()),
+            };
+            match gate {
+                Ok(()) => {
+                    accepted = Some(unlearn);
+                    break;
+                }
+                Err(violation) => {
+                    last_violation = violation;
+                    fed.set_global(reference.clone());
+                    *rng = Rng::from_state(&rng_mark);
+                    stats.rollbacks += 1;
+                    if attempt < retries {
+                        lr_scale *= 0.5;
+                        stats.lr_halvings += 1;
+                    }
+                }
+            }
+        }
+        let Some(unlearn) = accepted else {
+            return Err(ServeError::Diverged(UnlearnError::Diverged {
+                violation: last_violation,
+                stats,
+            }));
+        };
+        let post_unlearn_params = fed.global().to_vec();
+        self.mark_unlearned(request);
+        journal.append(JournalRecord {
+            seq,
+            request,
+            state: RequestState::Unlearned,
+            rng: rng.state(),
+            global: post_unlearn_params.clone(),
+            guard: policy.map(|_| stats),
+        })?;
+        if preempt_at == Some(RequestState::Unlearned) {
+            return Ok(ServeRun::Preempted {
+                state: RequestState::Unlearned,
+            });
+        }
+        let (recovery, stats) = self.finish_from_unlearned(
+            fed,
+            &reference,
+            &post_unlearn_params,
+            request,
+            policy,
+            stats,
+            rng,
+        )?;
+        journal.append(JournalRecord {
+            seq,
+            request,
+            state: RequestState::Recovered,
+            rng: rng.state(),
+            global: fed.global().to_vec(),
+            guard: stats,
+        })?;
+        if preempt_at == Some(RequestState::Recovered) {
+            return Ok(ServeRun::Preempted {
+                state: RequestState::Recovered,
+            });
+        }
+        Ok(ServeRun::Complete(Box::new(MethodOutcome {
+            unlearn,
+            recovery,
+            post_unlearn_params,
+            guard: stats,
+        })))
+    }
+
+    /// Recovery stage plus the post-recovery guard check (non-finite +
+    /// retain probe; the drift term re-measures the persisted ascent
+    /// result, so a resumed run reproduces the same `final_drift`).
+    /// Rolls the model, RNG and forgotten-state marks back to
+    /// `reference` on violation.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_from_unlearned(
+        &mut self,
+        fed: &mut Federation,
+        reference: &[Tensor],
+        post_unlearn_params: &[Tensor],
+        request: UnlearnRequest,
+        policy: Option<&GuardPolicy>,
+        mut stats: GuardStats,
+        rng: &mut Rng,
+    ) -> Result<(PhaseStats, Option<GuardStats>), ServeError> {
+        let rng_mark = rng.state();
+        let recovery = self.recovery_stage(fed, rng);
+        if let Some(policy) = policy {
+            let probe = probe_sample(&self.synthetic_retain(), policy.probe_samples);
+            match check_attempt(
+                policy,
+                fed.model().as_ref(),
+                reference,
+                post_unlearn_params,
+                fed.global(),
+                probe.as_ref(),
+            ) {
+                Ok(drift) => {
+                    stats.final_drift = drift;
+                    Ok((recovery, Some(stats)))
+                }
+                Err(violation) => {
+                    // A recovered model failing the probe is surfaced,
+                    // not retried: the ascent was already accepted, and
+                    // re-running recovery from the same state is
+                    // deterministic. Roll everything back instead.
+                    self.unmark_unlearned(request);
+                    fed.set_global(reference.to_vec());
+                    *rng = Rng::from_state(&rng_mark);
+                    stats.rollbacks += 1;
+                    Err(ServeError::Diverged(UnlearnError::Diverged {
+                        violation,
+                        stats,
+                    }))
+                }
+            }
+        } else {
+            Ok((recovery, None))
+        }
+    }
+
+    /// Restores previously erased knowledge through the journal: relearns
+    /// with [`qd_unlearn::UnlearningMethod::relearn`] semantics on the
+    /// synthetic forget set, then appends the terminal RELEARNED record.
+    ///
+    /// A crash mid-relearn leaves the journal at RECOVERED; resume treats
+    /// the relearn as never started (the caller re-submits it), matching
+    /// the state machine's forward-only discipline.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] on journal I/O failure, or with kind
+    /// [`std::io::ErrorKind::InvalidData`] when the journal holds no
+    /// RECOVERED record for `request`.
+    pub fn relearn_journaled(
+        &mut self,
+        fed: &mut Federation,
+        journal: &mut RequestJournal,
+        request: UnlearnRequest,
+        phase: &qd_fed::Phase,
+        rng: &mut Rng,
+    ) -> Result<PhaseStats, ServeError> {
+        let seq = journal
+            .records()
+            .iter()
+            .rev()
+            .find(|r| r.request == request && r.state == RequestState::Recovered)
+            .map(|r| r.seq)
+            .ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("journal holds no recovered request matching {request}"),
+                )
+            })?;
+        use qd_unlearn::UnlearningMethod as _;
+        let stats = self
+            .relearn(fed, request, phase, rng)
+            .expect("QuickDrop supports relearning");
+        journal.append(JournalRecord {
+            seq,
+            request,
+            state: RequestState::Relearned,
+            rng: rng.state(),
+            global: fed.global().to_vec(),
+            guard: None,
+        })?;
+        Ok(stats)
+    }
+
+    /// Replays `journal` onto a system restored from its deployment
+    /// [`Checkpoint`]: re-applies every record's forgotten-state marks
+    /// (idempotently), restores the global model and RNG stream from the
+    /// **last** record — the journal, not the checkpoint, is the source
+    /// of truth for anything that happened after the checkpoint was
+    /// written — and finishes the incomplete stages of the last request,
+    /// if any.
+    ///
+    /// Requests are served sequentially, so at most the last journaled
+    /// request can be incomplete; the continuation reproduces the
+    /// uninterrupted run bit-for-bit (same model bits, same RNG stream,
+    /// same persisted [`GuardStats`]) provided `policy` matches the
+    /// original run's.
+    ///
+    /// Returns the outcome of the request finished during resume, or
+    /// `None` when the journal was empty or already fully served.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] on journal I/O failure, or
+    /// [`ServeError::Diverged`] when finishing the incomplete request
+    /// trips the guard (deterministically the same outcome the
+    /// uninterrupted run would have had).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `policy` fails [`GuardPolicy::validate`].
+    pub fn resume_requests(
+        &mut self,
+        fed: &mut Federation,
+        journal: &mut RequestJournal,
+        policy: Option<&GuardPolicy>,
+        rng: &mut Rng,
+    ) -> Result<Option<MethodOutcome>, ServeError> {
+        if let Some(policy) = policy {
+            if let Err(msg) = policy.validate() {
+                panic!("invalid guard policy: {msg}");
+            }
+        }
+        let Some(last) = journal.last().cloned() else {
+            return Ok(None);
+        };
+        // Replay the forgotten-state marks in journal order. Marking is
+        // idempotent (set semantics), so records already reflected in
+        // the checkpoint apply harmlessly a second time.
+        for record in journal.records() {
+            match record.state {
+                RequestState::Unlearned | RequestState::Recovered => {
+                    self.mark_unlearned(record.request);
+                }
+                RequestState::Relearned => self.unmark_unlearned(record.request),
+                RequestState::Received => {}
+            }
+        }
+        fed.set_global(last.global.clone());
+        *rng = Rng::from_state(&last.rng);
+        match last.state {
+            RequestState::Recovered | RequestState::Relearned => Ok(None),
+            RequestState::Received => {
+                // Crash before (or during) ascent: the RECEIVED record
+                // holds the pre-request state we just restored; run the
+                // request start to finish. RECEIVED marks nothing, so
+                // the mark replay above left this request untouched.
+                let run = self.finish_from_received(
+                    fed,
+                    journal,
+                    last.seq,
+                    last.request,
+                    policy,
+                    rng,
+                    None,
+                )?;
+                Ok(run.into_complete())
+            }
+            RequestState::Unlearned => {
+                // Crash between ascent and recovery: the pre-request
+                // reference lives in this request's RECEIVED record.
+                let reference = journal
+                    .records()
+                    .iter()
+                    .find(|r| r.seq == last.seq && r.state == RequestState::Received)
+                    .map(|r| r.global.clone())
+                    .ok_or_else(|| {
+                        std::io::Error::new(
+                            std::io::ErrorKind::InvalidData,
+                            format!(
+                                "journal record {} is UNLEARNED without a RECEIVED record",
+                                last.seq
+                            ),
+                        )
+                    })?;
+                let stats = last.guard.unwrap_or_default();
+                let (recovery, stats) = self.finish_from_unlearned(
+                    fed,
+                    &reference,
+                    &last.global,
+                    last.request,
+                    policy,
+                    stats,
+                    rng,
+                )?;
+                journal.append(JournalRecord {
+                    seq: last.seq,
+                    request: last.request,
+                    state: RequestState::Recovered,
+                    rng: rng.state(),
+                    global: fed.global().to_vec(),
+                    guard: stats,
+                })?;
+                Ok(Some(MethodOutcome {
+                    // The ascent's cost accounting died with the original
+                    // process; the model/RNG state did not.
+                    unlearn: PhaseStats::default(),
+                    recovery,
+                    post_unlearn_params: last.global,
+                    guard: stats,
+                }))
+            }
+        }
+    }
+
+    /// Loads the deployment checkpoint at `checkpoint` and replays the
+    /// journal at [`RequestJournal::path_for_checkpoint`] onto it —
+    /// the one-call crash recovery entry point used by the CLI.
+    ///
+    /// # Errors
+    ///
+    /// Any checkpoint/journal load error, plus everything
+    /// [`QuickDrop::resume_requests`] can return.
+    pub fn recover_deployment(
+        checkpoint: impl AsRef<Path>,
+        fed: &mut Federation,
+        policy: Option<&GuardPolicy>,
+        rng: &mut Rng,
+    ) -> Result<(QuickDrop, RequestJournal, Option<MethodOutcome>), ServeError> {
+        let ckpt = Checkpoint::load(checkpoint.as_ref())?;
+        let (global, mut qd) = ckpt.restore();
+        fed.set_global(global);
+        let mut journal =
+            RequestJournal::open(RequestJournal::path_for_checkpoint(checkpoint.as_ref()))?;
+        let finished = qd.resume_requests(fed, &mut journal, policy, rng)?;
+        Ok((qd, journal, finished))
+    }
+}

@@ -58,10 +58,14 @@
 
 mod checkpoint;
 mod config;
+mod journal;
 pub mod sample_level;
 mod system;
 
 pub use checkpoint::{Checkpoint, MidPhase, CHECKPOINT_VERSION};
 pub use config::QuickDropConfig;
+pub use journal::{
+    JournalRecord, RequestJournal, RequestState, ServeError, ServeRun, JOURNAL_VERSION,
+};
 pub use sample_level::{SampleLevelConfig, SampleLevelQuickDrop};
 pub use system::{CheckpointPolicy, QuickDrop, TrainReport, TrainRun};

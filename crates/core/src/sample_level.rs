@@ -288,6 +288,7 @@ impl SampleLevelQuickDrop {
             unlearn,
             recovery,
             post_unlearn_params,
+            guard: None,
         }
     }
 

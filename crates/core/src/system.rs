@@ -9,7 +9,10 @@ use qd_distill::{
 use qd_fed::{sgd_trainers, Federation, Phase, PhaseStats, ResumeState};
 use qd_tensor::rng::Rng;
 use qd_tensor::Tensor;
-use qd_unlearn::{Capabilities, Efficiency, MethodOutcome, UnlearnRequest, UnlearningMethod};
+use qd_unlearn::{
+    check_attempt, probe_sample, Capabilities, Efficiency, GuardPolicy, GuardStats, GuardViolation,
+    MethodOutcome, UnlearnError, UnlearnRequest, UnlearningMethod,
+};
 use std::collections::BTreeSet;
 use std::path::PathBuf;
 use std::time::Duration;
@@ -470,58 +473,38 @@ impl QuickDrop {
             .collect()
     }
 
-    /// Per-client recovery sets: the (augmented) synthetic data minus
-    /// everything currently forgotten (`S \ S_f`).
-    fn synthetic_retain(&self) -> Vec<Option<Dataset>> {
-        self.recovery_data
-            .iter()
-            .enumerate()
-            .map(|(i, mixed)| {
-                if self.unlearned_clients.contains(&i) {
-                    return None;
-                }
-                let mut d = mixed.clone();
-                for &c in &self.unlearned_classes {
-                    d = d.without_class(c);
-                }
-                (!d.is_empty()).then_some(d)
-            })
-            .collect()
-    }
-}
-
-impl UnlearningMethod for QuickDrop {
-    fn name(&self) -> &'static str {
-        "QuickDrop"
-    }
-
-    fn capabilities(&self) -> Capabilities {
-        Capabilities {
-            class_level: true,
-            client_level: true,
-            relearn: true,
-            storage_efficient: true, // ~1/s of the dataset (s = 100 ⇒ 1%)
-            computation: Efficiency::High,
-        }
-    }
-
-    fn unlearn(
-        &mut self,
+    /// Step 3 of the workflow as a standalone stage: adaptive SGA rounds
+    /// on the synthetic forget set. Returns the stage statistics and the
+    /// post-ascent parameters.
+    ///
+    /// Deliberately does **not** mark the request as forgotten — marking
+    /// is a separate step ([`Self::mark_unlearned`]) so a guarded engine
+    /// can roll a rejected ascent back without leaving stale
+    /// forgotten-state bookkeeping behind.
+    ///
+    /// `lr_scale` multiplies the configured ascent LR (the guarded path
+    /// passes `0.5^k` during backoff); `1.0` leaves the phase untouched
+    /// so unguarded serving stays bit-for-bit on the configured schedule.
+    pub(crate) fn ascent_stage(
+        &self,
         fed: &mut Federation,
         request: UnlearnRequest,
         rng: &mut Rng,
-    ) -> MethodOutcome {
-        // Step 3: SGA on the synthetic forget set. The paper's regime
-        // needs exactly one round; under long sequential-request streams
-        // the target's logit margin can exceed what one round reverses,
-        // so repeat (up to the configured cap) until the synthetic forget
-        // set is actually forgotten.
+        lr_scale: f32,
+    ) -> (PhaseStats, Vec<Tensor>) {
+        // The paper's regime needs exactly one round; under long
+        // sequential-request streams the target's logit margin can exceed
+        // what one round reverses, so repeat (up to the configured cap)
+        // until the synthetic forget set is actually forgotten.
         let forget = self.synthetic_forget(request);
         let mut trainers = sgd_trainers(fed.model().clone(), fed.n_clients());
-        let one_round = Phase {
+        let mut one_round = Phase {
             rounds: 1,
             ..self.config.unlearn_phase
         };
+        if lr_scale != 1.0 {
+            one_round.lr *= lr_scale;
+        }
         // Stop-criterion probe: the *augmented* forget data (synthetic
         // plus the 1:1 real samples stored for recovery). Pure synthetic
         // samples can be misclassified long before the real class is
@@ -579,6 +562,12 @@ impl UnlearningMethod for QuickDrop {
             }
         }
         let post_unlearn_params = fed.global().to_vec();
+        (unlearn, post_unlearn_params)
+    }
+
+    /// Records `request` as forgotten, shaping every later
+    /// [`Self::synthetic_retain`] view.
+    pub(crate) fn mark_unlearned(&mut self, request: UnlearnRequest) {
         match request {
             UnlearnRequest::Class(c) => {
                 self.unlearned_classes.insert(c);
@@ -587,19 +576,185 @@ impl UnlearningMethod for QuickDrop {
                 self.unlearned_clients.insert(t);
             }
         }
+    }
 
-        // Step 4: recovery on the synthetic retain set.
+    /// Reverts [`Self::mark_unlearned`] (guarded rollback of a rejected
+    /// attempt, and relearning).
+    pub(crate) fn unmark_unlearned(&mut self, request: UnlearnRequest) {
+        match request {
+            UnlearnRequest::Class(c) => {
+                self.unlearned_classes.remove(&c);
+            }
+            UnlearnRequest::Client(t) => {
+                self.unlearned_clients.remove(&t);
+            }
+        }
+    }
+
+    /// Step 4 of the workflow as a standalone stage: recovery descent on
+    /// the synthetic retain set (everything not currently forgotten).
+    pub(crate) fn recovery_stage(&self, fed: &mut Federation, rng: &mut Rng) -> PhaseStats {
         let retain = self.synthetic_retain();
-        let recovery = fed.run_phase(
+        let mut trainers = sgd_trainers(fed.model().clone(), fed.n_clients());
+        fed.run_phase(
             &mut trainers,
             Some(&retain),
             &self.config.recover_phase,
             rng,
-        );
+        )
+    }
+
+    /// Serves one request under a divergence guard, with stage-level
+    /// retry: the ascent result is checked against the drift budget and
+    /// non-finite scan *before* any recovery rounds are spent on it, and
+    /// the recovered model is checked (non-finite + retain probe) before
+    /// the outcome is accepted.
+    ///
+    /// On violation the global model, the RNG stream and the
+    /// forgotten-state bookkeeping all roll back to their pre-request
+    /// state, and the attempt is retried with the ascent LR halved —
+    /// up to [`GuardPolicy::ascent_retries`] times. Guard bookkeeping is
+    /// attached to the returned outcome
+    /// ([`qd_unlearn::MethodOutcome::guard`]).
+    ///
+    /// [`GuardPolicy::ascent_retries`]: qd_unlearn::GuardPolicy::ascent_retries
+    ///
+    /// # Errors
+    ///
+    /// [`UnlearnError::Diverged`] when every attempt violated the guard;
+    /// the federation then still holds the pre-request model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `policy` fails [`qd_unlearn::GuardPolicy::validate`].
+    pub fn unlearn_guarded(
+        &mut self,
+        fed: &mut Federation,
+        request: UnlearnRequest,
+        policy: &GuardPolicy,
+        rng: &mut Rng,
+    ) -> Result<MethodOutcome, UnlearnError> {
+        if let Err(msg) = policy.validate() {
+            panic!("invalid guard policy: {msg}");
+        }
+        let reference = fed.global().to_vec();
+        let rng_mark = rng.state();
+        let probe = probe_sample(&self.synthetic_retain(), policy.probe_samples);
+        let mut stats = GuardStats::default();
+        let mut last_violation = GuardViolation::NonFinite;
+        let mut lr_scale = 1.0f32;
+        for attempt in 0..=policy.ascent_retries {
+            let (unlearn, post_unlearn_params) = self.ascent_stage(fed, request, rng, lr_scale);
+            stats.steps += 1;
+            stats.final_drift = qd_nn::relative_drift(&post_unlearn_params, &reference);
+            // Gate the ascent result before spending recovery rounds:
+            // this is where divergence happens, and a rejected ascent
+            // costs only the ascent.
+            let ascent_ok = check_attempt(
+                policy,
+                fed.model().as_ref(),
+                &reference,
+                &post_unlearn_params,
+                &post_unlearn_params,
+                None,
+            );
+            let violation = match ascent_ok {
+                Ok(_) => {
+                    self.mark_unlearned(request);
+                    let recovery_stats = self.recovery_stage(fed, rng);
+                    match check_attempt(
+                        policy,
+                        fed.model().as_ref(),
+                        &reference,
+                        &post_unlearn_params,
+                        fed.global(),
+                        probe.as_ref(),
+                    ) {
+                        Ok(drift) => {
+                            stats.final_drift = drift;
+                            return Ok(MethodOutcome {
+                                unlearn,
+                                recovery: recovery_stats,
+                                post_unlearn_params,
+                                guard: Some(stats),
+                            });
+                        }
+                        Err(v) => {
+                            self.unmark_unlearned(request);
+                            v
+                        }
+                    }
+                }
+                Err(v) => v,
+            };
+            last_violation = violation;
+            // Roll back model and RNG; retry deterministically at half
+            // the ascent LR (skipped once the budget is exhausted).
+            fed.set_global(reference.clone());
+            *rng = Rng::from_state(&rng_mark);
+            stats.rollbacks += 1;
+            if attempt < policy.ascent_retries {
+                lr_scale *= 0.5;
+                stats.lr_halvings += 1;
+            }
+        }
+        Err(UnlearnError::Diverged {
+            violation: last_violation,
+            stats,
+        })
+    }
+
+    /// Per-client recovery sets: the (augmented) synthetic data minus
+    /// everything currently forgotten (`S \ S_f`).
+    pub(crate) fn synthetic_retain(&self) -> Vec<Option<Dataset>> {
+        self.recovery_data
+            .iter()
+            .enumerate()
+            .map(|(i, mixed)| {
+                if self.unlearned_clients.contains(&i) {
+                    return None;
+                }
+                let mut d = mixed.clone();
+                for &c in &self.unlearned_classes {
+                    d = d.without_class(c);
+                }
+                (!d.is_empty()).then_some(d)
+            })
+            .collect()
+    }
+}
+
+impl UnlearningMethod for QuickDrop {
+    fn name(&self) -> &'static str {
+        "QuickDrop"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            class_level: true,
+            client_level: true,
+            relearn: true,
+            storage_efficient: true, // ~1/s of the dataset (s = 100 ⇒ 1%)
+            computation: Efficiency::High,
+        }
+    }
+
+    fn unlearn(
+        &mut self,
+        fed: &mut Federation,
+        request: UnlearnRequest,
+        rng: &mut Rng,
+    ) -> MethodOutcome {
+        // Step 3: SGA on the synthetic forget set.
+        let (unlearn, post_unlearn_params) = self.ascent_stage(fed, request, rng, 1.0);
+        self.mark_unlearned(request);
+        // Step 4: recovery on the synthetic retain set.
+        let recovery = self.recovery_stage(fed, rng);
         MethodOutcome {
             unlearn,
             recovery,
             post_unlearn_params,
+            guard: None,
         }
     }
 
@@ -617,14 +772,7 @@ impl UnlearningMethod for QuickDrop {
         let forget = self.synthetic_forget(request);
         let mut trainers = sgd_trainers(fed.model().clone(), fed.n_clients());
         let mut stats = fed.run_phase(&mut trainers, Some(&forget), phase, rng);
-        match request {
-            UnlearnRequest::Class(c) => {
-                self.unlearned_classes.remove(&c);
-            }
-            UnlearnRequest::Client(t) => {
-                self.unlearned_clients.remove(&t);
-            }
-        }
+        self.unmark_unlearned(request);
         let retain = self.synthetic_retain();
         let consolidation = fed.run_phase(
             &mut trainers,

@@ -1,0 +1,282 @@
+//! Journal acceptance: a request stream killed at every journal state
+//! boundary (after RECEIVED, after UNLEARNED, after RECOVERED) resumes
+//! from the deployment checkpoint + journal and reproduces the
+//! uninterrupted run bit-for-bit — final model bits, RNG stream, and the
+//! persisted `GuardStats` counters.
+
+use qd_core::{
+    Checkpoint, JournalRecord, QuickDrop, QuickDropConfig, RequestJournal, RequestState, ServeRun,
+};
+use qd_data::{partition_iid, SyntheticDataset};
+use qd_fed::{Federation, Phase};
+use qd_nn::{Mlp, Module};
+use qd_tensor::rng::Rng;
+use qd_tensor::Tensor;
+use qd_unlearn::{GuardPolicy, UnlearnRequest};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn fresh_fed() -> (Federation, Rng) {
+    let mut rng = Rng::seed_from(42);
+    let model: Arc<dyn Module> = Arc::new(Mlp::new(&[256, 16, 10]));
+    let data = SyntheticDataset::Digits.generate(240, &mut rng);
+    let parts = partition_iid(data.len(), 3, &mut rng);
+    let clients = parts.iter().map(|p| data.subset(p)).collect();
+    let fed = Federation::new(model, clients, &mut rng);
+    (fed, rng)
+}
+
+fn config() -> QuickDropConfig {
+    let mut cfg = QuickDropConfig::scaled_test();
+    cfg.train_phase = Phase::training(6, 3, 16, 0.1);
+    cfg
+}
+
+fn policy() -> GuardPolicy {
+    // QuickDrop's adaptive multi-round ascent drifts ~0.6 on this tiny
+    // model — above the 0.5 default meant for single-round SGA — so give
+    // the clean run headroom while keeping a real budget in force.
+    GuardPolicy {
+        drift_budget: 1.0,
+        ..GuardPolicy::default()
+    }
+}
+
+const REQUESTS: [UnlearnRequest; 2] = [UnlearnRequest::Class(3), UnlearnRequest::Class(7)];
+
+fn assert_bit_identical(a: &[Tensor], b: &[Tensor]) {
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(b) {
+        for (u, v) in x.data().iter().zip(y.data()) {
+            assert_eq!(u.to_bits(), v.to_bits(), "parameters diverged");
+        }
+    }
+}
+
+fn assert_same_records(reference: &[JournalRecord], resumed: &[JournalRecord]) {
+    assert_eq!(reference.len(), resumed.len(), "journal length diverged");
+    for (a, b) in reference.iter().zip(resumed) {
+        assert_eq!(a.seq, b.seq);
+        assert_eq!(a.request, b.request);
+        assert_eq!(a.state, b.state);
+        assert_eq!(a.rng, b.rng, "RNG stream diverged at {} {}", a.seq, a.state);
+        assert_eq!(
+            a.guard, b.guard,
+            "guard stats diverged at {} {}",
+            a.seq, a.state
+        );
+        assert_bit_identical(&a.global, &b.global);
+    }
+}
+
+struct Paths {
+    ckpt: PathBuf,
+    journal: PathBuf,
+}
+
+fn paths(name: &str) -> Paths {
+    let dir = std::env::temp_dir().join("qd_journal_resume_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let ckpt = dir.join(format!("{name}.json"));
+    let journal = RequestJournal::path_for_checkpoint(&ckpt);
+    std::fs::remove_file(&ckpt).ok();
+    std::fs::remove_file(&journal).ok();
+    Paths { ckpt, journal }
+}
+
+/// The uninterrupted run: train, serve both requests journaled, relearn
+/// the first. Returns the final global parameters and the journal.
+fn uninterrupted(paths: &Paths) -> (Vec<Tensor>, RequestJournal) {
+    let (mut fed, mut rng) = fresh_fed();
+    let (mut qd, _) = QuickDrop::train(&mut fed, config(), &mut rng);
+    Checkpoint::capture(fed.global(), &qd)
+        .save(&paths.ckpt)
+        .unwrap();
+    let mut journal = RequestJournal::open(&paths.journal).unwrap();
+    for request in REQUESTS {
+        let run = qd
+            .serve_journaled(
+                &mut fed,
+                &mut journal,
+                request,
+                Some(&policy()),
+                &mut rng,
+                None,
+            )
+            .unwrap();
+        let outcome = run.into_complete().expect("no preemption configured");
+        let stats = outcome.guard.expect("guarded serving attaches stats");
+        assert_eq!(stats.steps, 1, "clean serving needs one attempt");
+        assert_eq!(stats.rollbacks, 0);
+        assert!(stats.final_drift > 0.0);
+    }
+    let relearn_phase = qd.config().relearn_phase;
+    qd.relearn_journaled(
+        &mut fed,
+        &mut journal,
+        REQUESTS[0],
+        &relearn_phase,
+        &mut rng,
+    )
+    .unwrap();
+    (fed.global().to_vec(), journal)
+}
+
+/// Kill at `boundary` while serving the first request, then resume in a
+/// "fresh process" and finish the stream identically.
+fn kill_and_resume(boundary: RequestState, reference: &(Vec<Tensor>, RequestJournal)) {
+    let paths = paths(&format!("kill_{boundary}"));
+
+    // Process A: train, checkpoint, die right after `boundary` is durable.
+    {
+        let (mut fed, mut rng) = fresh_fed();
+        let (mut qd, _) = QuickDrop::train(&mut fed, config(), &mut rng);
+        Checkpoint::capture(fed.global(), &qd)
+            .save(&paths.ckpt)
+            .unwrap();
+        let mut journal = RequestJournal::open(&paths.journal).unwrap();
+        let run = qd
+            .serve_journaled(
+                &mut fed,
+                &mut journal,
+                REQUESTS[0],
+                Some(&policy()),
+                &mut rng,
+                Some(boundary),
+            )
+            .unwrap();
+        let ServeRun::Preempted { state } = run else {
+            panic!("serving must stop at the {boundary} boundary");
+        };
+        assert_eq!(state, boundary);
+        assert_eq!(journal.last().unwrap().state, boundary);
+    }
+
+    // Process B: everything rebuilt from the seed; model, RNG and request
+    // progress all come from the checkpoint + journal.
+    let (mut fed, mut rng) = fresh_fed();
+    let (mut qd, mut journal, finished) =
+        QuickDrop::recover_deployment(&paths.ckpt, &mut fed, Some(&policy()), &mut rng).unwrap();
+    match boundary {
+        RequestState::Recovered | RequestState::Relearned => {
+            assert!(finished.is_none(), "nothing was in flight");
+        }
+        _ => {
+            let outcome = finished.expect("resume finishes the in-flight request");
+            assert_eq!(
+                outcome
+                    .guard
+                    .expect("stats persisted across the kill")
+                    .rollbacks,
+                0
+            );
+        }
+    }
+    assert_eq!(journal.last().unwrap().state, RequestState::Recovered);
+
+    // Finish the stream exactly as the uninterrupted run did.
+    qd.serve_journaled(
+        &mut fed,
+        &mut journal,
+        REQUESTS[1],
+        Some(&policy()),
+        &mut rng,
+        None,
+    )
+    .unwrap();
+    let relearn_phase = qd.config().relearn_phase;
+    qd.relearn_journaled(
+        &mut fed,
+        &mut journal,
+        REQUESTS[0],
+        &relearn_phase,
+        &mut rng,
+    )
+    .unwrap();
+
+    assert_bit_identical(&reference.0, fed.global());
+    assert_same_records(reference.1.records(), journal.records());
+
+    std::fs::remove_file(&paths.ckpt).ok();
+    std::fs::remove_file(&paths.journal).ok();
+}
+
+#[test]
+fn killed_request_stream_resumes_bit_for_bit_at_every_boundary() {
+    let ref_paths = paths("reference");
+    let reference = uninterrupted(&ref_paths);
+    assert_eq!(
+        reference
+            .1
+            .records()
+            .iter()
+            .map(|r| (r.seq, r.state))
+            .collect::<Vec<_>>(),
+        vec![
+            (0, RequestState::Received),
+            (0, RequestState::Unlearned),
+            (0, RequestState::Recovered),
+            (1, RequestState::Received),
+            (1, RequestState::Unlearned),
+            (1, RequestState::Recovered),
+            (0, RequestState::Relearned),
+        ],
+        "journal must trace the full state machine"
+    );
+    // The journal survives a reopen byte-for-byte.
+    let reopened = RequestJournal::open(ref_paths.journal.clone()).unwrap();
+    assert_same_records(reference.1.records(), reopened.records());
+
+    for boundary in [
+        RequestState::Received,
+        RequestState::Unlearned,
+        RequestState::Recovered,
+    ] {
+        kill_and_resume(boundary, &reference);
+    }
+
+    std::fs::remove_file(&ref_paths.ckpt).ok();
+    std::fs::remove_file(&ref_paths.journal).ok();
+}
+
+#[test]
+fn journal_rejects_corrupt_and_foreign_files() {
+    let dir = std::env::temp_dir().join("qd_journal_resume_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let cases = [
+        ("garbage.journal", "not json", "corrupt or truncated"),
+        (
+            "no_version.journal",
+            "{\"records\": []}",
+            "no version field",
+        ),
+        (
+            "future.journal",
+            "{\"version\": 99, \"records\": []}",
+            "reads only version",
+        ),
+    ];
+    for (name, contents, needle) in cases {
+        let path = dir.join(name);
+        std::fs::write(&path, contents).unwrap();
+        let err = RequestJournal::open(&path).expect_err("bad journal must not open");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "{name}: {err}");
+        let msg = err.to_string();
+        assert!(msg.contains(needle), "{name}: {msg:?}");
+        assert!(msg.contains(name), "{name}: {msg:?} should name the file");
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+#[test]
+fn relearn_of_an_unserved_request_is_rejected() {
+    let paths = paths("unserved_relearn");
+    let (mut fed, mut rng) = fresh_fed();
+    let (mut qd, _) = QuickDrop::train(&mut fed, config(), &mut rng);
+    let mut journal = RequestJournal::open(&paths.journal).unwrap();
+    let phase = qd.config().relearn_phase;
+    let err = qd
+        .relearn_journaled(&mut fed, &mut journal, REQUESTS[0], &phase, &mut rng)
+        .expect_err("nothing recovered yet");
+    assert!(err.to_string().contains("no recovered request"), "{err}");
+}

@@ -30,10 +30,20 @@ pub enum FaultKind {
     /// Crashes mid-round (pseudo-randomly, about half its rounds) and
     /// uploads nothing — fail-stop rather than Byzantine.
     Crash,
+    /// Multiplies the client's learning rate by
+    /// [`FaultPlan::ascent_spike`] during gradient-*ascent* (unlearning)
+    /// phases — a hostile or misconfigured forget-data holder whose
+    /// over-aggressive ascent can blow the global model past recovery.
+    /// Inert during descent phases; the upload itself is not rewritten.
+    AscentSpike,
 }
 
 /// Delta magnification applied by [`FaultKind::Scale`].
 pub const BYZANTINE_SCALE: f32 = 50.0;
+
+/// Default ascent-LR magnification applied by [`FaultKind::AscentSpike`]
+/// (override per plan with [`FaultPlan::with_ascent_spike`]).
+pub const ASCENT_SPIKE_SCALE: f32 = 50.0;
 
 /// A reproducible fault schedule over the federation's clients.
 ///
@@ -59,11 +69,19 @@ pub struct FaultPlan {
     /// Fault kinds in play; each Byzantine client is assigned one,
     /// pseudo-randomly but deterministically.
     pub kinds: Vec<FaultKind>,
+    /// LR magnification used by [`FaultKind::AscentSpike`] clients.
+    pub ascent_spike: f32,
 }
 
 impl FaultPlan {
     /// A plan corrupting `byzantine_frac` of the clients, drawing from
-    /// all four fault kinds.
+    /// the four upload-corrupting fault kinds.
+    ///
+    /// [`FaultKind::AscentSpike`] is *not* in the default menu: it only
+    /// bites during ascent phases, so mixing it into training-time chaos
+    /// plans would silently dilute their Byzantine fraction (and reshuffle
+    /// the kind assignment of every existing trace). Opt in with
+    /// [`FaultPlan::with_kinds`].
     ///
     /// # Panics
     ///
@@ -82,6 +100,7 @@ impl FaultPlan {
                 FaultKind::Scale,
                 FaultKind::Crash,
             ],
+            ascent_spike: ASCENT_SPIKE_SCALE,
         }
     }
 
@@ -94,6 +113,34 @@ impl FaultPlan {
         assert!(!kinds.is_empty(), "a fault plan needs at least one kind");
         self.kinds = kinds;
         self
+    }
+
+    /// Sets the LR magnification used by [`FaultKind::AscentSpike`]
+    /// clients (the divergence bench sweeps 10x–100x).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not finite and positive.
+    pub fn with_ascent_spike(mut self, scale: f32) -> Self {
+        assert!(
+            scale.is_finite() && scale > 0.0,
+            "ascent spike must be finite and positive, got {scale}"
+        );
+        self.ascent_spike = scale;
+        self
+    }
+
+    /// The LR multiplier `client` applies during ascent rounds: the
+    /// plan's spike factor for firing [`FaultKind::AscentSpike`] clients,
+    /// `1.0` for everyone else. Callers gate on the phase direction —
+    /// the spike models a hostile *unlearning* participant.
+    pub fn ascent_lr_scale(&self, n_clients: usize, round: usize, client: usize) -> f32 {
+        match self.fault_of(n_clients, client) {
+            Some(FaultKind::AscentSpike) if self.fires(FaultKind::AscentSpike, round, client) => {
+                self.ascent_spike
+            }
+            _ => 1.0,
+        }
     }
 
     /// The fault assigned to `client` in a federation of `n_clients`, or
@@ -142,6 +189,9 @@ impl FaultPlan {
     ) -> Option<Vec<Tensor>> {
         match kind {
             FaultKind::Crash => None,
+            // The spike corrupts the *computation* (via the learning
+            // rate, see `ascent_lr_scale`); its upload is honest.
+            FaultKind::AscentSpike => Some(params),
             FaultKind::NanEmitter => Some(
                 params
                     .into_iter()
@@ -293,6 +343,35 @@ mod tests {
     #[should_panic(expected = "byzantine_frac")]
     fn rejects_total_byzantine_takeover() {
         let _ = FaultPlan::new(0, 1.0);
+    }
+
+    #[test]
+    fn ascent_spike_scales_lr_without_touching_uploads() {
+        let plan = FaultPlan::new(5, 0.5)
+            .with_kinds(vec![FaultKind::AscentSpike])
+            .with_ascent_spike(25.0);
+        let n = 4;
+        let spiked: Vec<usize> = (0..n)
+            .filter(|&c| plan.fault_of(n, c) == Some(FaultKind::AscentSpike))
+            .collect();
+        assert_eq!(spiked.len(), 2);
+        for c in 0..n {
+            let expect = if spiked.contains(&c) { 25.0 } else { 1.0 };
+            assert_eq!(plan.ascent_lr_scale(n, 0, c), expect, "client {c}");
+        }
+        // Upload passes through bit-for-bit: the fault lives in the LR.
+        let global = vec![t(&[1.0, 2.0])];
+        let honest = vec![t(&[3.0, 4.0])];
+        let out = plan
+            .corrupt(FaultKind::AscentSpike, &global, honest.clone())
+            .unwrap();
+        assert_eq!(out[0].data(), honest[0].data());
+    }
+
+    #[test]
+    #[should_panic(expected = "ascent spike")]
+    fn rejects_non_positive_spike() {
+        let _ = FaultPlan::new(0, 0.2).with_ascent_spike(0.0);
     }
 
     #[test]

@@ -231,6 +231,30 @@ impl Federation {
         &self.guard
     }
 
+    /// Screens a client-attributed parameter set produced *outside* the
+    /// round machinery — a method-local ascent result (PGA) or a replayed
+    /// update — through the same ingestion guard `run_phase` applies to
+    /// round uploads. A rejected delta counts toward `client`'s
+    /// quarantine threshold exactly like a rejected round upload.
+    ///
+    /// Unlearning methods that install parameters via
+    /// [`Federation::set_global`] bypass round ingestion entirely; this
+    /// is their screening hook, closing the gap where a NaN produced
+    /// during an unlearn or recover computation reached the global model
+    /// unchecked.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`Violation`] that caused the rejection.
+    pub fn screen_update(
+        &mut self,
+        client: usize,
+        reference: &[Tensor],
+        params: &[Tensor],
+    ) -> Result<(), Violation> {
+        self.guard.check(client, reference, params)
+    }
+
     /// Replaces the transport-health circuit-breaker policy. Resets
     /// failure streaks and lifts any open cooldowns.
     pub fn set_health(&mut self, config: HealthConfig) {
@@ -465,6 +489,20 @@ impl Federation {
                 // of execution interleaving.
                 let seeds: Vec<Rng> = participants.iter().map(|&i| rng.fork(i as u64)).collect();
 
+                // AscentSpike faults corrupt the computation itself: the
+                // spiked client runs its local ascent at a magnified LR.
+                // Drawn up-front (pure hash, no RNG stream) so the worker
+                // threads stay free of `self` borrows.
+                let lr_scales: Vec<f32> = participants
+                    .iter()
+                    .map(|&c| match &self.fault_plan {
+                        Some(plan) if phase.direction == qd_nn::Direction::Ascent => {
+                            plan.ascent_lr_scale(self.n_clients(), round, c)
+                        }
+                        _ => 1.0,
+                    })
+                    .collect();
+
                 let global_before = self.global.clone();
 
                 // Server → clients: every participant downloads the global
@@ -507,7 +545,10 @@ impl Federation {
                             let data = dataset_of(*client).expect("participant has data");
                             let params = start_params[slot].take().expect("reachable participant");
                             let mut crng = seeds[slot].clone();
-                            let phase = *phase;
+                            let mut phase = *phase;
+                            if lr_scales[slot] != 1.0 {
+                                phase.lr *= lr_scales[slot];
+                            }
                             handles.push((
                                 slot,
                                 scope.spawn(move || {

@@ -55,7 +55,7 @@ pub use aggregate::{
     Aggregator, AggregatorKind, ClientUpdate, GuardConfig, GuardState, ResilienceStats,
     UpdateGuard, Violation, TRIM_FRAC,
 };
-pub use faults::{FaultKind, FaultPlan, BYZANTINE_SCALE};
+pub use faults::{FaultKind, FaultPlan, ASCENT_SPIKE_SCALE, BYZANTINE_SCALE};
 pub use federation::{
     Federation, PhaseObserver, PhaseStats, ResumeState, RoundBreakdown, RoundRecord,
 };

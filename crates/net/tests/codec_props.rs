@@ -34,6 +34,35 @@ proptest! {
     }
 
     #[test]
+    fn non_finite_frames_round_trip_without_panicking(
+        dims in proptest::collection::vec(1usize..5, 1..4usize),
+        picks in proptest::collection::vec(0usize..4, 64),
+        payloads in proptest::collection::vec(1u32..(1 << 23), 64),
+    ) {
+        // Every element is non-finite — the shape a diverged ascent round
+        // actually ships: NaNs with arbitrary sign/payload bits, +/-Inf.
+        let raw: Vec<f32> = picks
+            .iter()
+            .zip(&payloads)
+            .map(|(&p, &bits)| match p {
+                0 => f32::from_bits(0x7f80_0000 | bits),
+                1 => f32::from_bits(0xff80_0000 | bits),
+                2 => f32::INFINITY,
+                _ => f32::NEG_INFINITY,
+            })
+            .collect();
+        let t = tensor_from(&dims, &raw);
+        let frame = Payload::encode(std::slice::from_ref(&t), WireFormat::F32);
+        let back = frame.decode().unwrap();
+        for (x, y) in t.data().iter().zip(back[0].data()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits(), "{} vs {}", x, y);
+        }
+        // The lossy format cannot preserve non-finite values, but it must
+        // fail soft: encode and decode without panicking.
+        let _ = Payload::encode(std::slice::from_ref(&t), WireFormat::QuantU8).decode();
+    }
+
+    #[test]
     fn quantized_error_stays_within_bound(
         dims in proptest::collection::vec(1usize..5, 1..4usize),
         vals in proptest::collection::vec(-100.0f32..100.0, 64),

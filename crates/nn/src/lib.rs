@@ -49,6 +49,7 @@ mod loss;
 mod models;
 mod module;
 mod optim;
+mod params;
 
 pub use layers::{
     AvgPool2d, Conv2d, Flatten, InstanceNorm2d, Linear, MaxPool2d, Relu, Sigmoid, Tanh,
@@ -57,3 +58,4 @@ pub use loss::{cross_entropy, mse, one_hot};
 pub use models::{ConvNet, LeNet, Mlp};
 pub use module::{forward_inference, Module, Sequential};
 pub use optim::{Direction, Sgd};
+pub use params::{param_l2_distance, param_l2_norm, params_have_non_finite, relative_drift};

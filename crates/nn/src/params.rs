@@ -1,0 +1,102 @@
+//! Whole-parameter-set scans used by divergence guards.
+//!
+//! Unlearning guards run after *every* ascent attempt, so these helpers
+//! are written to cost one pass over the parameter buffers — no clones,
+//! no intermediate difference tensors.
+
+use qd_tensor::Tensor;
+
+/// Returns `true` if any tensor in `params` contains a NaN or infinity.
+///
+/// Short-circuits at the first offending scalar.
+pub fn params_have_non_finite(params: &[Tensor]) -> bool {
+    params.iter().any(Tensor::has_non_finite)
+}
+
+/// Euclidean norm of the whole parameter set, flattened across tensors.
+pub fn param_l2_norm(params: &[Tensor]) -> f32 {
+    params
+        .iter()
+        .map(|t| {
+            let n = t.norm();
+            n * n
+        })
+        .sum::<f32>()
+        .sqrt()
+}
+
+/// Euclidean distance `‖a − b‖₂` between two parameter sets, flattened
+/// across tensors, without materializing the difference.
+///
+/// # Panics
+///
+/// Panics if the sets differ in tensor count or element counts.
+pub fn param_l2_distance(a: &[Tensor], b: &[Tensor]) -> f32 {
+    assert_eq!(a.len(), b.len(), "parameter-set tensor count mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            assert_eq!(x.len(), y.len(), "parameter tensor length mismatch");
+            x.data()
+                .iter()
+                .zip(y.data())
+                .map(|(&p, &q)| {
+                    let d = p - q;
+                    d * d
+                })
+                .sum::<f32>()
+        })
+        .sum::<f32>()
+        .sqrt()
+}
+
+/// Relative L2 displacement `‖params − reference‖ / ‖reference‖` — the
+/// drift measure unlearning guards budget against (the same ball geometry
+/// PGA projects onto). A zero-norm reference reports the absolute
+/// distance instead, so a drifted model never hides behind a 0/0.
+pub fn relative_drift(params: &[Tensor], reference: &[Tensor]) -> f32 {
+    let dist = param_l2_distance(params, reference);
+    let base = param_l2_norm(reference);
+    if base > 0.0 {
+        dist / base
+    } else {
+        dist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(vals: &[f32]) -> Tensor {
+        Tensor::from_vec(vals.to_vec(), &[vals.len()])
+    }
+
+    #[test]
+    fn non_finite_scan_finds_nan_and_inf() {
+        let clean = vec![t(&[1.0, -2.0]), t(&[0.0])];
+        assert!(!params_have_non_finite(&clean));
+        let nan = vec![t(&[1.0]), t(&[f32::NAN, 0.0])];
+        assert!(params_have_non_finite(&nan));
+        let inf = vec![t(&[f32::INFINITY])];
+        assert!(params_have_non_finite(&inf));
+    }
+
+    #[test]
+    fn l2_distance_matches_flattened_norm() {
+        let a = vec![t(&[3.0, 0.0]), t(&[0.0])];
+        let b = vec![t(&[0.0, 4.0]), t(&[0.0])];
+        assert!((param_l2_distance(&a, &b) - 5.0).abs() < 1e-6);
+        assert!((param_l2_norm(&a) - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn relative_drift_normalizes_by_reference() {
+        let reference = vec![t(&[3.0, 4.0])]; // norm 5
+        let moved = vec![t(&[3.0, 5.0])]; // distance 1
+        assert!((relative_drift(&moved, &reference) - 0.2).abs() < 1e-6);
+        // Zero reference: fall back to the absolute distance.
+        let zero = vec![t(&[0.0, 0.0])];
+        assert!((relative_drift(&moved, &zero) - param_l2_norm(&moved)).abs() < 1e-6);
+    }
+}

@@ -265,6 +265,15 @@ impl Tensor {
         self.data.iter().all(|a| a.is_finite())
     }
 
+    /// Returns `true` if any element is NaN or infinite.
+    ///
+    /// The complement of [`Tensor::all_finite`], named for guard-style
+    /// call sites (`if t.has_non_finite() { reject }`); like it, the scan
+    /// short-circuits at the first offending element.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|a| !a.is_finite())
+    }
+
     /// Maximum absolute difference between two same-length tensors.
     ///
     /// # Panics

@@ -170,6 +170,7 @@ impl UnlearningMethod for FedEraser {
             unlearn,
             recovery,
             post_unlearn_params,
+            guard: None,
         }
     }
 }

@@ -227,6 +227,7 @@ impl UnlearningMethod for FuMp {
             unlearn,
             recovery,
             post_unlearn_params,
+            guard: None,
         }
     }
 

@@ -1,0 +1,520 @@
+//! Divergence guards for gradient-ascent unlearning.
+//!
+//! Plain SGA has a first-class failure mode: one over-aggressive ascent
+//! step (a hostile forget-data holder, a misconfigured LR) blows the
+//! model past what recovery on the retain set can reverse. The guard
+//! wraps any [`UnlearningMethod`] with three cheap post-attempt checks —
+//! a non-finite scan, a **drift budget** (max relative L2 displacement of
+//! the ascent result from the pre-unlearn model, the same ball geometry
+//! PGA projects onto), and a **retain probe** (loss on a small retain
+//! sample must stay under a threshold) — and on violation rolls the
+//! federation back to the pre-unlearn snapshot and retries with a halved
+//! ascent LR. Bounded backoff: after the configured retries the guard
+//! surfaces a typed [`UnlearnError::Diverged`] with the model restored,
+//! never a poisoned one.
+
+use crate::{retain_override, Capabilities, MethodOutcome, UnlearnRequest, UnlearningMethod};
+use qd_data::Dataset;
+use qd_fed::Federation;
+use qd_nn::{params_have_non_finite, relative_drift, Module};
+use qd_tensor::rng::Rng;
+use qd_tensor::Tensor;
+
+/// Default drift budget: the ascent stage may displace the model by at
+/// most half its own norm. Fault-free SGA ascent on a trained model
+/// lands well under this (relative drift ~0.1–0.3 at the paper's LRs,
+/// comfortably inside PGA's published projection radii of 0.2–0.5),
+/// while a spiked ascent overshoots it by orders of magnitude — so the
+/// default separates the two regimes without tuning.
+pub const DEFAULT_DRIFT_BUDGET: f32 = 0.5;
+
+/// Configuration of a divergence guard. All checks are opt-out: a zero
+/// `drift_budget` or `retain_probe` disables that check (the non-finite
+/// scan always runs — no model with NaN parameters is ever acceptable).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GuardPolicy {
+    /// Max relative L2 displacement of the post-ascent model from the
+    /// pre-unlearn model (`0.0` disables the check).
+    pub drift_budget: f32,
+    /// Max mean cross-entropy loss on the retain probe after recovery
+    /// (`0.0` disables the check).
+    pub retain_probe: f32,
+    /// Rollback-and-halve retries after the first failed attempt before
+    /// the guard gives up with [`UnlearnError::Diverged`].
+    pub ascent_retries: u32,
+    /// Retain samples drawn (across clients) for the probe.
+    pub probe_samples: usize,
+}
+
+impl Default for GuardPolicy {
+    fn default() -> Self {
+        GuardPolicy {
+            drift_budget: DEFAULT_DRIFT_BUDGET,
+            retain_probe: 0.0,
+            ascent_retries: 3,
+            probe_samples: 64,
+        }
+    }
+}
+
+impl GuardPolicy {
+    /// Checks the policy for nonsensical values, returning a message
+    /// suitable for a CLI usage error.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first offending field.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.drift_budget.is_finite() || self.drift_budget < 0.0 {
+            return Err(format!(
+                "drift budget must be finite and >= 0 (0 disables), got {}",
+                self.drift_budget
+            ));
+        }
+        if !self.retain_probe.is_finite() || self.retain_probe < 0.0 {
+            return Err(format!(
+                "retain-probe threshold must be finite and >= 0 (0 disables), got {}",
+                self.retain_probe
+            ));
+        }
+        if self.ascent_retries > 16 {
+            return Err(format!(
+                "ascent retries capped at 16 (each halves the LR; 16 already \
+                 shrinks it 65536x), got {}",
+                self.ascent_retries
+            ));
+        }
+        if self.probe_samples == 0 {
+            return Err("probe_samples must be >= 1".to_string());
+        }
+        Ok(())
+    }
+}
+
+/// Everything a guard decided while serving one request. Flows into
+/// [`MethodOutcome::guard`] and, when a request journal is in use, is
+/// persisted with the request's UNLEARNED record.
+#[derive(Debug, Clone, Copy, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+pub struct GuardStats {
+    /// Guarded ascent attempts executed (1 for a clean first pass).
+    pub steps: u32,
+    /// Rollbacks to the pre-unlearn snapshot.
+    pub rollbacks: u32,
+    /// Ascent-LR halvings applied (one per rollback).
+    pub lr_halvings: u32,
+    /// Relative L2 drift of the accepted ascent result (the last
+    /// measured drift when the guard gave up).
+    pub final_drift: f32,
+}
+
+/// Why a guarded attempt was rejected.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GuardViolation {
+    /// The model contains NaN or infinite parameters.
+    NonFinite,
+    /// Relative drift of the ascent result exceeded the budget.
+    DriftExceeded {
+        /// Measured relative drift.
+        drift: f32,
+        /// The configured budget it exceeded.
+        budget: f32,
+    },
+    /// Mean retain-probe loss exceeded the threshold.
+    ProbeExceeded {
+        /// Measured mean loss on the probe.
+        loss: f32,
+        /// The configured threshold it exceeded.
+        limit: f32,
+    },
+}
+
+impl std::fmt::Display for GuardViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GuardViolation::NonFinite => f.write_str("non-finite parameters"),
+            GuardViolation::DriftExceeded { drift, budget } => {
+                write!(f, "drift {drift:.3} exceeds budget {budget:.3}")
+            }
+            GuardViolation::ProbeExceeded { loss, limit } => {
+                write!(f, "retain-probe loss {loss:.3} exceeds limit {limit:.3}")
+            }
+        }
+    }
+}
+
+/// Typed failure of a guarded unlearning attempt. The federation is left
+/// at the pre-unlearn model — never at a diverged one.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UnlearnError {
+    /// Every attempt violated the guard, backoff included.
+    Diverged {
+        /// The last violation observed.
+        violation: GuardViolation,
+        /// Guard bookkeeping across all attempts.
+        stats: GuardStats,
+    },
+}
+
+impl std::fmt::Display for UnlearnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UnlearnError::Diverged { violation, stats } => write!(
+                f,
+                "unlearning diverged after {} attempt(s) ({}); model rolled back",
+                stats.steps, violation
+            ),
+        }
+    }
+}
+
+impl std::error::Error for UnlearnError {}
+
+/// Mean cross-entropy loss of `model(params)` over `probe`.
+fn mean_probe_loss(model: &dyn Module, params: &[Tensor], probe: &Dataset) -> f32 {
+    let losses = qd_eval::sample_losses(model, params, probe);
+    losses.iter().sum::<f32>() / losses.len() as f32
+}
+
+/// Draws up to `cap` retain samples, spread across the per-client retain
+/// views in client order. `None` when no retain data exists (stub
+/// federations): the probe check is then skipped.
+pub fn probe_sample(retain: &[Option<Dataset>], cap: usize) -> Option<Dataset> {
+    let mut probe: Option<Dataset> = None;
+    let mut left = cap;
+    for d in retain.iter().flatten() {
+        if left == 0 {
+            break;
+        }
+        let take: Vec<usize> = (0..d.len().min(left)).collect();
+        if take.is_empty() {
+            continue;
+        }
+        left -= take.len();
+        let part = d.subset(&take);
+        match &mut probe {
+            Some(acc) => acc.extend(&part),
+            None => probe = Some(part),
+        }
+    }
+    probe
+}
+
+/// Applies the guard's three checks to one finished attempt: `ascent` is
+/// the model right after the ascent stage (drift is measured here, where
+/// divergence happens), `recovered` the model after recovery (scanned
+/// for non-finite values and probed on retain data).
+///
+/// Returns the measured relative drift of the accepted attempt.
+///
+/// # Errors
+///
+/// Returns the first [`GuardViolation`] encountered.
+pub fn check_attempt(
+    policy: &GuardPolicy,
+    model: &dyn Module,
+    reference: &[Tensor],
+    ascent: &[Tensor],
+    recovered: &[Tensor],
+    probe: Option<&Dataset>,
+) -> Result<f32, GuardViolation> {
+    if params_have_non_finite(ascent) || params_have_non_finite(recovered) {
+        return Err(GuardViolation::NonFinite);
+    }
+    let drift = relative_drift(ascent, reference);
+    if policy.drift_budget > 0.0 && drift > policy.drift_budget {
+        return Err(GuardViolation::DriftExceeded {
+            drift,
+            budget: policy.drift_budget,
+        });
+    }
+    if policy.retain_probe > 0.0 {
+        if let Some(probe) = probe.filter(|d| !d.is_empty()) {
+            let loss = mean_probe_loss(model, recovered, probe);
+            // A NaN loss counts as a violation.
+            if loss.is_nan() || loss > policy.retain_probe {
+                return Err(GuardViolation::ProbeExceeded {
+                    loss,
+                    limit: policy.retain_probe,
+                });
+            }
+        }
+    }
+    Ok(drift)
+}
+
+/// A method whose ascent aggressiveness the guard can dial down between
+/// attempts.
+pub trait GuardableMethod: UnlearningMethod {
+    /// Multiplies the ascent learning rate by `factor` (the guard passes
+    /// `0.5` after each rollback). The change persists: a guard instance
+    /// that had to back off keeps serving at the LR it found safe.
+    fn scale_ascent_lr(&mut self, factor: f32);
+}
+
+/// Divergence-safe wrapper around an unlearning method.
+///
+/// Snapshots the global model and RNG before the inner method runs,
+/// checks the result against the [`GuardPolicy`], and on violation rolls
+/// both back and retries at half the ascent LR. See the module docs for
+/// the failure model.
+///
+/// # Examples
+///
+/// ```
+/// use qd_fed::Phase;
+/// use qd_unlearn::{GuardPolicy, Guarded, SgaOriginal, UnlearningMethod};
+///
+/// let sga = SgaOriginal::new(
+///     Phase::unlearning(2, 50, 256, 0.02),
+///     Phase::training(2, 50, 256, 0.01),
+/// );
+/// let guarded = Guarded::new(sga, GuardPolicy::default());
+/// assert_eq!(guarded.name(), "SGA-Or"); // transparent in tables
+/// ```
+#[derive(Debug, Clone)]
+pub struct Guarded<M> {
+    inner: M,
+    policy: GuardPolicy,
+}
+
+impl<M: GuardableMethod> Guarded<M> {
+    /// Wraps `inner` with `policy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy fails [`GuardPolicy::validate`].
+    pub fn new(inner: M, policy: GuardPolicy) -> Self {
+        if let Err(msg) = policy.validate() {
+            panic!("invalid guard policy: {msg}");
+        }
+        Guarded { inner, policy }
+    }
+
+    /// The wrapped method.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+
+    /// The active guard policy.
+    pub fn policy(&self) -> &GuardPolicy {
+        &self.policy
+    }
+
+    /// Serves one request under the guard.
+    ///
+    /// On success the returned outcome carries the guard's bookkeeping in
+    /// [`MethodOutcome::guard`]. On divergence the federation holds the
+    /// pre-unlearn model and the RNG stream is restored to its
+    /// pre-request state, so the caller can retry, reroute, or refuse
+    /// without inheriting a poisoned deployment.
+    ///
+    /// # Errors
+    ///
+    /// [`UnlearnError::Diverged`] when every attempt (1 + configured
+    /// retries) violated the guard.
+    pub fn try_unlearn(
+        &mut self,
+        fed: &mut Federation,
+        request: UnlearnRequest,
+        rng: &mut Rng,
+    ) -> Result<MethodOutcome, UnlearnError> {
+        let reference = fed.global().to_vec();
+        let rng_mark = rng.state();
+        let probe = probe_sample(&retain_override(fed, request), self.policy.probe_samples);
+        let mut stats = GuardStats::default();
+        let mut last_violation = GuardViolation::NonFinite;
+        for attempt in 0..=self.policy.ascent_retries {
+            let mut outcome = self.inner.unlearn(fed, request, rng);
+            stats.steps += 1;
+            match check_attempt(
+                &self.policy,
+                fed.model().as_ref(),
+                &reference,
+                &outcome.post_unlearn_params,
+                fed.global(),
+                probe.as_ref(),
+            ) {
+                Ok(drift) => {
+                    stats.final_drift = drift;
+                    outcome.guard = Some(stats);
+                    return Ok(outcome);
+                }
+                Err(violation) => {
+                    stats.final_drift = relative_drift(&outcome.post_unlearn_params, &reference);
+                    last_violation = violation;
+                }
+            }
+            // Roll back model and RNG; retry deterministically at half
+            // the ascent LR (skipped once the budget is exhausted).
+            fed.set_global(reference.clone());
+            *rng = Rng::from_state(&rng_mark);
+            stats.rollbacks += 1;
+            if attempt < self.policy.ascent_retries {
+                self.inner.scale_ascent_lr(0.5);
+                stats.lr_halvings += 1;
+            }
+        }
+        Err(UnlearnError::Diverged {
+            violation: last_violation,
+            stats,
+        })
+    }
+}
+
+impl<M: GuardableMethod> UnlearningMethod for Guarded<M> {
+    /// Delegates to the inner method: the guard is transparent in
+    /// experiment tables, its work shows up in [`MethodOutcome::guard`].
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        self.inner.capabilities()
+    }
+
+    /// Guarded serving through the common trait.
+    ///
+    /// # Panics
+    ///
+    /// Panics on [`UnlearnError::Diverged`] — callers that want the typed
+    /// error (and the rolled-back model) use [`Guarded::try_unlearn`].
+    fn unlearn(
+        &mut self,
+        fed: &mut Federation,
+        request: UnlearnRequest,
+        rng: &mut Rng,
+    ) -> MethodOutcome {
+        match self.try_unlearn(fed, request, rng) {
+            Ok(outcome) => outcome,
+            Err(e) => panic!("{e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SgaOriginal;
+    use qd_data::{partition_iid, SyntheticDataset};
+    use qd_fed::{sgd_trainers, Federation, Phase};
+    use qd_nn::Mlp;
+    use std::sync::Arc;
+
+    fn trained_federation(seed: u64) -> (Federation, Rng) {
+        let mut rng = Rng::seed_from(seed);
+        let model: Arc<dyn Module> = Arc::new(Mlp::new(&[256, 32, 10]));
+        let data = SyntheticDataset::Digits.generate(400, &mut rng);
+        let parts = partition_iid(data.len(), 4, &mut rng);
+        let clients: Vec<_> = parts.iter().map(|p| data.subset(p)).collect();
+        let mut fed = Federation::new(model.clone(), clients, &mut rng);
+        let mut trainers = sgd_trainers(model, 4);
+        fed.run_phase(
+            &mut trainers,
+            None,
+            &Phase::training(8, 10, 32, 0.1),
+            &mut rng,
+        );
+        (fed, rng)
+    }
+
+    #[test]
+    fn default_policy_validates() {
+        GuardPolicy::default().validate().expect("default is sane");
+        let bad = GuardPolicy {
+            drift_budget: f32::NAN,
+            ..GuardPolicy::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = GuardPolicy {
+            ascent_retries: 17,
+            ..GuardPolicy::default()
+        };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn clean_run_passes_with_zero_rollbacks() {
+        let (mut fed, mut rng) = trained_federation(1);
+        let sga = SgaOriginal::new(
+            Phase::unlearning(1, 6, 32, 0.05),
+            Phase::training(2, 8, 32, 0.05),
+        );
+        let mut guarded = Guarded::new(sga, GuardPolicy::default());
+        let outcome = guarded
+            .try_unlearn(&mut fed, UnlearnRequest::Class(5), &mut rng)
+            .expect("fault-free run stays inside the budget");
+        let stats = outcome.guard.expect("guarded outcome carries stats");
+        assert_eq!(stats.steps, 1);
+        assert_eq!(stats.rollbacks, 0);
+        assert!(stats.final_drift > 0.0, "ascent must move the model");
+        assert!(stats.final_drift <= DEFAULT_DRIFT_BUDGET);
+    }
+
+    #[test]
+    fn hostile_lr_rolls_back_and_recovers_or_surfaces_typed_error() {
+        let (mut fed, mut rng) = trained_federation(2);
+        // 40x the sane ascent LR: the first attempts must blow the budget.
+        let sga = SgaOriginal::new(
+            Phase::unlearning(1, 6, 32, 2.0),
+            Phase::training(2, 8, 32, 0.05),
+        );
+        let policy = GuardPolicy {
+            ascent_retries: 8,
+            ..GuardPolicy::default()
+        };
+        let mut guarded = Guarded::new(sga, policy);
+        match guarded.try_unlearn(&mut fed, UnlearnRequest::Class(5), &mut rng) {
+            Ok(outcome) => {
+                let stats = outcome.guard.expect("stats attached");
+                assert!(stats.rollbacks >= 1, "hostile LR must trigger a rollback");
+                assert_eq!(stats.lr_halvings, stats.rollbacks);
+                assert!(stats.final_drift <= policy.drift_budget);
+                assert!(!qd_nn::params_have_non_finite(fed.global()));
+            }
+            Err(UnlearnError::Diverged { stats, .. }) => {
+                panic!("8 halvings shrink 2.0 to ~0.008; should converge, got {stats:?}")
+            }
+        }
+    }
+
+    #[test]
+    fn exhausted_backoff_restores_the_model_bit_for_bit() {
+        let (mut fed, mut rng) = trained_federation(3);
+        let reference = fed.global().to_vec();
+        let rng_mark = rng.state();
+        let sga = SgaOriginal::new(
+            Phase::unlearning(1, 6, 32, 5.0),
+            Phase::training(1, 2, 32, 0.05),
+        );
+        // No retries and an unmeetable budget: guaranteed divergence.
+        let policy = GuardPolicy {
+            drift_budget: 1e-6,
+            ascent_retries: 0,
+            ..GuardPolicy::default()
+        };
+        let mut guarded = Guarded::new(sga, policy);
+        let err = guarded
+            .try_unlearn(&mut fed, UnlearnRequest::Class(5), &mut rng)
+            .expect_err("budget of 1e-6 cannot be met");
+        let UnlearnError::Diverged { stats, .. } = &err;
+        assert_eq!(stats.steps, 1);
+        assert_eq!(stats.rollbacks, 1);
+        assert_eq!(stats.lr_halvings, 0, "no retry, no halving");
+        assert!(err.to_string().contains("rolled back"));
+        for (a, b) in fed.global().iter().zip(&reference) {
+            assert_eq!(a.data(), b.data(), "model must be restored exactly");
+        }
+        assert_eq!(rng.state(), rng_mark, "RNG stream must be restored");
+    }
+
+    #[test]
+    fn probe_sample_spreads_across_clients_and_respects_cap() {
+        let mut rng = Rng::seed_from(7);
+        let a = SyntheticDataset::Digits.generate(10, &mut rng);
+        let b = SyntheticDataset::Digits.generate(10, &mut rng);
+        let retain = vec![Some(a), None, Some(b)];
+        let probe = probe_sample(&retain, 14).expect("data exists");
+        assert_eq!(probe.len(), 14); // 10 from the first client, 4 more
+        assert!(probe_sample(&[None, None], 8).is_none());
+    }
+}

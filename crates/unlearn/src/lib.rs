@@ -43,6 +43,7 @@
 
 mod federaser;
 mod fump;
+mod guard;
 mod method;
 mod pga;
 mod request;
@@ -52,6 +53,10 @@ mod sga;
 
 pub use federaser::FedEraser;
 pub use fump::FuMp;
+pub use guard::{
+    check_attempt, probe_sample, GuardPolicy, GuardStats, GuardViolation, GuardableMethod, Guarded,
+    UnlearnError, DEFAULT_DRIFT_BUDGET,
+};
 pub use method::{
     relearn_with_original, Capabilities, Efficiency, MethodOutcome, UnlearningMethod,
 };

@@ -57,6 +57,10 @@ pub struct MethodOutcome {
     /// Global parameters right after unlearning, before recovery (for
     /// stage-wise accuracy reporting as in Table 2).
     pub post_unlearn_params: Vec<Tensor>,
+    /// Divergence-guard bookkeeping, `Some` when the request was served
+    /// through a [`crate::Guarded`] wrapper (or another guarded engine);
+    /// `None` for unguarded serving.
+    pub guard: Option<crate::GuardStats>,
 }
 
 impl MethodOutcome {
@@ -176,6 +180,7 @@ mod tests {
                 ..PhaseStats::default()
             },
             post_unlearn_params: Vec::new(),
+            guard: None,
         };
         let t = outcome.total();
         assert_eq!(t.rounds, 3);

@@ -129,16 +129,13 @@ impl UnlearningMethod for PgaHalimi {
             .filter(|&i| forget[i].as_ref().is_some_and(|d| !d.is_empty()))
             .collect();
         if !holders.is_empty() {
-            let total: usize = holders
+            data_size = holders
                 .iter()
                 .map(|&i| forget[i].as_ref().unwrap().len())
                 .sum();
-            data_size = total;
-            let mut aggregated: Vec<Tensor> =
-                reference.iter().map(|t| Tensor::zeros(t.dims())).collect();
+            let mut survivors: Vec<(usize, Vec<Tensor>)> = Vec::with_capacity(holders.len());
             for &i in &holders {
                 let data = forget[i].as_ref().unwrap();
-                let weight = data.len() as f32 / total as f32;
                 let mut local = reference.clone();
                 let mut crng = rng.fork(i as u64);
                 for _ in 0..self.ascent_steps {
@@ -154,11 +151,28 @@ impl UnlearningMethod for PgaHalimi {
                     opt.step(&mut local, &grads);
                     self.project(&mut local, &reference);
                 }
-                for (a, p) in aggregated.iter_mut().zip(&local) {
-                    a.axpy(weight, p);
+                // Ascent results bypass round ingestion (this method
+                // installs the aggregate via `set_global`), so screen
+                // each holder's delta through the same update guard a
+                // round upload would face: one NaN-emitting holder must
+                // not poison the aggregate.
+                if fed.screen_update(i, &reference, &local).is_err() {
+                    continue;
                 }
+                survivors.push((data.len(), local));
             }
-            params = aggregated;
+            if !survivors.is_empty() {
+                let total: usize = survivors.iter().map(|(n, _)| n).sum();
+                let mut aggregated: Vec<Tensor> =
+                    reference.iter().map(|t| Tensor::zeros(t.dims())).collect();
+                for (n, local) in &survivors {
+                    let weight = *n as f32 / total as f32;
+                    for (a, p) in aggregated.iter_mut().zip(local) {
+                        a.axpy(weight, p);
+                    }
+                }
+                params = aggregated;
+            }
         }
         fed.set_global(params);
         let model_scalars: usize = reference.iter().map(Tensor::len).sum();
@@ -180,6 +194,7 @@ impl UnlearningMethod for PgaHalimi {
             unlearn,
             recovery,
             post_unlearn_params,
+            guard: None,
         }
     }
 }
@@ -187,7 +202,7 @@ impl UnlearningMethod for PgaHalimi {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qd_data::{partition_iid, SyntheticDataset};
+    use qd_data::{partition_iid, Dataset, SyntheticDataset};
     use qd_eval::split_accuracy;
     use qd_nn::{Mlp, Module};
     use std::sync::Arc;
@@ -237,6 +252,48 @@ mod tests {
         let (fa, ra) = split_accuracy(model.as_ref(), fed.global(), &f, &r);
         assert!(fa < 0.25, "forget accuracy {fa}");
         assert!(ra > 0.5, "retain accuracy {ra}");
+    }
+
+    #[test]
+    fn nan_emitting_unlearn_client_is_screened_not_aggregated() {
+        let mut rng = Rng::seed_from(5);
+        let model: Arc<dyn Module> = Arc::new(Mlp::new(&[256, 32, 10]));
+        let clean = SyntheticDataset::Digits.generate(200, &mut rng);
+        // Client 1's forget data carries NaN features: its local ascent
+        // produces non-finite parameters — the unlearn-phase analogue of
+        // a NanEmitter fault, which round ingestion would catch but the
+        // direct `set_global` path historically did not.
+        let poisoned = {
+            let (c, h, w) = clean.sample_dims();
+            let n = 40usize;
+            let labels: Vec<usize> = (0..n).map(|i| i % clean.classes()).collect();
+            Dataset::new(
+                vec![f32::NAN; n * c * h * w],
+                labels,
+                clean.classes(),
+                c,
+                h,
+                w,
+            )
+        };
+        let clients = vec![clean, poisoned];
+        let mut fed = Federation::new(model, clients, &mut rng);
+
+        let mut m = PgaHalimi::new(5, 32, 0.1, 0.5, Phase::training(1, 4, 32, 0.1));
+        // Class-level request: both clients hold forget data, and only
+        // the poisoned holder's ascent result must be dropped.
+        let outcome = m.unlearn(&mut fed, UnlearnRequest::Class(3), &mut rng);
+        assert!(
+            !qd_nn::params_have_non_finite(&outcome.post_unlearn_params),
+            "NaN holder reached the aggregate"
+        );
+        assert!(
+            !qd_nn::params_have_non_finite(fed.global()),
+            "recovered model must be finite"
+        );
+        // The screen charged the violation to the poisoned client only.
+        assert!(fed.guard().state().violations[1] >= 1);
+        assert_eq!(fed.guard().state().violations[0], 0);
     }
 
     #[test]

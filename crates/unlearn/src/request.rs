@@ -21,6 +21,38 @@ impl std::fmt::Display for UnlearnRequest {
     }
 }
 
+// Manual impls: the vendored serde derive handles only fieldless enums,
+// and these variants carry their target index. A request is persisted in
+// the durable unlearning-request journal (`qd-core`), so the encoding —
+// `{"kind": "class"|"client", "target": N}` — is part of the journal's
+// on-disk format.
+impl serde::Serialize for UnlearnRequest {
+    fn to_value(&self) -> serde::Value {
+        let (kind, target) = match self {
+            UnlearnRequest::Class(c) => ("class", *c),
+            UnlearnRequest::Client(i) => ("client", *i),
+        };
+        serde::Value::Map(vec![
+            ("kind".to_string(), serde::Value::Str(kind.to_string())),
+            ("target".to_string(), serde::Serialize::to_value(&target)),
+        ])
+    }
+}
+
+impl serde::Deserialize for UnlearnRequest {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let kind: String = serde::Deserialize::from_value(v.field("UnlearnRequest", "kind")?)?;
+        let target: usize = serde::Deserialize::from_value(v.field("UnlearnRequest", "target")?)?;
+        match kind.as_str() {
+            "class" => Ok(UnlearnRequest::Class(target)),
+            "client" => Ok(UnlearnRequest::Client(target)),
+            other => Err(serde::DeError::new(format!(
+                "unknown UnlearnRequest kind {other:?}"
+            ))),
+        }
+    }
+}
+
 /// Per-client view of the forget dataset `D_f`: entry `i` is the part of
 /// `D_f` held by client `i` (`None` when the client holds none, excluding
 /// it from unlearning rounds).

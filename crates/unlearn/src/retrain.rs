@@ -67,6 +67,7 @@ impl UnlearningMethod for RetrainOracle {
             unlearn,
             recovery: PhaseStats::default(),
             post_unlearn_params: fed.global().to_vec(),
+            guard: None,
         }
     }
 }

@@ -129,6 +129,7 @@ impl UnlearningMethod for S2U {
             unlearn,
             recovery: PhaseStats::default(),
             post_unlearn_params: fed.global().to_vec(),
+            guard: None,
         }
     }
 }

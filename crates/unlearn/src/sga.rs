@@ -89,7 +89,14 @@ impl UnlearningMethod for SgaOriginal {
             unlearn,
             recovery,
             post_unlearn_params,
+            guard: None,
         }
+    }
+}
+
+impl crate::GuardableMethod for SgaOriginal {
+    fn scale_ascent_lr(&mut self, factor: f32) {
+        self.unlearn_phase.lr *= factor;
     }
 }
 

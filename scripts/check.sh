@@ -19,10 +19,16 @@ RUSTDOCFLAGS="-D warnings" cargo doc --offline --workspace --no-deps
 echo "== cargo test"
 cargo test --offline --workspace -q
 
+echo "== journal kill-and-resume (release, every state boundary)"
+cargo test --offline --release -p qd-core --test journal_resume -q
+
 echo "== chaos bench (smoke mode)"
 cargo bench --offline -p qd-bench --bench chaos -- --test
 
 echo "== tail bench (smoke mode, 30% dropout)"
 cargo bench --offline -p qd-bench --bench tail -- --test
+
+echo "== divergence bench (smoke mode, 50x ascent spike)"
+cargo bench --offline -p qd-bench --bench divergence -- --test
 
 echo "all checks passed"
