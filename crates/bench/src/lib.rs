@@ -12,6 +12,7 @@
 //! dataset sizes and training rounds.
 
 #![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
 
 use qd_core::{QuickDrop, QuickDropConfig, TrainReport};

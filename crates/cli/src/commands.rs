@@ -42,6 +42,12 @@ impl From<ParseError> for CliError {
     }
 }
 
+impl From<qd_core::CheckpointError> for CliError {
+    fn from(e: qd_core::CheckpointError) -> Self {
+        CliError::Io(e.into())
+    }
+}
+
 impl From<std::io::Error> for CliError {
     fn from(e: std::io::Error) -> Self {
         CliError::Io(e)
@@ -347,7 +353,7 @@ fn serve(args: &Args, mode: ServeMode) -> Result<String, CliError> {
     let seed = args.get_u64("seed", 42)?;
     let request = request_from(args)?;
 
-    let (params, mut qd) = Checkpoint::load(&path)?.restore();
+    let (params, mut qd) = Checkpoint::load(&path)?.restore()?;
     let model = model_for(dataset);
     let mut fed = stub_federation(model.clone(), &qd, params);
     // Serving RNG is independent of the training seed.
@@ -441,7 +447,7 @@ fn eval(args: &Args) -> Result<String, CliError> {
     let dataset = dataset_by_name(&args.get_str("dataset", "digits"))?;
     let path = args.require_str("ckpt")?;
     let seed = args.get_u64("seed", 42)?;
-    let (params, qd) = Checkpoint::load(&path)?.restore();
+    let (params, qd) = Checkpoint::load(&path)?.restore()?;
     let model = model_for(dataset);
     let test = dataset.generate(
         args.get_usize("samples", 400)?,
@@ -464,7 +470,7 @@ fn show(args: &Args) -> Result<String, CliError> {
     let path = args.require_str("ckpt")?;
     let client = args.get_usize("client", 0)?;
     let limit = args.get_usize("limit", 5)?;
-    let (_, qd) = Checkpoint::load(&path)?.restore();
+    let (_, qd) = Checkpoint::load(&path)?.restore()?;
     let sets = qd.synthetic_sets();
     if client >= sets.len() {
         return Err(CliError::Usage(format!(
@@ -840,8 +846,8 @@ mod tests {
         let out = run(&Args::parse(resume).unwrap()).unwrap();
         assert!(out.contains("checkpoint written"), "{out}");
 
-        let (params_ref, _) = Checkpoint::load(&uninterrupted).unwrap().restore();
-        let (params_res, _) = Checkpoint::load(&interrupted).unwrap().restore();
+        let (params_ref, _) = Checkpoint::load(&uninterrupted).unwrap().restore().unwrap();
+        let (params_res, _) = Checkpoint::load(&interrupted).unwrap().restore().unwrap();
         for (a, b) in params_ref.iter().zip(&params_res) {
             for (u, v) in a.data().iter().zip(b.data()) {
                 assert_eq!(u.to_bits(), v.to_bits(), "kill+resume diverged");
@@ -881,7 +887,7 @@ mod tests {
         .unwrap();
         assert!(out.contains("checkpoint written"), "{out}");
         // The model survives the Byzantine minority under a robust rule.
-        let (params, _) = Checkpoint::load(&ckpt).unwrap().restore();
+        let (params, _) = Checkpoint::load(&ckpt).unwrap().restore().unwrap();
         assert!(params.iter().all(qd_tensor::Tensor::all_finite));
         std::fs::remove_file(&ckpt).ok();
     }

@@ -11,6 +11,7 @@
 //! subcommand) to keep the dependency set minimal.
 
 #![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
 
 mod args;

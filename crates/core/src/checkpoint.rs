@@ -19,20 +19,84 @@ use qd_fed::{Phase, ResumeState};
 use qd_tensor::Tensor;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
+use std::fmt;
 use std::io::{Read as _, Write as _};
 use std::path::Path;
+
+/// Why a checkpoint operation failed — the typed error for every
+/// fallible [`Checkpoint`] method. Serving loops match on the variant;
+/// CLI-style callers can `?` it into an [`std::io::Error`] via the
+/// provided `From` impl.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Reading, writing, syncing or renaming the file failed.
+    Io(std::io::Error),
+    /// The file exists but is not a checkpoint this build reads:
+    /// corrupt JSON, missing/old/future version, malformed payload.
+    /// Carries the path and a human-readable detail.
+    Format {
+        /// The offending file.
+        path: std::path::PathBuf,
+        /// What was wrong with it.
+        detail: String,
+    },
+    /// [`Checkpoint::restore`] was called on a mid-training checkpoint,
+    /// which holds no servable synthetic state — feed it to
+    /// [`QuickDrop::resume_train`](crate::QuickDrop::resume_train)
+    /// instead.
+    MidTrainRestore,
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O: {e}"),
+            CheckpointError::Format { path, detail } => {
+                write!(f, "checkpoint {}: {detail}", path.display())
+            }
+            CheckpointError::MidTrainRestore => f.write_str(
+                "mid-training checkpoint: resume training with \
+                 QuickDrop::resume_train instead of restoring a deployment",
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+impl From<CheckpointError> for std::io::Error {
+    fn from(e: CheckpointError) -> Self {
+        match e {
+            CheckpointError::Io(io) => io,
+            other => std::io::Error::new(std::io::ErrorKind::InvalidData, other.to_string()),
+        }
+    }
+}
 
 /// A serializable snapshot of a trained QuickDrop deployment.
 ///
 /// # Examples
 ///
 /// ```no_run
-/// # use qd_core::{Checkpoint, QuickDrop, QuickDropConfig};
-/// # fn demo(fed: &qd_fed::Federation, qd: &QuickDrop) -> std::io::Result<()> {
+/// # use qd_core::{Checkpoint, CheckpointError, QuickDrop, QuickDropConfig};
+/// # fn demo(fed: &qd_fed::Federation, qd: &QuickDrop) -> Result<(), CheckpointError> {
 /// let ckpt = Checkpoint::capture(fed.global(), qd);
 /// ckpt.save("deployment.json")?;
 /// let restored = Checkpoint::load("deployment.json")?;
-/// let (params, qd) = restored.restore();
+/// let (params, qd) = restored.restore()?;
 /// # let _ = (params, qd); Ok(())
 /// # }
 /// ```
@@ -133,18 +197,17 @@ impl Checkpoint {
     /// Rebuilds `(global parameters, QuickDrop)` from a deployment
     /// snapshot.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on a mid-training checkpoint — those hold no servable
-    /// synthetic state; feed them to [`QuickDrop::resume_train`] instead.
+    /// Returns [`CheckpointError::MidTrainRestore`] on a mid-training
+    /// checkpoint — those hold no servable synthetic state; feed them to
+    /// [`QuickDrop::resume_train`] instead.
     ///
     /// [`QuickDrop::resume_train`]: crate::QuickDrop::resume_train
-    pub fn restore(self) -> (Vec<Tensor>, QuickDrop) {
-        assert!(
-            self.mid_phase.is_none(),
-            "mid-training checkpoint: resume training with QuickDrop::resume_train \
-             instead of restoring a deployment"
-        );
+    pub fn restore(self) -> Result<(Vec<Tensor>, QuickDrop), CheckpointError> {
+        if self.mid_phase.is_some() {
+            return Err(CheckpointError::MidTrainRestore);
+        }
         let qd = QuickDrop::from_checkpoint_state(
             self.config,
             self.synthetic,
@@ -152,7 +215,7 @@ impl Checkpoint {
             self.unlearned_classes,
             self.unlearned_clients,
         );
-        (self.global, qd)
+        Ok((self.global, qd))
     }
 
     /// Serializes to JSON at `path`, atomically.
@@ -164,8 +227,9 @@ impl Checkpoint {
     /// # Errors
     ///
     /// Returns any I/O error from writing the temporary file or renaming
-    /// it; serialization itself is infallible for this type.
-    pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+    /// it (as [`CheckpointError::Io`]); serialization itself is
+    /// infallible for this type.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
         let path = path.as_ref();
         let json = serde_json::to_string(self).map_err(std::io::Error::other)?;
         let mut tmp_name = path
@@ -182,27 +246,25 @@ impl Checkpoint {
         if renamed.is_err() {
             std::fs::remove_file(&tmp).ok();
         }
-        renamed
+        Ok(renamed?)
     }
 
     /// Loads a checkpoint from `path`.
     ///
     /// # Errors
     ///
-    /// Returns an [`std::io::ErrorKind::InvalidData`] error naming the
-    /// file and the problem when the contents are corrupt or truncated
-    /// JSON, carry no `version` field, use a version this build does not
-    /// read (older or newer), or fail to decode as a checkpoint — plus
-    /// any error from reading the file itself.
-    pub fn load(path: impl AsRef<Path>) -> std::io::Result<Self> {
+    /// Returns a [`CheckpointError::Format`] naming the file and the
+    /// problem when the contents are corrupt or truncated JSON, carry no
+    /// `version` field, use a version this build does not read (older or
+    /// newer), or fail to decode as a checkpoint — plus
+    /// [`CheckpointError::Io`] for any error reading the file itself.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, CheckpointError> {
         let path = path.as_ref();
         let mut json = String::new();
         std::fs::File::open(path)?.read_to_string(&mut json)?;
-        let invalid = |detail: String| {
-            std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
-                format!("checkpoint {}: {detail}", path.display()),
-            )
+        let invalid = |detail: String| CheckpointError::Format {
+            path: path.to_path_buf(),
+            detail,
         };
         // Parse the raw structure and check the version *before* decoding
         // the payload, so a version mismatch is reported as such rather
@@ -262,7 +324,7 @@ mod tests {
         let path = dir.join("deployment.json");
         ckpt.save(&path).unwrap();
         let restored = Checkpoint::load(&path).unwrap();
-        let (params, qd2) = restored.restore();
+        let (params, qd2) = restored.restore().unwrap();
         for (a, b) in params.iter().zip(fed.global()) {
             assert_eq!(a.data(), b.data());
         }
@@ -277,7 +339,7 @@ mod tests {
     fn restored_system_serves_requests_identically() {
         let (mut fed_a, mut qd_a, _) = trained();
         let ckpt = Checkpoint::capture(fed_a.global(), &qd_a);
-        let (params_b, mut qd_b) = ckpt.restore();
+        let (params_b, mut qd_b) = ckpt.restore().unwrap();
 
         let mut rng_a = Rng::seed_from(99);
         qd_a.unlearn(&mut fed_a, UnlearnRequest::Class(2), &mut rng_a);
@@ -309,7 +371,7 @@ mod tests {
         std::fs::remove_file(&path).ok();
     }
 
-    fn load_error(name: &str, contents: &str) -> std::io::Error {
+    fn load_error(name: &str, contents: &str) -> CheckpointError {
         let dir = std::env::temp_dir().join("qd_ckpt_test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join(name);
@@ -349,7 +411,14 @@ mod tests {
         ];
         for (name, contents, needle) in cases {
             let err = load_error(name, contents);
-            assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "{name}: {err}");
+            assert!(
+                matches!(err, CheckpointError::Format { .. }),
+                "{name}: {err} should be a Format error"
+            );
+            // The io::Error conversion (used by `?` in io contexts)
+            // keeps the InvalidData kind and the full message.
+            let as_io: std::io::Error = load_error(name, contents).into();
+            assert_eq!(as_io.kind(), std::io::ErrorKind::InvalidData, "{name}");
             let msg = err.to_string();
             assert!(
                 msg.contains(needle),
@@ -411,8 +480,11 @@ mod tests {
             mid.trainer_synthetic[1].as_ref(),
             Some(&qd.synthetic_sets()[0])
         );
-        let refused = std::panic::catch_unwind(move || back.restore());
-        assert!(refused.is_err(), "restore() must reject mid-train state");
+        let refused = back.restore();
+        assert!(
+            matches!(refused, Err(CheckpointError::MidTrainRestore)),
+            "restore() must reject mid-train state"
+        );
         std::fs::remove_file(&path).ok();
     }
 }

@@ -265,6 +265,12 @@ impl From<std::io::Error> for ServeError {
     }
 }
 
+impl From<crate::checkpoint::CheckpointError> for ServeError {
+    fn from(e: crate::checkpoint::CheckpointError) -> Self {
+        ServeError::Io(e.into())
+    }
+}
+
 impl QuickDrop {
     /// Serves one request with every stage boundary made durable in
     /// `journal` before the next stage runs (write-ahead discipline:
@@ -301,6 +307,9 @@ impl QuickDrop {
     ) -> Result<ServeRun, ServeError> {
         if let Some(policy) = policy {
             if let Err(msg) = policy.validate() {
+                // qd-lint: allow(panic-safety) -- policy validation failure
+                // is a documented caller bug (`# Panics`), not a runtime
+                // condition
                 panic!("invalid guard policy: {msg}");
             }
         }
@@ -510,6 +519,8 @@ impl QuickDrop {
         use qd_unlearn::UnlearningMethod as _;
         let stats = self
             .relearn(fed, request, phase, rng)
+            // qd-lint: allow(panic-safety) -- QuickDrop always supports
+            // relearning; a None here is a type-level invariant breach
             .expect("QuickDrop supports relearning");
         journal.append(JournalRecord {
             seq,
@@ -558,6 +569,9 @@ impl QuickDrop {
     ) -> Result<Option<MethodOutcome>, ServeError> {
         if let Some(policy) = policy {
             if let Err(msg) = policy.validate() {
+                // qd-lint: allow(panic-safety) -- policy validation failure
+                // is a documented caller bug (`# Panics`), not a runtime
+                // condition
                 panic!("invalid guard policy: {msg}");
             }
         }
@@ -658,7 +672,7 @@ impl QuickDrop {
         rng: &mut Rng,
     ) -> Result<(QuickDrop, RequestJournal, Option<MethodOutcome>), ServeError> {
         let ckpt = Checkpoint::load(checkpoint.as_ref())?;
-        let (global, mut qd) = ckpt.restore();
+        let (global, mut qd) = ckpt.restore()?;
         fed.set_global(global);
         let mut journal =
             RequestJournal::open(RequestJournal::path_for_checkpoint(checkpoint.as_ref()))?;

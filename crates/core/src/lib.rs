@@ -54,6 +54,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
 
 mod checkpoint;
@@ -62,7 +63,7 @@ mod journal;
 pub mod sample_level;
 mod system;
 
-pub use checkpoint::{Checkpoint, MidPhase, CHECKPOINT_VERSION};
+pub use checkpoint::{Checkpoint, CheckpointError, MidPhase, CHECKPOINT_VERSION};
 pub use config::QuickDropConfig;
 pub use journal::{
     JournalRecord, RequestJournal, RequestState, ServeError, ServeRun, JOURNAL_VERSION,

@@ -186,6 +186,9 @@ impl SampleLevelQuickDrop {
         self.per_client
             .iter()
             .flatten()
+            // qd-lint: allow(panic-safety) -- synthetic tensors are built
+            // with a leading sample dimension; dims()[0] is a construction
+            // invariant
             .map(|s| s.synthetic.dims()[0])
             .sum()
     }
@@ -220,6 +223,9 @@ impl SampleLevelQuickDrop {
         let mut out = self.empty_dataset();
         for &j in subset_ids {
             let s = &self.per_client[client][j];
+            // qd-lint: allow(panic-safety) -- synthetic tensors are built
+            // with a leading sample dimension; dims()[0] is a construction
+            // invariant
             let m = s.synthetic.dims()[0];
             for k in 0..m {
                 let len = s.synthetic.len() / m;

@@ -154,9 +154,13 @@ impl QuickDrop {
         rng: &mut Rng,
     ) -> (QuickDrop, TrainReport) {
         let run = Self::train_checkpointed(fed, config, rng, None, None)
+            // qd-lint: allow(panic-safety) -- without a checkpoint policy no
+            // file I/O happens, so the error arm is unreachable
             .expect("checkpoint I/O cannot fail without a policy");
         match run {
             TrainRun::Complete(boxed) => *boxed,
+            // qd-lint: allow(panic-safety) -- preemption only exists under a
+            // checkpoint policy; this arm is unreachable here
             TrainRun::Preempted { .. } => unreachable!("no preemption without a policy"),
         }
     }
@@ -287,7 +291,7 @@ impl QuickDrop {
                     };
                     let ckpt = Checkpoint::capture_mid_train(global, &config, mid);
                     if let Err(e) = ckpt.save(&policy.path) {
-                        save_error = Some(e);
+                        save_error = Some(e.into());
                         return false;
                     }
                 }
@@ -537,6 +541,8 @@ impl QuickDrop {
                 self.recovery_data
                     .first()
                     .map(|d| d.empty_like())
+                    // qd-lint: allow(panic-safety) -- Federation construction
+                    // guarantees at least one client with recovery data
                     .expect("at least one client")
             })
         };
@@ -635,6 +641,8 @@ impl QuickDrop {
         rng: &mut Rng,
     ) -> Result<MethodOutcome, UnlearnError> {
         if let Err(msg) = policy.validate() {
+            // qd-lint: allow(panic-safety) -- policy validation failure is a
+            // documented caller bug (`# Panics`), not a runtime condition
             panic!("invalid guard policy: {msg}");
         }
         let reference = fed.global().to_vec();

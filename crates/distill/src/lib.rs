@@ -45,6 +45,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
 
 mod augment;

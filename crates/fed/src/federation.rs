@@ -437,6 +437,8 @@ impl Federation {
             return stats;
         }
         let mut aggregator = phase.aggregator.build();
+        // qd-lint: allow(determinism) -- accounting-only wall-clock: feeds
+        // PhaseStats.wall, never control flow
         let start = Instant::now();
         for round in start_round..phase.rounds {
             'round: {
@@ -472,6 +474,9 @@ impl Federation {
                 };
                 let sizes: Vec<usize> = participants
                     .iter()
+                    // qd-lint: allow(panic-safety) -- eligibility already
+                    // filtered to clients with data; a None is a
+                    // selection-logic bug
                     .map(|&i| dataset_of(i).expect("eligible client has data").len())
                     .collect();
                 let total: usize = sizes.iter().sum();
@@ -526,6 +531,8 @@ impl Federation {
 
                 // Hand each reachable participating trainer to a worker thread.
                 let slot_of =
+                    // qd-lint: allow(panic-safety) -- client is drawn from
+                    // `participants`, so position() always finds it
                     |client: usize| participants.iter().position(|&p| p == client).unwrap();
                 let mut jobs: Vec<_> = trainers
                     .iter_mut()
@@ -542,7 +549,13 @@ impl Federation {
                         let mut handles = Vec::new();
                         for (client, trainer) in chunk.iter_mut() {
                             let slot = slot_of(*client);
+                            // qd-lint: allow(panic-safety) -- chunk members
+                            // come from `jobs`, whose clients are reachable
+                            // participants with data
                             let data = dataset_of(*client).expect("participant has data");
+                            // qd-lint: allow(panic-safety) -- chunk members
+                            // come from `jobs`, whose clients are reachable
+                            // participants with data
                             let params = start_params[slot].take().expect("reachable participant");
                             let mut crng = seeds[slot].clone();
                             let mut phase = *phase;
@@ -557,6 +570,9 @@ impl Federation {
                             ));
                         }
                         for (slot, handle) in handles {
+                            // qd-lint: allow(panic-safety) -- join() only
+                            // fails if the client thread panicked; re-raising
+                            // preserves the original panic
                             outcomes[slot] = Some(handle.join().expect("client thread panicked"));
                         }
                     });

@@ -1,0 +1,10 @@
+//! Fixture: out-of-scope for determinism (bench tree) — wall-clock
+//! reads here are the whole point and must not be flagged.
+
+fn measure() -> std::time::Duration {
+    let start = std::time::Instant::now();
+    work();
+    start.elapsed()
+}
+
+fn work() {}

@@ -1,0 +1,31 @@
+//! Fixture: durability violations (in scope by file name).
+
+use std::fs::File;
+use std::io::Write;
+
+fn violating_save(path: &str, bytes: &[u8]) -> std::io::Result<()> {
+    let mut f = File::create(path)?; // VIOLATION: durability (no fsync, no rename)
+    f.write_all(bytes)?;
+    Ok(())
+}
+
+fn violating_no_rename(path: &str, bytes: &[u8]) -> std::io::Result<()> {
+    let mut f = File::create(path)?; // VIOLATION: durability (missing rename)
+    f.write_all(bytes)?;
+    f.sync_all()?;
+    Ok(())
+}
+
+fn durable_save(path: &str, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = format!("{path}.tmp");
+    let mut f = File::create(&tmp)?; // ok: tmp + fsync + rename idiom
+    f.write_all(bytes)?;
+    f.sync_all()?;
+    std::fs::rename(&tmp, path)
+}
+
+fn suppressed_scratch(path: &str) -> std::io::Result<()> {
+    // qd-lint: allow(durability) -- scratch file, loss on crash is fine
+    let _ = File::create(path)?;
+    Ok(())
+}

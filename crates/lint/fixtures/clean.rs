@@ -1,0 +1,19 @@
+//! Fixture: a fully clean file — no rule may fire here.
+
+use std::collections::BTreeMap;
+
+fn stable_accumulation(weights: &BTreeMap<usize, f32>) -> f32 {
+    let mut total = 0.0;
+    for w in weights.values() {
+        total += w;
+    }
+    total
+}
+
+fn safe_lookup(bytes: &[u8], i: usize) -> Option<u8> {
+    bytes.get(i).copied()
+}
+
+fn seeded(seed: u64) -> u64 {
+    seed.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}

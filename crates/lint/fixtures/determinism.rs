@@ -1,0 +1,41 @@
+//! Fixture: determinism violations (in scope for the determinism rule).
+
+use std::time::{Instant, SystemTime};
+
+fn violating_wall_clock() -> Instant {
+    Instant::now() // VIOLATION: determinism
+}
+
+fn violating_epoch() -> SystemTime {
+    SystemTime::now() // VIOLATION: determinism (SystemTime)
+}
+
+fn violating_rng() -> u64 {
+    let mut rng = rand::thread_rng(); // VIOLATION: determinism
+    rng.next_u64()
+}
+
+fn violating_env() -> Option<String> {
+    std::env::var("QD_SEED").ok() // VIOLATION: determinism
+}
+
+fn suppressed_wall_clock() -> Instant {
+    // qd-lint: allow(determinism) -- accounting-only, never feeds control flow
+    Instant::now()
+}
+
+fn tokens_in_strings_do_not_count() -> &'static str {
+    let _ = "Instant::now() thread_rng() SystemTime env::var";
+    let _ = r#"Instant::now() inside a raw string"#;
+    /* Instant::now() inside a block comment
+       /* nested: thread_rng() */ still a comment */
+    "clean" // mentions SystemTime in a comment, which is fine
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_use_wall_clock() {
+        let _ = std::time::Instant::now(); // out of scope: test region
+    }
+}

@@ -1,0 +1,27 @@
+//! Fixture: order-stability violations (in scope via the fed tree).
+
+use std::collections::HashMap; // VIOLATION: order-stability
+use std::collections::HashSet; // VIOLATION: order-stability
+
+fn unstable_accumulation(weights: HashMap<usize, f32>) -> f32 {
+    // VIOLATION above (signature) is what the rule reports per line;
+    // iteration below is the actual hazard.
+    let mut total = 0.0;
+    for (_, w) in &weights {
+        total += w;
+    }
+    total
+}
+
+fn quarantine(ids: HashSet<usize>) -> usize {
+    ids.len()
+}
+
+// qd-lint: allow(order-stability) -- keyed lookups only, never iterated
+fn suppressed_map(cache: HashMap<u64, u64>, key: u64) -> Option<u64> {
+    cache.get(&key).copied()
+}
+
+fn strings_do_not_count() -> &'static str {
+    "HashMap and HashSet in a string are fine"
+}

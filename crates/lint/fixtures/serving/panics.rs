@@ -1,0 +1,52 @@
+//! Fixture: panic-safety violations (in scope via the serving tree).
+
+fn violating_unwrap(x: Option<u32>) -> u32 {
+    x.unwrap() // VIOLATION: panic-safety
+}
+
+fn violating_expect(x: Option<u32>) -> u32 {
+    x.expect("always some") // VIOLATION: panic-safety
+}
+
+fn violating_panic(kind: u8) -> u8 {
+    if kind > 3 {
+        panic!("bad kind {kind}"); // VIOLATION: panic-safety
+    }
+    kind
+}
+
+fn violating_unreachable(kind: u8) -> u8 {
+    match kind {
+        0 => 1,
+        _ => unreachable!(), // VIOLATION: panic-safety
+    }
+}
+
+fn violating_index(bytes: &[u8]) -> u8 {
+    bytes[5] // VIOLATION: panic-safety (literal indexing)
+}
+
+fn suppressed_unwrap(x: Option<u32>) -> u32 {
+    x.unwrap() // qd-lint: allow(panic-safety) -- checked non-empty by caller
+}
+
+fn suppressed_panic() {
+    // qd-lint: allow(panic-safety) -- validation panic documented in rustdoc
+    panic!("documented validation failure");
+}
+
+fn fine_patterns(bytes: &[u8], i: usize) -> Option<u8> {
+    let _ = "unwrap() panic! in a string is fine";
+    let arr: [u8; 2] = [0, 1]; // array type + literal, not indexing
+    let _ = arr;
+    bytes.get(i).copied() // .get never panics
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1); // out of scope: test region
+    }
+}

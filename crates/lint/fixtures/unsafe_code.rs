@@ -1,0 +1,15 @@
+//! Fixture: unsafe-hygiene violations (workspace-wide rule).
+
+fn violating_block(p: *const u32) -> u32 {
+    unsafe { *p } // VIOLATION: unsafe-hygiene
+}
+
+unsafe fn violating_fn() {} // VIOLATION: unsafe-hygiene
+
+// qd-lint: allow(unsafe-hygiene) -- fixture demonstrating suppression
+unsafe fn suppressed_fn() {}
+
+fn words_do_not_count() -> &'static str {
+    let unsafe_adjacent = "unsafe in a string";
+    unsafe_adjacent // identifier containing the word is fine
+}

@@ -1,0 +1,222 @@
+//! Orchestration: walk files, apply scoped rules, honor suppressions.
+//!
+//! The engine owns everything that is not a rule: directory walking
+//! (deterministic, sorted order), path scoping from the
+//! [`Config`], and the suppression protocol. A finding
+//! survives only if no `// qd-lint: allow(<rule>)` annotation covers
+//! its line — either on the line itself or in a comment-only line block
+//! immediately above it (the shape rustfmt produces for long lines).
+
+use crate::config::Config;
+use crate::lexer::{lex, LexedFile};
+use crate::rules::{self, RULES};
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One finding: a rule violated at a file location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Path as scanned (relative to the invocation root).
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The violated rule's name.
+    pub rule: String,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Analyzes one file's source under every in-scope rule.
+///
+/// `path` is the file's config-relative path (`/`-separated); it decides
+/// rule scoping and is echoed into diagnostics.
+pub fn check_source(path: &str, source: &str, config: &Config) -> Vec<Diagnostic> {
+    if config.is_excluded(path) {
+        return Vec::new();
+    }
+    let file = lex(source);
+    let mut out = Vec::new();
+    for rule in RULES {
+        if !config.scope(rule.name).applies_to(path) {
+            continue;
+        }
+        for (line0, message) in rules::check(rule.name, &file) {
+            if suppressed(&file, line0, rule.name) {
+                continue;
+            }
+            out.push(Diagnostic {
+                path: path.to_string(),
+                line: line0 + 1,
+                rule: rule.name.to_string(),
+                message,
+            });
+        }
+    }
+    out.sort_by(|a, b| (a.line, &a.rule).cmp(&(b.line, &b.rule)));
+    out
+}
+
+/// Whether `rule` is allowed at 0-based `line`: an allow annotation on
+/// the line itself, or in the run of comment-only/blank lines directly
+/// above it.
+fn suppressed(file: &LexedFile, line: usize, rule: &str) -> bool {
+    if allows(&file.lines[line].comment, rule) {
+        return true;
+    }
+    let mut i = line;
+    while i > 0 {
+        i -= 1;
+        let above = &file.lines[i];
+        if !above.code.trim().is_empty() {
+            return false;
+        }
+        if allows(&above.comment, rule) {
+            return true;
+        }
+        if above.comment.trim().is_empty() && above.code.trim().is_empty() {
+            // Blank lines terminate the annotation block: an allow
+            // separated by whitespace does not leak downward.
+            return false;
+        }
+    }
+    false
+}
+
+/// Parses every `qd-lint: allow(a, b)` group in a comment.
+fn allows(comment: &str, rule: &str) -> bool {
+    let mut rest = comment;
+    while let Some(at) = rest.find("qd-lint: allow(") {
+        let args = &rest[at + "qd-lint: allow(".len()..];
+        if let Some(end) = args.find(')') {
+            if args[..end].split(',').any(|r| r.trim() == rule) {
+                return true;
+            }
+            rest = &args[end + 1..];
+        } else {
+            return false;
+        }
+    }
+    false
+}
+
+/// Recursively collects `.rs` files under `roots`, sorted for
+/// deterministic diagnostics, skipping globally excluded paths.
+///
+/// # Errors
+///
+/// Propagates directory-walk I/O errors (permission, racing deletes).
+pub fn collect_files(roots: &[PathBuf], config: &Config) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    for root in roots {
+        walk(root, config, &mut files)?;
+    }
+    files.sort();
+    files.dedup();
+    Ok(files)
+}
+
+fn walk(path: &Path, config: &Config, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let rel = rel_str(path);
+    if config.is_excluded(&rel) {
+        return Ok(());
+    }
+    if path.is_dir() {
+        let mut entries: Vec<_> = std::fs::read_dir(path)?
+            .collect::<Result<Vec<_>, _>>()?
+            .into_iter()
+            .map(|e| e.path())
+            .collect();
+        entries.sort();
+        for entry in entries {
+            walk(&entry, config, out)?;
+        }
+    } else if path.extension().is_some_and(|e| e == "rs") {
+        out.push(path.to_path_buf());
+    }
+    Ok(())
+}
+
+/// `/`-separated relative-ish path string for glob matching.
+fn rel_str(path: &Path) -> String {
+    let s = path.to_string_lossy().replace('\\', "/");
+    s.trim_start_matches("./").to_string()
+}
+
+/// Runs the full analysis over `roots` with `config`.
+///
+/// # Errors
+///
+/// Propagates file-read and directory-walk I/O errors.
+pub fn run(roots: &[PathBuf], config: &Config) -> std::io::Result<Vec<Diagnostic>> {
+    let mut diagnostics = Vec::new();
+    for file in collect_files(roots, config)? {
+        let source = std::fs::read_to_string(&file)?;
+        diagnostics.extend(check_source(&rel_str(&file), &source, config));
+    }
+    Ok(diagnostics)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn everywhere() -> Config {
+        Config::default()
+    }
+
+    #[test]
+    fn same_line_and_preceding_line_suppressions_work() {
+        let src = "\
+fn f() {
+    let a = x.unwrap(); // qd-lint: allow(panic-safety) -- invariant: x is Some
+    // qd-lint: allow(panic-safety) -- justified above
+    let b = y.unwrap();
+    let c = z.unwrap();
+}
+";
+        let diags = check_source("crates/core/src/x.rs", src, &everywhere());
+        let panics: Vec<_> = diags.iter().filter(|d| d.rule == "panic-safety").collect();
+        assert_eq!(panics.len(), 1, "{panics:?}");
+        assert_eq!(panics[0].line, 5);
+    }
+
+    #[test]
+    fn blank_lines_break_suppression_blocks() {
+        let src = "\
+// qd-lint: allow(panic-safety)
+
+fn f() { x.unwrap(); }
+";
+        let diags = check_source("a.rs", src, &everywhere());
+        assert_eq!(diags.iter().filter(|d| d.rule == "panic-safety").count(), 1);
+    }
+
+    #[test]
+    fn excluded_paths_produce_nothing() {
+        let mut config = everywhere();
+        config.exclude.push("vendor/**".into());
+        let diags = check_source("vendor/x/lib.rs", "fn f() { x.unwrap(); }", &config);
+        assert!(diags.is_empty());
+    }
+
+    #[test]
+    fn multiple_allows_in_one_comment() {
+        let src = "use std::collections::HashMap; // qd-lint: allow(order-stability, \
+                   determinism)\n";
+        let diags = check_source("a.rs", src, &everywhere());
+        assert!(
+            diags.iter().all(|d| d.rule != "order-stability"),
+            "{diags:?}"
+        );
+    }
+}

@@ -1,0 +1,51 @@
+//! `qd-lint` — the workspace static analyzer behind QuickDrop's
+//! reproducibility and durability guarantees.
+//!
+//! # Why a bespoke linter
+//!
+//! The workspace's headline properties — bit-for-bit kill-and-resume,
+//! deterministic simulation, guarded rollback — rest on invariants the
+//! Rust compiler cannot see: *no wall-clock or unseeded randomness in
+//! simulated paths*, *no iteration-order-dependent float accumulation*,
+//! *no panics in serving loops*, *atomic tmp+fsync+rename for every
+//! durable write*. Clippy has no rules for these, and they regress
+//! silently: a stray `Instant::now` compiles, passes every test, and
+//! quietly breaks resume determinism a month later.
+//!
+//! `qd-lint` encodes them as five token-level rule families over a
+//! [lexer](mod@lexer) that knows enough Rust to never match inside string
+//! literals, char literals or (nested) comments, and to skip
+//! `#[cfg(test)]` regions. Scoping lives in `qd-lint.toml`
+//! ([`Config`]); deliberate exceptions are annotated in-source with
+//! `// qd-lint: allow(<rule>) -- <justification>` and reviewed like any
+//! other diff line.
+//!
+//! # The rule table
+//!
+//! This doc test pins the exact `--list-rules` output; if a rule is
+//! added, renamed or rescoped, it fails until the table here and the
+//! one in `README.md` are updated to match.
+//!
+//! ```
+//! let expected = "\
+//! rule            | scope                                      | invariant
+//! determinism     | everywhere except bench / tests / examples | no wall-clock, unseeded RNG or env reads in simulated paths
+//! order-stability | fed / core / unlearn sources               | no HashMap/HashSet where iteration order feeds aggregation
+//! panic-safety    | core / fed / net / unlearn sources         | no unwrap/expect/panic!/literal indexing in serving paths
+//! durability      | checkpoint and journal modules             | File::create paired with tmp + fsync + rename in the same fn
+//! unsafe-hygiene  | workspace-wide                             | no unsafe code anywhere
+//! ";
+//! assert_eq!(qd_lint::rules::render_table(), expected);
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+
+pub use config::Config;
+pub use engine::{check_source, Diagnostic};

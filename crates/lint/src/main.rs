@@ -1,0 +1,118 @@
+//! `qd-lint`: the workspace invariant gate.
+//!
+//! ```text
+//! qd-lint [--deny] [--list-rules] [--config <path>] [paths...]
+//! ```
+//!
+//! With no paths, scans the workspace source roots (`crates`, `src`,
+//! `examples`, `tests`). The config defaults to `./qd-lint.toml` when
+//! present. `--deny` exits non-zero on any finding (the CI gate);
+//! without it findings are printed as warnings.
+
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
+use qd_lint::{engine, rules, Config};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Cli {
+    deny: bool,
+    list_rules: bool,
+    config: Option<PathBuf>,
+    paths: Vec<PathBuf>,
+}
+
+fn parse_args(args: impl Iterator<Item = String>) -> Result<Cli, String> {
+    let mut cli = Cli {
+        deny: false,
+        list_rules: false,
+        config: None,
+        paths: Vec::new(),
+    };
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny" => cli.deny = true,
+            "--list-rules" => cli.list_rules = true,
+            "--config" => {
+                let path = args
+                    .next()
+                    .ok_or_else(|| "--config requires a path".to_string())?;
+                cli.config = Some(PathBuf::from(path));
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: qd-lint [--deny] [--list-rules] [--config <path>] [paths...]"
+                        .to_string(),
+                )
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag {other} (see --help)"))
+            }
+            path => cli.paths.push(PathBuf::from(path)),
+        }
+    }
+    Ok(cli)
+}
+
+fn main() -> ExitCode {
+    let cli = match parse_args(std::env::args().skip(1)) {
+        Ok(cli) => cli,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if cli.list_rules {
+        print!("{}", rules::render_table());
+        return ExitCode::SUCCESS;
+    }
+    let config_path = cli.config.clone().or_else(|| {
+        PathBuf::from("qd-lint.toml")
+            .exists()
+            .then(|| "qd-lint.toml".into())
+    });
+    let config = match config_path {
+        Some(path) => match Config::load(&path) {
+            Ok(config) => config,
+            Err(e) => {
+                eprintln!("qd-lint: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => Config::default(),
+    };
+    let roots: Vec<PathBuf> = if cli.paths.is_empty() {
+        ["crates", "src", "examples", "tests"]
+            .iter()
+            .map(PathBuf::from)
+            .filter(|p| p.exists())
+            .collect()
+    } else {
+        cli.paths
+    };
+    match engine::run(&roots, &config) {
+        Ok(diagnostics) if diagnostics.is_empty() => {
+            println!("qd-lint: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(diagnostics) => {
+            for d in &diagnostics {
+                println!("{d}");
+            }
+            let n = diagnostics.len();
+            if cli.deny {
+                eprintln!("qd-lint: {n} violation(s)");
+                ExitCode::FAILURE
+            } else {
+                eprintln!("qd-lint: {n} warning(s)");
+                ExitCode::SUCCESS
+            }
+        }
+        Err(e) => {
+            eprintln!("qd-lint: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Fixture-based self-tests: every rule family is exercised against a
+//! checked-in corpus with positive (must fire), suppressed (must not
+//! fire) and out-of-scope (must not fire) cases, and the `qd-lint`
+//! binary is driven end-to-end to pin its exit codes and output shape.
+
+use qd_lint::{engine, Config};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures")
+}
+
+fn fixture_config() -> Config {
+    Config::load(&fixtures_dir().join("qd-lint.toml")).expect("fixture config parses")
+}
+
+/// Runs the engine over the corpus, returning `(file, line, rule)`
+/// triples with paths reduced to fixture-relative form.
+fn corpus_findings() -> Vec<(String, usize, String)> {
+    let diags = engine::run(&[fixtures_dir()], &fixture_config()).expect("corpus scans");
+    let mut out: Vec<_> = diags
+        .into_iter()
+        .map(|d| {
+            let rel = d
+                .path
+                .split_once("fixtures/")
+                .map(|(_, tail)| tail.to_string())
+                .expect("diagnostic path is under fixtures/");
+            (rel, d.line, d.rule)
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+#[test]
+fn corpus_produces_exactly_the_expected_findings() {
+    let expected: Vec<(String, usize, String)> = [
+        ("checkpoint.rs", 7, "durability"),
+        ("checkpoint.rs", 13, "durability"),
+        ("determinism.rs", 3, "determinism"),
+        ("determinism.rs", 6, "determinism"),
+        ("determinism.rs", 9, "determinism"),
+        ("determinism.rs", 10, "determinism"),
+        ("determinism.rs", 14, "determinism"),
+        ("determinism.rs", 19, "determinism"),
+        ("fed/order.rs", 3, "order-stability"),
+        ("fed/order.rs", 4, "order-stability"),
+        ("fed/order.rs", 6, "order-stability"),
+        ("fed/order.rs", 16, "order-stability"),
+        ("serving/panics.rs", 4, "panic-safety"),
+        ("serving/panics.rs", 8, "panic-safety"),
+        ("serving/panics.rs", 13, "panic-safety"),
+        ("serving/panics.rs", 21, "panic-safety"),
+        ("serving/panics.rs", 26, "panic-safety"),
+        ("unsafe_code.rs", 4, "unsafe-hygiene"),
+        ("unsafe_code.rs", 7, "unsafe-hygiene"),
+    ]
+    .into_iter()
+    .map(|(f, l, r)| (f.to_string(), l, r.to_string()))
+    .collect();
+    assert_eq!(corpus_findings(), expected);
+}
+
+#[test]
+fn suppressed_and_out_of_scope_cases_never_fire() {
+    let findings = corpus_findings();
+    // The clean file and the bench tree (excluded from determinism by
+    // the fixture config) must not appear at all.
+    assert!(
+        findings.iter().all(|(f, _, _)| f != "clean.rs"),
+        "{findings:?}"
+    );
+    assert!(
+        findings.iter().all(|(f, _, _)| !f.starts_with("bench/")),
+        "{findings:?}"
+    );
+    // Suppressed lines: the `// qd-lint: allow(...)` cases in each file.
+    for (file, line) in [
+        ("determinism.rs", 24),
+        ("fed/order.rs", 21),
+        ("serving/panics.rs", 30),
+        ("serving/panics.rs", 35),
+        ("checkpoint.rs", 29),
+        ("unsafe_code.rs", 10),
+    ] {
+        assert!(
+            !findings.iter().any(|(f, l, _)| f == file && *l == line),
+            "{file}:{line} should be suppressed"
+        );
+    }
+}
+
+#[test]
+fn deny_mode_fails_on_the_corpus_with_file_line_diagnostics() {
+    let out = Command::new(env!("CARGO_BIN_EXE_qd-lint"))
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .args(["--deny", "--config", "fixtures/qd-lint.toml", "fixtures"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success(), "corpus must fail --deny");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        stdout.contains("fixtures/serving/panics.rs:4: [panic-safety]"),
+        "diagnostics carry file:line: {stdout}"
+    );
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("violation(s)"), "{stderr}");
+}
+
+#[test]
+fn clean_tree_passes_deny_mode() {
+    let out = Command::new(env!("CARGO_BIN_EXE_qd-lint"))
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .args(["--deny", "--config", "fixtures/qd-lint.toml", "src"])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "lint's own src must be clean: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}
+
+#[test]
+fn list_rules_prints_the_pinned_table() {
+    let out = Command::new(env!("CARGO_BIN_EXE_qd-lint"))
+        .args(["--list-rules"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    assert_eq!(
+        String::from_utf8(out.stdout).unwrap(),
+        qd_lint::rules::render_table()
+    );
+}

@@ -1,0 +1,118 @@
+//! Property tests for the lexer: banned tokens injected into string
+//! literals, raw strings, char-adjacent positions and (nested) comments
+//! must never produce diagnostics, while the same token in plain code
+//! always does. This is the load-bearing property of the whole tool —
+//! a lexer that leaks literal contents into "code" would drown the
+//! workspace in false positives.
+
+use proptest::prelude::*;
+use qd_lint::{check_source, Config};
+
+/// Tokens every rule family bans somewhere, paired with the rule name.
+const BANNED: &[(&str, &str)] = &[
+    ("Instant::now", "determinism"),
+    ("thread_rng", "determinism"),
+    ("SystemTime", "determinism"),
+    ("HashMap", "order-stability"),
+    ("HashSet", "order-stability"),
+    (".unwrap()", "panic-safety"),
+    ("panic!", "panic-safety"),
+    ("unsafe", "unsafe-hygiene"),
+];
+
+/// An everywhere-scope config: every rule sees every path.
+fn everywhere() -> Config {
+    Config::default()
+}
+
+/// Lowercase letters and spaces, for payload padding.
+const LOWER: &[char] = &[
+    'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h', 'i', 'j', 'k', 'l', 'm', 'n', 'o', 'p', 'q', 'r', 's',
+    't', 'u', 'v', 'w', 'x', 'y', 'z', ' ',
+];
+
+/// Characters that stress the lexer's literal handling: escapes,
+/// quotes, braces (depth tracking) and apostrophes (char/lifetime).
+const TRICKY: &[char] = &[
+    'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h', 'A', 'B', 'C', 'D', 'E', 'F', 'G', 'H', ' ', ' ', '\\',
+    '\\', '"', '"', '\'', '\'', '{', '}', '{', '}', 'x', 'y', 'z', ' ',
+];
+
+/// Maps generated indices onto a character set (the vendored proptest
+/// has no string strategies).
+fn from_charset(picks: &[usize], charset: &[char]) -> String {
+    picks.iter().map(|&i| charset[i % charset.len()]).collect()
+}
+
+/// Wraps `payload` in a non-code context.
+fn in_context(kind: usize, payload: &str) -> String {
+    match kind {
+        0 => format!("fn f() {{ let s = \"{payload}\"; }}\n"),
+        1 => format!("fn f() {{ let s = r#\"{payload}\"#; }}\n"),
+        2 => format!("fn f() {{}} // {payload}\n"),
+        3 => format!("/* {payload} */ fn f() {{}}\n"),
+        4 => format!("/* outer /* {payload} */ tail */ fn f() {{}}\n"),
+        _ => format!("//! {payload}\nfn f() {{}}\n"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn banned_tokens_in_literals_and_comments_are_invisible(
+        which in 0usize..8,
+        kind in 0usize..6,
+        prefix in proptest::collection::vec(0usize..27, 0..12usize),
+        suffix in proptest::collection::vec(0usize..27, 0..12usize),
+    ) {
+        let (token, _) = BANNED[which];
+        let payload = format!(
+            "{}{token}{}",
+            from_charset(&prefix, LOWER),
+            from_charset(&suffix, LOWER)
+        );
+        let src = in_context(kind, &payload);
+        let diags = check_source("crates/fed/src/x.rs", &src, &everywhere());
+        prop_assert!(
+            diags.is_empty(),
+            "token {token:?} leaked out of context {kind}: {diags:?}\nsource: {src:?}"
+        );
+    }
+
+    #[test]
+    fn the_same_tokens_in_code_are_visible(which in 0usize..8) {
+        let (token, rule) = BANNED[which];
+        // Shape each token into plausible code position.
+        let src = match token {
+            ".unwrap()" => "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n".to_string(),
+            "panic!" => "fn f() { panic!(\"boom\") }\n".to_string(),
+            "unsafe" => "fn f(p: *const u8) -> u8 { unsafe { *p } }\n".to_string(),
+            tok => format!("fn f() {{ let _ = {tok}; }}\n"),
+        };
+        let diags = check_source("crates/fed/src/x.rs", &src, &everywhere());
+        prop_assert!(
+            diags.iter().any(|d| d.rule == rule),
+            "token {token:?} not caught by {rule}: {diags:?}"
+        );
+    }
+
+    #[test]
+    fn string_escapes_never_unbalance_the_lexer(
+        body in proptest::collection::vec(0usize..32, 0..24usize),
+    ) {
+        // Arbitrary escape-ridden strings followed by real code: the
+        // trailing unwrap must still be seen exactly once.
+        let body = from_charset(&body, TRICKY);
+        let src = format!(
+            "fn f() {{ let s = \"{}\"; x.unwrap() }}\n",
+            body.replace('\\', "\\\\").replace('"', "\\\"")
+        );
+        let diags = check_source("crates/fed/src/x.rs", &src, &everywhere());
+        let unwraps = diags
+            .iter()
+            .filter(|d| d.rule == "panic-safety")
+            .count();
+        prop_assert_eq!(unwraps, 1, "source: {:?} diags: {:?}", src, diags);
+    }
+}

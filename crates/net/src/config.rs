@@ -237,6 +237,8 @@ impl NetConfig {
     /// out-of-range field.
     pub fn validated(self) -> Self {
         if let Err(msg) = self.validate() {
+            // qd-lint: allow(panic-safety) -- documented validation
+            // panic; callers wanting an error use validate() instead.
             panic!("{msg}");
         }
         self

@@ -50,6 +50,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
 
 pub mod config;
@@ -60,7 +61,7 @@ pub mod stats;
 pub mod transport;
 
 pub use config::{NetConfig, RetryConfig};
-pub use payload::{CodecError, Payload, WireFormat};
+pub use payload::{Payload, PayloadError, WireFormat};
 pub use reliable::ReliableTransport;
 pub use sim::SimNet;
 pub use stats::NetStats;

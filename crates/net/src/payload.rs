@@ -40,34 +40,37 @@ impl WireFormat {
         }
     }
 
-    fn from_tag(tag: u8) -> Result<Self, CodecError> {
+    fn from_tag(tag: u8) -> Result<Self, PayloadError> {
         match tag {
             0 => Ok(WireFormat::F32),
             1 => Ok(WireFormat::QuantU8),
-            other => Err(CodecError::new(format!("unknown wire format tag {other}"))),
+            other => Err(PayloadError::new(format!(
+                "unknown wire format tag {other}"
+            ))),
         }
     }
 }
 
-/// A malformed or truncated frame.
+/// A malformed or truncated frame (the typed error every fallible
+/// [`Payload`] operation returns — nothing in the codec panics).
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct CodecError {
+pub struct PayloadError {
     msg: String,
 }
 
-impl CodecError {
+impl PayloadError {
     fn new(msg: impl Into<String>) -> Self {
-        CodecError { msg: msg.into() }
+        PayloadError { msg: msg.into() }
     }
 }
 
-impl std::fmt::Display for CodecError {
+impl std::fmt::Display for PayloadError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "payload codec: {}", self.msg)
     }
 }
 
-impl std::error::Error for CodecError {}
+impl std::error::Error for PayloadError {}
 
 /// An encoded parameter set, ready to cross a [`crate::Transport`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -124,19 +127,19 @@ impl Payload {
     ///
     /// # Errors
     ///
-    /// Returns [`CodecError`] on bad magic, unknown version or format,
+    /// Returns [`PayloadError`] on bad magic, unknown version or format,
     /// truncation, or a shape/element-count mismatch.
-    pub fn decode(&self) -> Result<Vec<Tensor>, CodecError> {
+    pub fn decode(&self) -> Result<Vec<Tensor>, PayloadError> {
         let mut r = Reader {
             bytes: &self.bytes,
             pos: 0,
         };
         if r.take(4)? != MAGIC {
-            return Err(CodecError::new("bad magic"));
+            return Err(PayloadError::new("bad magic"));
         }
         let version = r.u8()?;
         if version != VERSION {
-            return Err(CodecError::new(format!("unsupported version {version}")));
+            return Err(PayloadError::new(format!("unsupported version {version}")));
         }
         let format = WireFormat::from_tag(r.u8()?)?;
         let count = r.u32()? as usize;
@@ -144,13 +147,13 @@ impl Payload {
         for _ in 0..count {
             let ndim = r.u32()? as usize;
             if ndim > 16 {
-                return Err(CodecError::new(format!("implausible rank {ndim}")));
+                return Err(PayloadError::new(format!("implausible rank {ndim}")));
             }
             let mut dims = Vec::with_capacity(ndim);
             for _ in 0..ndim {
                 let d = r.u64()?;
                 if d > u32::MAX as u64 {
-                    return Err(CodecError::new(format!("implausible dim {d}")));
+                    return Err(PayloadError::new(format!("implausible dim {d}")));
                 }
                 dims.push(d as usize);
             }
@@ -159,13 +162,13 @@ impl Payload {
                 WireFormat::F32 => {
                     let mut data = Vec::with_capacity(len);
                     for _ in 0..len {
-                        data.push(f32::from_le_bytes(r.take(4)?.try_into().unwrap()));
+                        data.push(r.f32()?);
                     }
                     data
                 }
                 WireFormat::QuantU8 => {
-                    let min = f32::from_le_bytes(r.take(4)?.try_into().unwrap());
-                    let scale = f32::from_le_bytes(r.take(4)?.try_into().unwrap());
+                    let min = r.f32()?;
+                    let scale = r.f32()?;
                     r.take(len)?
                         .iter()
                         .map(|&q| min + q as f32 * scale)
@@ -175,7 +178,7 @@ impl Payload {
             tensors.push(Tensor::from_vec(data, &dims));
         }
         if r.pos != self.bytes.len() {
-            return Err(CodecError::new(format!(
+            return Err(PayloadError::new(format!(
                 "{} trailing bytes",
                 self.bytes.len() - r.pos
             )));
@@ -190,9 +193,19 @@ impl Payload {
     }
 
     /// The wire format recorded in the frame header.
-    pub fn format(&self) -> WireFormat {
-        // Encoded frames always carry a valid tag at byte 5.
-        WireFormat::from_tag(self.bytes[5]).expect("encoded payload has valid format tag")
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PayloadError`] when the frame is too short to carry a
+    /// header or the format tag is unknown — possible for frames built
+    /// with [`Payload::from_bytes`] from wire input; frames built by
+    /// [`Payload::encode`] always succeed.
+    pub fn format(&self) -> Result<WireFormat, PayloadError> {
+        let tag = self
+            .bytes
+            .get(5)
+            .ok_or_else(|| PayloadError::new("frame too short for a header"))?;
+        WireFormat::from_tag(*tag)
     }
 
     /// The raw frame bytes.
@@ -238,27 +251,39 @@ struct Reader<'a> {
 }
 
 impl<'a> Reader<'a> {
-    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], PayloadError> {
         let end = self
             .pos
             .checked_add(n)
             .filter(|&e| e <= self.bytes.len())
-            .ok_or_else(|| CodecError::new("truncated frame"))?;
+            .ok_or_else(|| PayloadError::new("truncated frame"))?;
         let slice = &self.bytes[self.pos..end];
         self.pos = end;
         Ok(slice)
     }
 
-    fn u8(&mut self) -> Result<u8, CodecError> {
-        Ok(self.take(1)?[0])
+    /// Reads exactly `N` bytes into a fixed array (never panics: `take`
+    /// has already bounds-checked the slice).
+    fn array<const N: usize>(&mut self) -> Result<[u8; N], PayloadError> {
+        let mut out = [0u8; N];
+        out.copy_from_slice(self.take(N)?);
+        Ok(out)
     }
 
-    fn u32(&mut self) -> Result<u32, CodecError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    fn u8(&mut self) -> Result<u8, PayloadError> {
+        Ok(u8::from_le_bytes(self.array()?))
     }
 
-    fn u64(&mut self) -> Result<u64, CodecError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    fn u32(&mut self) -> Result<u32, PayloadError> {
+        Ok(u32::from_le_bytes(self.array()?))
+    }
+
+    fn u64(&mut self) -> Result<u64, PayloadError> {
+        Ok(u64::from_le_bytes(self.array()?))
+    }
+
+    fn f32(&mut self) -> Result<f32, PayloadError> {
+        Ok(f32::from_le_bytes(self.array()?))
     }
 }
 
@@ -297,7 +322,7 @@ mod tests {
         // header + per-tensor (ndim + dims + data)
         let expected = 10 + (4 + 16 + 48) + (4 + 32 + 96) + (4 + 8 + 4);
         assert_eq!(payload.len(), expected);
-        assert_eq!(payload.format(), WireFormat::F32);
+        assert_eq!(payload.format().unwrap(), WireFormat::F32);
     }
 
     #[test]

@@ -81,6 +81,8 @@ impl<T: Transport> ReliableTransport<T> {
     /// nonsensical (see [`RetryConfig::validate`]).
     pub fn new(inner: T, retry: RetryConfig, seed: u64) -> Self {
         if let Err(msg) = retry.validate() {
+            // qd-lint: allow(panic-safety) -- documented validation
+            // panic; RetryConfig::validate is the error-returning path.
             panic!("{msg}");
         }
         ReliableTransport {

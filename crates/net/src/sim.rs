@@ -198,15 +198,16 @@ impl Transport for SimNet {
                 attempts: 0,
             };
         }
-        if self.down_frame.is_none() {
-            let frame = Payload::encode(params, self.config.wire_format());
+        let wire_format = self.config.wire_format();
+        let (frame, cached) = self.down_frame.get_or_insert_with(|| {
+            let frame = Payload::encode(params, wire_format);
+            // qd-lint: allow(panic-safety) -- encode/decode round-trip of
+            // our own frame is infallible by the codec's contract; a
+            // failure here is a codec bug, not a runtime condition.
             let decoded = frame.decode().expect("self-encoded frame decodes");
-            self.down_frame = Some((frame, decoded));
-        }
-        let (frame_len, decoded) = {
-            let (frame, decoded) = self.down_frame.as_ref().unwrap();
-            (frame.len() as u64, decoded.clone())
-        };
+            (frame, decoded)
+        });
+        let (frame_len, decoded) = (frame.len() as u64, cached.clone());
         let seq = self.next_seq(client, TAG_DOWN);
         let mut rng = self.event_rng(client, TAG_DOWN, seq);
         let (delivered, sim, attempts, bytes) = self.attempt_transfer(client, frame_len, &mut rng);
@@ -249,6 +250,8 @@ impl Transport for SimNet {
         if delivered {
             self.stats.delivered += 1;
             Delivery {
+                // qd-lint: allow(panic-safety) -- decoding a frame this
+                // transport just encoded cannot fail; see download().
                 tensors: Some(frame.decode().expect("self-encoded frame decodes")),
                 bytes,
                 sim,

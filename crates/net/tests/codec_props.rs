@@ -93,7 +93,7 @@ proptest! {
             .collect();
         for format in [WireFormat::F32, WireFormat::QuantU8] {
             let frame = Payload::encode(&tensors, format);
-            prop_assert_eq!(frame.format(), format);
+            prop_assert_eq!(frame.format().unwrap(), format);
             let back = frame.decode().unwrap();
             prop_assert_eq!(back.len(), tensors.len());
             for (a, b) in tensors.iter().zip(&back) {

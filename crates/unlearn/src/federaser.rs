@@ -130,8 +130,12 @@ impl UnlearningMethod for FedEraser {
              Federation::set_record_history(true) before training"
         );
         let retain = retain_override(fed, request);
+        // qd-lint: allow(determinism) -- accounting-only wall-clock: feeds
+        // MethodOutcome compute time, never control flow
         let start = Instant::now();
         let history: Vec<RoundRecord> = fed.history().to_vec();
+        // qd-lint: allow(panic-safety) -- non-empty history is asserted at
+        // entry; history[0] cannot be out of bounds
         let mut params = history[0].global_before.clone();
         let mut samples = 0usize;
         for record in &history {

@@ -110,13 +110,19 @@ impl FuMp {
                 let feat = self.convnet.block_output(&mut tape, &p, xv, block);
                 let v = tape.value(feat);
                 let dims = v.dims(); // (n, filters, h, w)
+                                     // qd-lint: allow(panic-safety) -- block_output returns rank-4
+                                     // (n, filters, h, w) by the ConvNet contract
                 let hw = dims[2] * dims[3];
+                // qd-lint: allow(panic-safety) -- block_output returns rank-4
+                // (n, filters, h, w) by the ConvNet contract
                 for b in 0..dims[0] {
                     for (ch, slot) in act[class].iter_mut().enumerate() {
                         let plane = &v.data()[(b * filters + ch) * hw..(b * filters + ch + 1) * hw];
                         *slot += plane.iter().map(|a| a.abs()).sum::<f32>() / hw as f32;
                     }
                 }
+                // qd-lint: allow(panic-safety) -- block_output returns rank-4
+                // (n, filters, h, w) by the ConvNet contract
                 counts[class] += dims[0];
             }
         }
@@ -157,6 +163,8 @@ impl FuMp {
     fn prune(&self, params: &mut [Tensor], channels: &[usize], target: usize) {
         let block = self.convnet.blocks() - 1;
         let base = self.convnet.conv_weight_indices()[block];
+        // qd-lint: allow(panic-safety) -- conv weights are rank-2 (out,
+        // fan-in) by the ConvNet contract
         let fan = params[base].dims()[1];
         for &ch in channels {
             params[base].data_mut()[ch * fan..(ch + 1) * fan].fill(0.0); // conv W row
@@ -165,6 +173,8 @@ impl FuMp {
             params[base + 3].data_mut()[ch] = 0.0; // IN beta
         }
         let head = self.convnet.classifier_weight_index();
+        // qd-lint: allow(panic-safety) -- classifier weights are rank-2
+        // (classes, features) by the ConvNet contract
         let in_dim = params[head].dims()[1];
         params[head].data_mut()[target * in_dim..(target + 1) * in_dim].fill(0.0);
         // Push the pruned class's logit far below the others so argmax
@@ -195,8 +205,12 @@ impl UnlearningMethod for FuMp {
         rng: &mut Rng,
     ) -> MethodOutcome {
         let UnlearnRequest::Class(target) = request else {
+            // qd-lint: allow(panic-safety) -- unsupported request kind is a
+            // documented caller bug (`# Panics`)
             panic!("FU-MP only supports class-level unlearning");
         };
+        // qd-lint: allow(determinism) -- accounting-only wall-clock: feeds
+        // MethodOutcome compute time, never control flow
         let start = Instant::now();
         let (act, probed) = self.class_channel_activation(fed, rng);
         let relevance = self.channel_relevance(&act, target);

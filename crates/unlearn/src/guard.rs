@@ -285,6 +285,8 @@ impl<M: GuardableMethod> Guarded<M> {
     /// Panics if the policy fails [`GuardPolicy::validate`].
     pub fn new(inner: M, policy: GuardPolicy) -> Self {
         if let Err(msg) = policy.validate() {
+            // qd-lint: allow(panic-safety) -- policy validation failure is a
+            // documented caller bug (`# Panics`), not a runtime condition
             panic!("invalid guard policy: {msg}");
         }
         Guarded { inner, policy }
@@ -386,6 +388,8 @@ impl<M: GuardableMethod> UnlearningMethod for Guarded<M> {
     ) -> MethodOutcome {
         match self.try_unlearn(fed, request, rng) {
             Ok(outcome) => outcome,
+            // qd-lint: allow(panic-safety) -- trait method has no error
+            // channel; the fallible entry point is try_unlearn
             Err(e) => panic!("{e}"),
         }
     }

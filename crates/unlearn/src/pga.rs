@@ -115,6 +115,8 @@ impl UnlearningMethod for PgaHalimi {
         request: UnlearnRequest,
         rng: &mut Rng,
     ) -> MethodOutcome {
+        // qd-lint: allow(determinism) -- accounting-only wall-clock: feeds
+        // MethodOutcome compute time, never control flow
         let start = Instant::now();
         let reference = fed.global().to_vec();
         let forget = forget_override(fed, request);
@@ -131,10 +133,14 @@ impl UnlearningMethod for PgaHalimi {
         if !holders.is_empty() {
             data_size = holders
                 .iter()
+                // qd-lint: allow(panic-safety) -- holders are filtered to
+                // clients whose forget split is Some and non-empty
                 .map(|&i| forget[i].as_ref().unwrap().len())
                 .sum();
             let mut survivors: Vec<(usize, Vec<Tensor>)> = Vec::with_capacity(holders.len());
             for &i in &holders {
+                // qd-lint: allow(panic-safety) -- holders are filtered to
+                // clients whose forget split is Some and non-empty
                 let data = forget[i].as_ref().unwrap();
                 let mut local = reference.clone();
                 let mut crng = rng.fork(i as u64);

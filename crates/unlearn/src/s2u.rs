@@ -73,9 +73,13 @@ impl UnlearningMethod for S2U {
         rng: &mut Rng,
     ) -> MethodOutcome {
         let UnlearnRequest::Client(target) = request else {
+            // qd-lint: allow(panic-safety) -- unsupported request kind is a
+            // documented caller bug (`# Panics`)
             panic!("S2U only supports client-level unlearning");
         };
         assert!(target < fed.n_clients(), "target client out of range");
+        // qd-lint: allow(determinism) -- accounting-only wall-clock: feeds
+        // MethodOutcome compute time, never control flow
         let start = Instant::now();
         let sizes: Vec<usize> = fed.clients().iter().map(qd_data::Dataset::len).collect();
         let total: usize = sizes.iter().sum();

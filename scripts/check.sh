@@ -16,6 +16,15 @@ cargo clippy --offline --workspace --no-deps --all-targets -- -D warnings
 echo "== cargo doc (workspace, -D warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --offline --workspace --no-deps
 
+echo "== qd-lint (workspace invariants, --deny)"
+cargo run --offline -q -p qd-lint -- --deny
+
+echo "== qd-lint (fixture corpus must FAIL the gate)"
+if (cd crates/lint && cargo run --offline -q -p qd-lint -- --deny --config fixtures/qd-lint.toml fixtures >/dev/null 2>&1); then
+    echo "qd-lint accepted the violation fixtures — the gate is broken" >&2
+    exit 1
+fi
+
 echo "== cargo test"
 cargo test --offline --workspace -q
 

@@ -52,6 +52,7 @@
 //! for the experiment index.
 
 #![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
 
 pub use qd_autograd as autograd;

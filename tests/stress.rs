@@ -120,7 +120,7 @@ fn checkpoint_survives_mid_stream_restart() {
     qd.unlearn(&mut fed, UnlearnRequest::Class(5), &mut rng);
 
     let ckpt = quickdrop::Checkpoint::capture(fed.global(), &qd);
-    let (params, mut qd2) = ckpt.restore();
+    let (params, mut qd2) = ckpt.restore().unwrap();
     let clients: Vec<_> = fed.clients().to_vec();
     let mut fed2 = Federation::with_params(model.clone(), clients, params);
 
