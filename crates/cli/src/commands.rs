@@ -54,6 +54,12 @@ impl From<std::io::Error> for CliError {
     }
 }
 
+impl From<qd_core::JournalError> for CliError {
+    fn from(e: qd_core::JournalError) -> Self {
+        CliError::Io(e.into())
+    }
+}
+
 impl From<ServeError> for CliError {
     fn from(e: ServeError) -> Self {
         match e {
@@ -89,6 +95,14 @@ USAGE:
   quickdrop-cli relearn --ckpt ckpt.json (--class C | --client I)
                         [--out ckpt.json] [--dataset D] [--seed X]
                         [--journal [PATH]]
+  quickdrop-cli serve   --ckpt ckpt.json [--out ckpt.json] [--dataset D]
+                        [--tenants N] [--arrival-requests N]
+                        [--arrival-gap-us U] [--queue-cap N]
+                        [--coalesce] [--max-batch N] [--class-share F]
+                        [--weights W1,W2,...] [--seed X]
+                        [--drift-budget F] [--retain-probe L]
+                        [--ascent-retries N] [--journal [PATH]]
+                        [--stats-out stats.json]
   quickdrop-cli eval    --ckpt ckpt.json [--dataset D] [--samples N] [--seed X]
   quickdrop-cli show    --ckpt ckpt.json [--client I] [--limit N]
   quickdrop-cli help
@@ -212,6 +226,7 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         "train" => train(args),
         "unlearn" => serve(args, ServeMode::Unlearn),
         "relearn" => serve(args, ServeMode::Relearn),
+        "serve" => service(args),
         "eval" => eval(args),
         "show" => show(args),
         other => Err(CliError::Usage(format!(
@@ -441,6 +456,123 @@ fn serve(args: &Args, mode: ServeMode) -> Result<String, CliError> {
     let report = format!("{resumed_line}{report}");
     Checkpoint::capture(fed.global(), &qd).save(&out)?;
     Ok(format!("{report}checkpoint written to {out}\n"))
+}
+
+/// Reads the serve front-end flags into a [`qd_serve::ServeConfig`].
+/// The request universes come from the deployment itself (its class
+/// count and client count), so every planned request is valid for it.
+fn serve_config_from(
+    args: &Args,
+    classes: usize,
+    clients: usize,
+) -> Result<qd_serve::ServeConfig, CliError> {
+    let weights = {
+        let raw = args.get_str("weights", "1");
+        raw.split(',')
+            .map(|w| {
+                w.trim()
+                    .parse::<u64>()
+                    .map_err(|_| CliError::Usage(format!("bad --weights entry {w:?}")))
+            })
+            .collect::<Result<Vec<u64>, CliError>>()?
+    };
+    let cfg = qd_serve::ServeConfig {
+        tenants: args.get_usize("tenants", 3)?,
+        arrival_requests: args.get_usize("arrival-requests", 8)?,
+        arrival_gap_us: args.get_u64("arrival-gap-us", 1_000)?,
+        queue_cap: args.get_usize("queue-cap", 16)?,
+        coalesce: args.flag("coalesce"),
+        max_batch: args.get_usize("max-batch", 4)?,
+        weights,
+        classes,
+        clients,
+        class_share: args.get_f32("class-share", 0.8)?,
+        seed: args.get_u64("seed", 42)?,
+        ..qd_serve::ServeConfig::default()
+    };
+    cfg.validate()
+        .map_err(|msg| CliError::Usage(format!("bad serve option: {msg}")))?;
+    Ok(cfg)
+}
+
+/// The `serve` subcommand: the multi-tenant unlearning-as-a-service
+/// front end. Plans seeded arrival streams over the deployment, runs
+/// them through the request journal (always on for this subcommand —
+/// the service IS journal-driven), and reports SLA stats. A run killed
+/// partway is continued by re-invoking the identical command line.
+fn service(args: &Args) -> Result<String, CliError> {
+    let dataset = dataset_by_name(&args.get_str("dataset", "digits"))?;
+    let path = args.require_str("ckpt")?;
+    let out = args.get_str("out", &path);
+    let seed = args.get_u64("seed", 42)?;
+
+    let (params, mut qd) = Checkpoint::load(&path)?.restore()?;
+    let model = model_for(dataset);
+    let mut fed = stub_federation(model.clone(), &qd, params);
+    let classes = qd.synthetic_sets()[0].classes();
+    let clients = qd.synthetic_sets().len();
+    let cfg = serve_config_from(args, classes, clients)?;
+    let policy = guard_policy_from(args)?;
+    let mut rng = Rng::seed_from(seed ^ 0x5EED);
+
+    // The service always journals: progress counting and crash recovery
+    // both live in the journal. `--journal` only picks the location.
+    let journal_path = journal_path_from(args, &path)
+        .unwrap_or_else(|| RequestJournal::path_for_checkpoint(&path));
+    let mut journal = RequestJournal::open(&journal_path)?;
+    let resumed_line = qd
+        .resume_requests(&mut fed, &mut journal, policy.as_ref(), &mut rng)
+        .map_err(CliError::from)?
+        .map(|_| "finished an in-flight service unit from the journal\n")
+        .unwrap_or_default();
+
+    let run = qd_serve::run_service(
+        &mut qd,
+        &mut fed,
+        &mut journal,
+        &cfg,
+        policy.as_ref(),
+        &mut rng,
+        None,
+    )
+    .map_err(|e| match e {
+        qd_serve::ServiceError::Plan(msg) => CliError::Usage(msg),
+        qd_serve::ServiceError::Serve(s) => CliError::from(s),
+    })?;
+    Checkpoint::capture(fed.global(), &qd).save(&out)?;
+
+    let stats = &run.stats;
+    let stats_line = if args.has_option("stats-out") {
+        let stats_out = args.get_str("stats-out", "");
+        stats.save_json(std::path::Path::new(&stats_out))?;
+        format!("stats written to {stats_out}\n")
+    } else {
+        String::new()
+    };
+    let resumed_units_line = if run.resumed_units > 0 {
+        format!(
+            "resumed past {} already-journaled service unit(s)\n",
+            run.resumed_units
+        )
+    } else {
+        String::new()
+    };
+    Ok(format!(
+        "served {} of {} offered requests from {} tenant(s) in {} unit(s) \
+         (coalesce ratio {:.2}); rejected {}\n\
+         virtual latency p50 {} µs, p99 {} µs; {:.1} req/s over {} µs\n\
+         {resumed_line}{resumed_units_line}{stats_line}checkpoint written to {out}\n",
+        stats.served,
+        stats.offered,
+        stats.tenants,
+        stats.batches,
+        stats.coalesce_ratio,
+        stats.rejected,
+        stats.p50_latency_us,
+        stats.p99_latency_us,
+        stats.throughput_rps,
+        stats.makespan_us,
+    ))
 }
 
 fn eval(args: &Args) -> Result<String, CliError> {
@@ -676,6 +808,112 @@ mod tests {
         assert_eq!(j.records().len(), 4);
         std::fs::remove_file(&ckpt).ok();
         std::fs::remove_file(&journal).ok();
+    }
+
+    #[test]
+    fn serve_runs_a_multi_tenant_mix_and_reports_sla() {
+        let ckpt = tmp("serve_cmd.json");
+        let journal = format!("{ckpt}.journal");
+        let stats_out = tmp("serve_cmd_stats.json");
+        std::fs::remove_file(&journal).ok();
+        std::fs::remove_file(&stats_out).ok();
+        run(&args(&[
+            "train",
+            "--out",
+            &ckpt,
+            "--clients",
+            "2",
+            "--samples",
+            "200",
+            "--rounds",
+            "3",
+            "--steps",
+            "4",
+            "--scale",
+            "20",
+            "--iid",
+            "--seed",
+            "7",
+        ]))
+        .unwrap();
+
+        let serve_args = [
+            "serve",
+            "--ckpt",
+            &ckpt,
+            "--tenants",
+            "2",
+            "--arrival-requests",
+            "2",
+            "--arrival-gap-us",
+            "300",
+            "--queue-cap",
+            "8",
+            "--coalesce",
+            "--max-batch",
+            "2",
+            "--seed",
+            "11",
+            "--drift-budget",
+            "64",
+            "--stats-out",
+            &stats_out,
+        ];
+        let out = run(&args(&serve_args)).unwrap();
+        assert!(out.contains("served 4 of 4 offered requests"), "{out}");
+        assert!(out.contains("p50"), "{out}");
+        assert!(out.contains("stats written"), "{out}");
+        let text = std::fs::read_to_string(&stats_out).unwrap();
+        assert!(text.contains("coalesce_ratio"), "{text}");
+
+        // The journal certifies every request; re-invoking the identical
+        // command line finds the plan complete and redoes nothing.
+        let j = RequestJournal::open(&journal).unwrap();
+        let recovered_before = j.records().len();
+        assert!(recovered_before > 0);
+        let out = run(&args(&serve_args)).unwrap();
+        assert!(out.contains("already-journaled"), "{out}");
+        let j = RequestJournal::open(&journal).unwrap();
+        assert_eq!(j.records().len(), recovered_before, "idempotent re-run");
+
+        std::fs::remove_file(&ckpt).ok();
+        std::fs::remove_file(&journal).ok();
+        std::fs::remove_file(&stats_out).ok();
+    }
+
+    #[test]
+    fn serve_flags_are_validated() {
+        let ckpt = tmp("serve_bad.json");
+        run(&args(&[
+            "train",
+            "--out",
+            &ckpt,
+            "--clients",
+            "2",
+            "--samples",
+            "120",
+            "--rounds",
+            "2",
+            "--steps",
+            "2",
+            "--scale",
+            "20",
+            "--iid",
+            "--seed",
+            "3",
+        ]))
+        .unwrap();
+        for bad in [
+            vec!["serve", "--ckpt", &ckpt, "--tenants", "0"],
+            vec!["serve", "--ckpt", &ckpt, "--queue-cap", "0"],
+            vec!["serve", "--ckpt", &ckpt, "--class-share", "1.5"],
+            vec!["serve", "--ckpt", &ckpt, "--weights", "1,x"],
+        ] {
+            let err = run(&args(&bad)).unwrap_err();
+            assert!(matches!(err, CliError::Usage(_)), "{bad:?}");
+        }
+        std::fs::remove_file(&ckpt).ok();
+        std::fs::remove_file(format!("{ckpt}.journal")).ok();
     }
 
     #[test]

@@ -36,8 +36,13 @@ use serde::{Deserialize, Serialize};
 use std::io::Read as _;
 use std::path::{Path, PathBuf};
 
-/// Current journal format version.
-pub const JOURNAL_VERSION: u32 = 1;
+/// Current journal format version. Version 2 added the optional `batch`
+/// field linking the records of one coalesced batch; version-1 journals
+/// (no batches) still load, and their records read back `batch: None`.
+pub const JOURNAL_VERSION: u32 = 2;
+
+/// Oldest journal format version this build still reads.
+pub const JOURNAL_MIN_VERSION: u32 = 1;
 
 /// Where a journaled request stands. States are strictly ordered; a
 /// request only ever moves forward (relearning appends a new terminal
@@ -66,9 +71,25 @@ impl std::fmt::Display for RequestState {
     }
 }
 
+/// Identifier linking the journal records of one coalesced batch.
+///
+/// A batch serves several compatible requests through a single shared
+/// recovery pass ([`QuickDrop::serve_batch_journaled`]); every member's
+/// records carry the same `BatchId` so [`QuickDrop::resume_requests`]
+/// can tell how far a partially-applied batch got and replay the rest
+/// to a bit-for-bit identical end state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct BatchId(pub u64);
+
+impl std::fmt::Display for BatchId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "batch {}", self.0)
+    }
+}
+
 /// One journal entry: a request reaching `state`, with everything needed
 /// to continue from exactly this boundary.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize)]
 pub struct JournalRecord {
     /// Request sequence number (shared by all records of one request).
     pub seq: u64,
@@ -83,12 +104,102 @@ pub struct JournalRecord {
     /// Guard bookkeeping accumulated so far (`None` for unguarded
     /// serving and for RECEIVED records).
     pub guard: Option<GuardStats>,
+    /// The coalesced batch this record belongs to (`None` for requests
+    /// served alone, and for every record of a version-1 journal).
+    pub batch: Option<BatchId>,
+}
+
+// Hand-written so version-1 records — written before the `batch` field
+// existed — deserialize with `batch: None` instead of failing on the
+// missing field (the derive treats every field as required).
+impl Deserialize for JournalRecord {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        Ok(JournalRecord {
+            seq: Deserialize::from_value(v.field("JournalRecord", "seq")?)?,
+            request: Deserialize::from_value(v.field("JournalRecord", "request")?)?,
+            state: Deserialize::from_value(v.field("JournalRecord", "state")?)?,
+            rng: Deserialize::from_value(v.field("JournalRecord", "rng")?)?,
+            global: Deserialize::from_value(v.field("JournalRecord", "global")?)?,
+            guard: Deserialize::from_value(v.field("JournalRecord", "guard")?)?,
+            batch: match v.get("batch") {
+                None => None,
+                Some(b) => Deserialize::from_value(b)?,
+            },
+        })
+    }
 }
 
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct JournalFile {
     version: u32,
     records: Vec<JournalRecord>,
+}
+
+/// Why a journal file failed to load or replay.
+///
+/// Mirrors [`crate::CheckpointError`]: I/O failures pass through, shape
+/// problems become [`JournalError::Format`] naming the file, and — the
+/// forward-compatibility guard — a record whose `state` tag this build
+/// does not know becomes [`JournalError::UnknownState`] instead of being
+/// skipped or folded into a generic parse failure. Skipping such a
+/// record would silently drop a state transition a newer build made
+/// durable; refusing to open keeps the journal's write-ahead contract.
+#[derive(Debug)]
+pub enum JournalError {
+    /// Reading or writing the journal file failed.
+    Io(std::io::Error),
+    /// The file is corrupt, versionless, or of an unreadable version.
+    Format {
+        /// The offending journal file.
+        path: PathBuf,
+        /// What was wrong with it.
+        detail: String,
+    },
+    /// A record carries a `state` tag this build does not know — the
+    /// journal was written by a newer build whose state machine has
+    /// states this one cannot replay.
+    UnknownState {
+        /// The offending journal file.
+        path: PathBuf,
+        /// Sequence number of the offending record.
+        seq: u64,
+        /// The unrecognized state tag, verbatim.
+        tag: String,
+    },
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal I/O: {e}"),
+            JournalError::Format { path, detail } => {
+                write!(f, "journal {}: {detail}", path.display())
+            }
+            JournalError::UnknownState { path, seq, tag } => write!(
+                f,
+                "journal {}: record {seq} is in unknown state {tag:?}; \
+                 written by a newer build this one cannot replay",
+                path.display()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+impl From<std::io::Error> for JournalError {
+    fn from(e: std::io::Error) -> Self {
+        JournalError::Io(e)
+    }
+}
+
+impl From<JournalError> for std::io::Error {
+    fn from(e: JournalError) -> Self {
+        match e {
+            JournalError::Io(io) => io,
+            other => std::io::Error::new(std::io::ErrorKind::InvalidData, other.to_string()),
+        }
+    }
 }
 
 /// The append-only request journal, bound to one file on disk.
@@ -104,10 +215,12 @@ impl RequestJournal {
     ///
     /// # Errors
     ///
-    /// Returns [`std::io::ErrorKind::InvalidData`] naming the file when
-    /// its contents are corrupt, versionless, or of a version this build
-    /// does not read, plus any error from reading the file.
-    pub fn open(path: impl Into<PathBuf>) -> std::io::Result<Self> {
+    /// [`JournalError::Format`] naming the file when its contents are
+    /// corrupt, versionless, or of a version this build does not read;
+    /// [`JournalError::UnknownState`] when a record carries a state tag
+    /// from a newer build's state machine (replaying it would silently
+    /// drop a durable transition); [`JournalError::Io`] for read errors.
+    pub fn open(path: impl Into<PathBuf>) -> Result<Self, JournalError> {
         let path = path.into();
         if !path.exists() {
             return Ok(RequestJournal {
@@ -117,11 +230,9 @@ impl RequestJournal {
         }
         let mut json = String::new();
         std::fs::File::open(&path)?.read_to_string(&mut json)?;
-        let invalid = |detail: String| {
-            std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
-                format!("journal {}: {detail}", path.display()),
-            )
+        let invalid = |detail: String| JournalError::Format {
+            path: path.clone(),
+            detail,
         };
         let value: serde::Value = serde_json::from_str(&json)
             .map_err(|e| invalid(format!("corrupt or truncated JSON: {e}")))?;
@@ -130,17 +241,49 @@ impl RequestJournal {
             .ok_or_else(|| invalid("no version field; not a journal file".to_string()))?;
         let version: u32 = serde::Deserialize::from_value(version)
             .map_err(|e| invalid(format!("malformed version field: {e}")))?;
-        if version != JOURNAL_VERSION {
+        if !(JOURNAL_MIN_VERSION..=JOURNAL_VERSION).contains(&version) {
             return Err(invalid(format!(
-                "format version {version}; this build reads only version {JOURNAL_VERSION}"
+                "format version {version}; this build reads only versions \
+                 {JOURNAL_MIN_VERSION} through {JOURNAL_VERSION}"
             )));
         }
+        Self::scan_state_tags(&path, &value)?;
         let file: JournalFile = serde::Deserialize::from_value(&value)
             .map_err(|e| invalid(format!("malformed version-{version} payload: {e}")))?;
         Ok(RequestJournal {
             path,
             records: file.records,
         })
+    }
+
+    /// Forward-compat guard: reject any record whose `state` tag is not
+    /// one this build's [`RequestState`] can represent, *before* the
+    /// full deserialize (which would fold the problem into a generic
+    /// parse error, and an ignore-unknown deserializer would skip the
+    /// record outright — both lose a durable transition).
+    fn scan_state_tags(path: &Path, value: &serde::Value) -> Result<(), JournalError> {
+        const KNOWN: [&str; 4] = ["Received", "Unlearned", "Recovered", "Relearned"];
+        let Some(serde::Value::Seq(records)) = value.get("records") else {
+            // Shape problems are the full deserialize's to report.
+            return Ok(());
+        };
+        for (index, record) in records.iter().enumerate() {
+            let Some(serde::Value::Str(tag)) = record.get("state") else {
+                continue;
+            };
+            if !KNOWN.contains(&tag.as_str()) {
+                let seq = record
+                    .get("seq")
+                    .and_then(|s| u64::from_value(s).ok())
+                    .unwrap_or(index as u64);
+                return Err(JournalError::UnknownState {
+                    path: path.to_path_buf(),
+                    seq,
+                    tag: tag.clone(),
+                });
+            }
+        }
+        Ok(())
     }
 
     /// All records, oldest first.
@@ -171,6 +314,38 @@ impl RequestJournal {
             return Err(e);
         }
         Ok(())
+    }
+
+    /// Appends several records in one atomic rewrite: a crash during the
+    /// append leaves either none of `records` durable or all of them.
+    /// Batch serving relies on this — the RECEIVED (and later RECOVERED)
+    /// records of all batch members land together, so resume never sees
+    /// a batch whose membership is half-written.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from the atomic rewrite; the in-memory
+    /// record list is only extended once the file is durable.
+    pub fn append_all(&mut self, records: Vec<JournalRecord>) -> std::io::Result<()> {
+        let keep = self.records.len();
+        self.records.extend(records);
+        if let Err(e) = self.persist() {
+            self.records.truncate(keep);
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// The batch id the next coalesced batch will get.
+    pub fn next_batch_id(&self) -> BatchId {
+        BatchId(
+            self.records
+                .iter()
+                .filter_map(|r| r.batch)
+                .map(|b| b.0 + 1)
+                .max()
+                .unwrap_or(0),
+        )
     }
 
     fn persist(&self) -> std::io::Result<()> {
@@ -271,6 +446,72 @@ impl From<crate::checkpoint::CheckpointError> for ServeError {
     }
 }
 
+impl From<JournalError> for ServeError {
+    fn from(e: JournalError) -> Self {
+        ServeError::Io(e.into())
+    }
+}
+
+/// A durable boundary inside a coalesced batch at which serving can be
+/// preempted — the batch analogue of handing a [`RequestState`] to
+/// [`QuickDrop::serve_journaled`], used by the chaos tests to stand in
+/// for a crash at exactly that point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchPreempt {
+    /// Right after the atomic RECEIVED set is durable, before any
+    /// model change.
+    Received,
+    /// Right after this many members (a 1-based count, in journal
+    /// order) have durable UNLEARNED records.
+    Unlearned(usize),
+    /// Right after the atomic RECOVERED set is durable, before
+    /// returning.
+    Recovered,
+}
+
+/// How a journaled batch serve call ended.
+#[derive(Debug)]
+pub enum BatchRun {
+    /// Every member was fully served (boxed to keep the enum small).
+    Complete(Box<BatchOutcome>),
+    /// Serving stopped right after `boundary` became durable — the
+    /// deterministic stand-in for a crash there. Continue with
+    /// [`QuickDrop::resume_requests`].
+    Preempted {
+        /// The last boundary made durable before stopping.
+        boundary: BatchPreempt,
+    },
+}
+
+impl BatchRun {
+    /// The completed outcome, or `None` if the run was preempted.
+    pub fn into_complete(self) -> Option<BatchOutcome> {
+        match self {
+            BatchRun::Complete(outcome) => Some(*outcome),
+            BatchRun::Preempted { .. } => None,
+        }
+    }
+}
+
+/// What a completed coalesced batch cost and produced.
+#[derive(Debug, Clone)]
+pub struct BatchOutcome {
+    /// The batch's journal identifier.
+    pub batch: BatchId,
+    /// Per-member ascent accounting, in journal order. Members whose
+    /// ascent ran in a previous process (batch finished by resume)
+    /// report [`PhaseStats::default`] — the accounting died with that
+    /// process; the model and RNG state did not.
+    pub unlearn: Vec<PhaseStats>,
+    /// The one shared recovery pass.
+    pub recovery: PhaseStats,
+    /// Global parameters after all ascents, before recovery.
+    pub post_unlearn_params: Vec<Tensor>,
+    /// Guard bookkeeping accumulated across the whole batch (`None`
+    /// for unguarded serving).
+    pub guard: Option<GuardStats>,
+}
+
 impl QuickDrop {
     /// Serves one request with every stage boundary made durable in
     /// `journal` before the next stage runs (write-ahead discipline:
@@ -321,6 +562,7 @@ impl QuickDrop {
             rng: rng.state(),
             global: fed.global().to_vec(),
             guard: None,
+            batch: None,
         })?;
         if preempt_at == Some(RequestState::Received) {
             return Ok(ServeRun::Preempted {
@@ -395,6 +637,7 @@ impl QuickDrop {
             rng: rng.state(),
             global: post_unlearn_params.clone(),
             guard: policy.map(|_| stats),
+            batch: None,
         })?;
         if preempt_at == Some(RequestState::Unlearned) {
             return Ok(ServeRun::Preempted {
@@ -417,6 +660,7 @@ impl QuickDrop {
             rng: rng.state(),
             global: fed.global().to_vec(),
             guard: stats,
+            batch: None,
         })?;
         if preempt_at == Some(RequestState::Recovered) {
             return Ok(ServeRun::Preempted {
@@ -483,6 +727,264 @@ impl QuickDrop {
         }
     }
 
+    /// Serves a coalesced batch of compatible requests through the
+    /// journal as one unit: an atomic RECEIVED set for every member,
+    /// per-member guarded ascents (each with its own UNLEARNED record,
+    /// so a crash between members loses no accepted ascent), then **one
+    /// shared recovery pass** — QuickDrop's "sequential requests"
+    /// observation made operational: n compatible forget requests cost
+    /// n ascents but a single recovery — and an atomic RECOVERED set.
+    ///
+    /// All records carry the same fresh [`BatchId`], which is what lets
+    /// [`QuickDrop::resume_requests`] replay a partially-applied batch
+    /// to a bit-for-bit identical end state. `requests` must be
+    /// non-empty and deduplicated (the serve layer's `ForgetSet`
+    /// canonicalization guarantees both). A guard `policy` gates each
+    /// member's ascent against the state just before that member (the
+    /// same drift a sequential run would measure) and the shared
+    /// recovery against the pre-batch reference. `preempt_at` stops
+    /// serving right after that boundary's records are durable.
+    ///
+    /// On divergence — any member exhausting its ascent retries, or the
+    /// recovered model failing the probe — the **whole batch** rolls
+    /// back: model and RNG return to the pre-batch boundary and every
+    /// member's forgotten-state mark is cleared. The journal keeps
+    /// whatever records were already durable, so a later resume
+    /// deterministically reproduces this same error.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] on journal I/O failure or an empty batch, or
+    /// [`ServeError::Diverged`] as above.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `policy` fails [`GuardPolicy::validate`].
+    pub fn serve_batch_journaled(
+        &mut self,
+        fed: &mut Federation,
+        journal: &mut RequestJournal,
+        requests: &[UnlearnRequest],
+        policy: Option<&GuardPolicy>,
+        rng: &mut Rng,
+        preempt_at: Option<BatchPreempt>,
+    ) -> Result<BatchRun, ServeError> {
+        if let Some(policy) = policy {
+            if let Err(msg) = policy.validate() {
+                // qd-lint: allow(panic-safety) -- policy validation failure
+                // is a documented caller bug (`# Panics`), not a runtime
+                // condition
+                panic!("invalid guard policy: {msg}");
+            }
+        }
+        if requests.is_empty() {
+            return Err(ServeError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "cannot serve an empty batch",
+            )));
+        }
+        let batch = journal.next_batch_id();
+        let base = journal.next_seq();
+        let batch_rng = rng.state();
+        let batch_reference = fed.global().to_vec();
+        let received: Vec<JournalRecord> = requests
+            .iter()
+            .enumerate()
+            .map(|(i, &request)| JournalRecord {
+                seq: base + i as u64,
+                request,
+                state: RequestState::Received,
+                rng: batch_rng.clone(),
+                global: batch_reference.clone(),
+                guard: None,
+                batch: Some(batch),
+            })
+            .collect();
+        journal.append_all(received)?;
+        if preempt_at == Some(BatchPreempt::Received) {
+            return Ok(BatchRun::Preempted {
+                boundary: BatchPreempt::Received,
+            });
+        }
+        let members: Vec<(u64, UnlearnRequest)> = requests
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| (base + i as u64, r))
+            .collect();
+        self.finish_batch(
+            fed,
+            journal,
+            batch,
+            &members,
+            0,
+            batch_reference,
+            batch_rng,
+            GuardStats::default(),
+            policy,
+            rng,
+            preempt_at,
+        )
+    }
+
+    /// Runs a batch from its first un-unlearned member: guarded ascent +
+    /// UNLEARNED record per remaining member, one shared recovery, then
+    /// the atomic RECOVERED set. Shared by
+    /// [`QuickDrop::serve_batch_journaled`] (`done == 0`) and the batch
+    /// arm of [`QuickDrop::resume_requests`] (`done` = members whose
+    /// UNLEARNED records survived the crash).
+    #[allow(clippy::too_many_arguments)]
+    fn finish_batch(
+        &mut self,
+        fed: &mut Federation,
+        journal: &mut RequestJournal,
+        batch: BatchId,
+        members: &[(u64, UnlearnRequest)],
+        done: usize,
+        batch_reference: Vec<Tensor>,
+        batch_rng: RngState,
+        mut stats: GuardStats,
+        policy: Option<&GuardPolicy>,
+        rng: &mut Rng,
+        preempt_at: Option<BatchPreempt>,
+    ) -> Result<BatchRun, ServeError> {
+        let mut unlearn_stats: Vec<PhaseStats> = vec![PhaseStats::default(); done];
+        for (index, &(seq, request)) in members.iter().enumerate().skip(done) {
+            // Each member's guard measures drift against the state just
+            // before that member's ascent — the same reference a
+            // sequential (uncoalesced) run would use.
+            let member_reference = fed.global().to_vec();
+            let rng_mark = rng.state();
+            let mut last_violation = GuardViolation::NonFinite;
+            let mut lr_scale = 1.0f32;
+            let retries = policy.map_or(0, |p| p.ascent_retries);
+            let mut accepted: Option<PhaseStats> = None;
+            for attempt in 0..=retries {
+                let (unlearn, post) = self.ascent_stage(fed, request, rng, lr_scale);
+                stats.steps += 1;
+                stats.final_drift = relative_drift(&post, &member_reference);
+                let gate = match policy {
+                    Some(policy) => check_attempt(
+                        policy,
+                        fed.model().as_ref(),
+                        &member_reference,
+                        &post,
+                        &post,
+                        None,
+                    )
+                    .map(|_| ()),
+                    None => Ok(()),
+                };
+                match gate {
+                    Ok(()) => {
+                        accepted = Some(unlearn);
+                        break;
+                    }
+                    Err(violation) => {
+                        last_violation = violation;
+                        fed.set_global(member_reference.clone());
+                        *rng = Rng::from_state(&rng_mark);
+                        stats.rollbacks += 1;
+                        if attempt < retries {
+                            lr_scale *= 0.5;
+                            stats.lr_halvings += 1;
+                        }
+                    }
+                }
+            }
+            let Some(unlearn) = accepted else {
+                // One member diverging fails the whole batch: clear the
+                // marks of the members already unlearned and return to
+                // the pre-batch boundary. Everything restored here is
+                // journal-derivable, so resume reproduces this error
+                // and this end state exactly.
+                for &(_, done_request) in &members[..index] {
+                    self.unmark_unlearned(done_request);
+                }
+                fed.set_global(batch_reference);
+                *rng = Rng::from_state(&batch_rng);
+                return Err(ServeError::Diverged(UnlearnError::Diverged {
+                    violation: last_violation,
+                    stats,
+                }));
+            };
+            self.mark_unlearned(request);
+            journal.append(JournalRecord {
+                seq,
+                request,
+                state: RequestState::Unlearned,
+                rng: rng.state(),
+                global: fed.global().to_vec(),
+                guard: policy.map(|_| stats),
+                batch: Some(batch),
+            })?;
+            unlearn_stats.push(unlearn);
+            if preempt_at == Some(BatchPreempt::Unlearned(index + 1)) {
+                return Ok(BatchRun::Preempted {
+                    boundary: BatchPreempt::Unlearned(index + 1),
+                });
+            }
+        }
+        // One shared recovery pass amortized over the whole batch.
+        let post_unlearn_params = fed.global().to_vec();
+        let rng_mark = rng.state();
+        let recovery = self.recovery_stage(fed, rng);
+        let final_stats = if let Some(policy) = policy {
+            let probe = probe_sample(&self.synthetic_retain(), policy.probe_samples);
+            match check_attempt(
+                policy,
+                fed.model().as_ref(),
+                &batch_reference,
+                &post_unlearn_params,
+                fed.global(),
+                probe.as_ref(),
+            ) {
+                Ok(drift) => {
+                    stats.final_drift = drift;
+                    Some(stats)
+                }
+                Err(violation) => {
+                    for &(_, request) in members {
+                        self.unmark_unlearned(request);
+                    }
+                    fed.set_global(batch_reference);
+                    *rng = Rng::from_state(&rng_mark);
+                    stats.rollbacks += 1;
+                    return Err(ServeError::Diverged(UnlearnError::Diverged {
+                        violation,
+                        stats,
+                    }));
+                }
+            }
+        } else {
+            None
+        };
+        let recovered: Vec<JournalRecord> = members
+            .iter()
+            .map(|&(seq, request)| JournalRecord {
+                seq,
+                request,
+                state: RequestState::Recovered,
+                rng: rng.state(),
+                global: fed.global().to_vec(),
+                guard: final_stats,
+                batch: Some(batch),
+            })
+            .collect();
+        journal.append_all(recovered)?;
+        if preempt_at == Some(BatchPreempt::Recovered) {
+            return Ok(BatchRun::Preempted {
+                boundary: BatchPreempt::Recovered,
+            });
+        }
+        Ok(BatchRun::Complete(Box::new(BatchOutcome {
+            batch,
+            unlearn: unlearn_stats,
+            recovery,
+            post_unlearn_params,
+            guard: final_stats,
+        })))
+    }
+
     /// Restores previously erased knowledge through the journal: relearns
     /// with [`qd_unlearn::UnlearningMethod::relearn`] semantics on the
     /// synthetic forget set, then appends the terminal RELEARNED record.
@@ -529,6 +1031,7 @@ impl QuickDrop {
             rng: rng.state(),
             global: fed.global().to_vec(),
             guard: None,
+            batch: None,
         })?;
         Ok(stats)
     }
@@ -592,6 +1095,9 @@ impl QuickDrop {
         }
         fed.set_global(last.global.clone());
         *rng = Rng::from_state(&last.rng);
+        if let Some(batch) = last.batch {
+            return self.resume_batch(fed, journal, batch, &last, policy, rng);
+        }
         match last.state {
             RequestState::Recovered | RequestState::Relearned => Ok(None),
             RequestState::Received => {
@@ -644,6 +1150,7 @@ impl QuickDrop {
                     rng: rng.state(),
                     global: fed.global().to_vec(),
                     guard: stats,
+                    batch: None,
                 })?;
                 Ok(Some(MethodOutcome {
                     // The ascent's cost accounting died with the original
@@ -655,6 +1162,79 @@ impl QuickDrop {
                 }))
             }
         }
+    }
+
+    /// The batch arm of [`QuickDrop::resume_requests`]: membership and
+    /// progress both come from the journal — the RECEIVED set (atomic,
+    /// so never half-written) lists the members, the UNLEARNED records
+    /// say how many ascents were accepted before the crash, and the
+    /// caller has already restored model/RNG from the last record and
+    /// replayed the forgotten-state marks. [`Self::finish_batch`] then
+    /// runs the remaining members and the shared recovery exactly as
+    /// the uninterrupted run would have.
+    fn resume_batch(
+        &mut self,
+        fed: &mut Federation,
+        journal: &mut RequestJournal,
+        batch: BatchId,
+        last: &JournalRecord,
+        policy: Option<&GuardPolicy>,
+        rng: &mut Rng,
+    ) -> Result<Option<MethodOutcome>, ServeError> {
+        if matches!(
+            last.state,
+            RequestState::Recovered | RequestState::Relearned
+        ) {
+            return Ok(None);
+        }
+        let members: Vec<(u64, UnlearnRequest)> = journal
+            .records()
+            .iter()
+            .filter(|r| r.batch == Some(batch) && r.state == RequestState::Received)
+            .map(|r| (r.seq, r.request))
+            .collect();
+        let done = journal
+            .records()
+            .iter()
+            .filter(|r| r.batch == Some(batch) && r.state == RequestState::Unlearned)
+            .count();
+        let (batch_reference, batch_rng) = members
+            .first()
+            .and_then(|&(seq, _)| {
+                journal
+                    .records()
+                    .iter()
+                    .find(|r| r.seq == seq && r.state == RequestState::Received)
+            })
+            .map(|r| (r.global.clone(), r.rng.clone()))
+            .ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("journal holds {batch} records without a RECEIVED set"),
+                )
+            })?;
+        let stats = last.guard.unwrap_or_default();
+        let run = self.finish_batch(
+            fed,
+            journal,
+            batch,
+            &members,
+            done,
+            batch_reference,
+            batch_rng,
+            stats,
+            policy,
+            rng,
+            None,
+        )?;
+        Ok(run.into_complete().map(|outcome| MethodOutcome {
+            // Ascent accounting from before the crash died with the
+            // original process; the model/RNG state did not.
+            unlearn: PhaseStats::default(),
+            recovery: outcome.recovery,
+            post_unlearn_params: outcome.post_unlearn_params,
+            guard: outcome.guard,
+        }))
     }
 
     /// Loads the deployment checkpoint at `checkpoint` and replays the
@@ -678,5 +1258,40 @@ impl QuickDrop {
             RequestJournal::open(RequestJournal::path_for_checkpoint(checkpoint.as_ref()))?;
         let finished = qd.resume_requests(fed, &mut journal, policy, rng)?;
         Ok((qd, journal, finished))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_without_a_batch_field_read_back_as_unbatched() {
+        let record = JournalRecord {
+            seq: 3,
+            request: UnlearnRequest::Class(1),
+            state: RequestState::Received,
+            rng: Rng::seed_from(9).state(),
+            global: Vec::new(),
+            guard: None,
+            batch: Some(BatchId(4)),
+        };
+        // A version-1 writer never emitted the `batch` key at all;
+        // strip it to simulate such a record.
+        let serde::Value::Map(entries) = record.to_value() else {
+            panic!("records serialize as objects");
+        };
+        let v1 = serde::Value::Map(entries.into_iter().filter(|(k, _)| k != "batch").collect());
+        let read = JournalRecord::from_value(&v1).expect("v1 record must load");
+        assert_eq!(read.batch, None);
+        assert_eq!(read.seq, 3);
+        assert_eq!(read.state, RequestState::Received);
+    }
+
+    #[test]
+    fn batch_ids_round_trip_and_allocate_monotonically() {
+        let v = BatchId(7).to_value();
+        assert_eq!(BatchId::from_value(&v).unwrap(), BatchId(7));
+        assert_eq!(BatchId(7).to_string(), "batch 7");
     }
 }

@@ -66,7 +66,8 @@ mod system;
 pub use checkpoint::{Checkpoint, CheckpointError, MidPhase, CHECKPOINT_VERSION};
 pub use config::QuickDropConfig;
 pub use journal::{
-    JournalRecord, RequestJournal, RequestState, ServeError, ServeRun, JOURNAL_VERSION,
+    BatchId, BatchOutcome, BatchPreempt, BatchRun, JournalError, JournalRecord, RequestJournal,
+    RequestState, ServeError, ServeRun, JOURNAL_MIN_VERSION, JOURNAL_VERSION,
 };
 pub use sample_level::{SampleLevelConfig, SampleLevelQuickDrop};
 pub use system::{CheckpointPolicy, QuickDrop, TrainReport, TrainRun};

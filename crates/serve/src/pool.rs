@@ -1,0 +1,188 @@
+//! A hand-rolled fixed-size thread pool.
+//!
+//! The workspace is vendored-deps-only — no async runtime, no rayon —
+//! so qd-serve brings its own pool: a [`std::sync::Mutex`]-guarded job
+//! queue drained by worker threads parked on a [`std::sync::Condvar`].
+//! The service uses it for the embarrassingly parallel part of planning
+//! (generating each tenant's seeded arrival stream); everything the
+//! pool computes is merged deterministically afterwards, so concurrency
+//! never leaks into results.
+//!
+//! Serving-path discipline: no `unwrap`/`expect`. A poisoned lock means
+//! a *job* panicked while holding it; the queue itself is just a
+//! `VecDeque`, always in a consistent state, so the pool recovers the
+//! guard with [`std::sync::PoisonError::into_inner`] and keeps going —
+//! job panics are reported by [`ThreadPool::join`], not propagated as
+//! aborts of unrelated tenants' work.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Shared {
+    queue: Mutex<State>,
+    ready: Condvar,
+    panicked: AtomicUsize,
+}
+
+struct State {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+fn lock(shared: &Shared) -> MutexGuard<'_, State> {
+    shared
+        .queue
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// A fixed-size pool of worker threads draining a shared job queue.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl ThreadPool {
+    /// Spawns a pool with `threads` workers (clamped to at least one).
+    pub fn new(threads: usize) -> ThreadPool {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(State {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            ready: Condvar::new(),
+            panicked: AtomicUsize::new(0),
+        });
+        let workers = (0..threads.max(1))
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("qd-serve-worker-{index}"))
+                    .spawn(move || worker_loop(&shared))
+            })
+            .filter_map(Result::ok)
+            .collect();
+        ThreadPool { shared, workers }
+    }
+
+    /// Enqueues a job; some worker will run it.
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        let mut state = lock(&self.shared);
+        state.jobs.push_back(Box::new(job));
+        drop(state);
+        self.shared.ready.notify_one();
+    }
+
+    /// Drains the queue, stops the workers, and returns how many jobs
+    /// panicked (0 for a clean run). Queued jobs all run before
+    /// shutdown completes.
+    pub fn join(mut self) -> usize {
+        {
+            let mut state = lock(&self.shared);
+            state.shutdown = true;
+        }
+        self.shared.ready.notify_all();
+        for worker in self.workers.drain(..) {
+            // A worker that panicked outside a job (impossible: the
+            // loop catches job panics) still must not take the caller
+            // down with it.
+            worker.join().ok();
+        }
+        self.shared.panicked.load(Ordering::SeqCst)
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        {
+            let mut state = lock(&self.shared);
+            state.shutdown = true;
+        }
+        self.shared.ready.notify_all();
+        for worker in self.workers.drain(..) {
+            worker.join().ok();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut state = lock(shared);
+            loop {
+                if let Some(job) = state.jobs.pop_front() {
+                    break job;
+                }
+                if state.shutdown {
+                    return;
+                }
+                state = shared
+                    .ready
+                    .wait(state)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        };
+        if std::panic::catch_unwind(std::panic::AssertUnwindSafe(job)).is_err() {
+            shared.panicked.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn runs_every_job_before_join_returns() {
+        let pool = ThreadPool::new(4);
+        let hits = Arc::new(AtomicU64::new(0));
+        for _ in 0..64 {
+            let hits = Arc::clone(&hits);
+            pool.execute(move || {
+                hits.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        assert_eq!(pool.join(), 0);
+        assert_eq!(hits.load(Ordering::SeqCst), 64);
+    }
+
+    #[test]
+    fn job_panics_are_counted_not_propagated() {
+        let pool = ThreadPool::new(2);
+        let hits = Arc::new(AtomicU64::new(0));
+        for i in 0..8 {
+            let hits = Arc::clone(&hits);
+            pool.execute(move || {
+                assert!(i % 2 == 0, "odd jobs fail");
+                hits.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        assert_eq!(pool.join(), 4);
+        assert_eq!(hits.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let pool = ThreadPool::new(0);
+        let hits = Arc::new(AtomicU64::new(0));
+        let h = Arc::clone(&hits);
+        pool.execute(move || {
+            h.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(pool.join(), 0);
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+}

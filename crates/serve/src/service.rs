@@ -1,0 +1,162 @@
+//! Plan execution over the request journal.
+//!
+//! [`run_service`] drives the planned service units through
+//! `QuickDrop`'s journaled serving calls, in plan order: singleton
+//! units through `serve_journaled`, coalesced units through
+//! `serve_batch_journaled`. Progress lives entirely in the journal, so
+//! crash recovery is: reload checkpoint + journal (which finishes any
+//! partially-applied unit via `QuickDrop::resume_requests`), then call
+//! [`run_service`] again with the same config — it rebuilds the same
+//! plan, counts the units the journal already certifies, and continues
+//! from the first incomplete one. The final model, journal records and
+//! [`ServeStats`] match an unfailed run bit-for-bit.
+
+use crate::config::ServeConfig;
+use crate::plan::{build_plan, Plan};
+use crate::stats::ServeStats;
+use qd_core::{
+    BatchPreempt, BatchRun, QuickDrop, RequestJournal, RequestState, ServeError, ServeRun,
+};
+use qd_fed::Federation;
+use qd_tensor::rng::Rng;
+use qd_unlearn::GuardPolicy;
+
+/// Why a service run failed.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// The config was unrunnable or the planner failed.
+    Plan(String),
+    /// A journaled serving call failed (I/O or guard divergence).
+    Serve(ServeError),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Plan(msg) => write!(f, "service plan: {msg}"),
+            ServiceError::Serve(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<ServeError> for ServiceError {
+    fn from(e: ServeError) -> Self {
+        ServiceError::Serve(e)
+    }
+}
+
+/// A deterministic crash stand-in: stop the run right after `boundary`
+/// of planned unit `unit_index` becomes durable, exactly as a kill at
+/// that instant would.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosKill {
+    /// Index into the plan's unit list.
+    pub unit_index: usize,
+    /// The journal boundary to die at. For singleton units,
+    /// `Unlearned(_)` means the UNLEARNED record.
+    pub boundary: BatchPreempt,
+}
+
+/// What a [`run_service`] call did.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceRun {
+    /// Full SLA accounting (plan-derived; identical across resumes).
+    pub stats: ServeStats,
+    /// Units this call executed (not counting ones a previous process
+    /// had already completed).
+    pub executed_units: u64,
+    /// Units already certified by the journal when this call started.
+    pub resumed_units: u64,
+    /// True when a [`ChaosKill`] stopped the run early; the journal
+    /// holds the partial progress and a later call continues it.
+    pub preempted: bool,
+}
+
+/// Counts the leading planned units the journal already fully
+/// certifies: unit *i* is complete once the journal holds RECOVERED
+/// records for all of its members (units execute strictly in plan
+/// order, so cumulative RECOVERED counts identify the frontier).
+fn completed_units(plan: &Plan, journal: &RequestJournal) -> usize {
+    let recovered = journal
+        .records()
+        .iter()
+        .filter(|r| r.state == RequestState::Recovered)
+        .count();
+    let mut cumulative = 0usize;
+    let mut done = 0usize;
+    for unit in &plan.batches {
+        cumulative += unit.members.len();
+        if recovered >= cumulative {
+            done += 1;
+        } else {
+            break;
+        }
+    }
+    done
+}
+
+/// Plans and executes the whole service run for `cfg` — or, when the
+/// journal already holds progress from a killed run *of the same
+/// config*, the remainder of it.
+///
+/// The journal must be dedicated to this service run: progress
+/// counting assumes every RECOVERED record in it was written by this
+/// plan's units. Callers resuming after a crash should first restore
+/// the deployment (`QuickDrop::recover_deployment`, which finishes any
+/// partially-applied unit), then call this with the same config.
+///
+/// # Errors
+///
+/// [`ServiceError::Plan`] for an unrunnable config, or
+/// [`ServiceError::Serve`] when a unit fails (guard divergence aborts
+/// the run; the journal keeps the diverged unit at its last durable
+/// state, so a retry surfaces the same error deterministically).
+#[allow(clippy::too_many_arguments)]
+pub fn run_service(
+    qd: &mut QuickDrop,
+    fed: &mut Federation,
+    journal: &mut RequestJournal,
+    cfg: &ServeConfig,
+    policy: Option<&GuardPolicy>,
+    rng: &mut Rng,
+    kill: Option<ChaosKill>,
+) -> Result<ServiceRun, ServiceError> {
+    let plan = build_plan(cfg).map_err(ServiceError::Plan)?;
+    let stats = ServeStats::from_plan(&plan);
+    let resumed_units = completed_units(&plan, journal) as u64;
+    let mut executed_units = 0u64;
+    for (index, unit) in plan.batches.iter().enumerate().skip(resumed_units as usize) {
+        let unit_kill = kill.filter(|k| k.unit_index == index);
+        let preempted = if let [single] = unit.members.as_slice() {
+            let preempt_at = unit_kill.map(|k| match k.boundary {
+                BatchPreempt::Received => RequestState::Received,
+                BatchPreempt::Unlearned(_) => RequestState::Unlearned,
+                BatchPreempt::Recovered => RequestState::Recovered,
+            });
+            let run = qd.serve_journaled(fed, journal, *single, policy, rng, preempt_at)?;
+            matches!(run, ServeRun::Preempted { .. })
+        } else {
+            let preempt_at = unit_kill.map(|k| k.boundary);
+            let run =
+                qd.serve_batch_journaled(fed, journal, &unit.members, policy, rng, preempt_at)?;
+            matches!(run, BatchRun::Preempted { .. })
+        };
+        if preempted {
+            return Ok(ServiceRun {
+                stats,
+                executed_units,
+                resumed_units,
+                preempted: true,
+            });
+        }
+        executed_units += 1;
+    }
+    Ok(ServiceRun {
+        stats,
+        executed_units,
+        resumed_units,
+        preempted: false,
+    })
+}

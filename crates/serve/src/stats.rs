@@ -1,0 +1,167 @@
+//! Service-level objective accounting.
+//!
+//! Every number here is derived from the deterministic plan and the
+//! (equally deterministic) execution outcome — virtual-clock latencies,
+//! counts, and ratios, never wall time — so a killed-and-resumed run
+//! reports **bit-for-bit** the same `ServeStats` as an unfailed one,
+//! and `BENCH_serve.json` is reproducible across machines.
+
+use crate::plan::Plan;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// SLA metrics for one service run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeStats {
+    /// Tenants that submitted streams.
+    pub tenants: usize,
+    /// Requests offered across all tenants.
+    pub offered: u64,
+    /// Requests admitted past the bounded queues.
+    pub admitted: u64,
+    /// Requests rejected by admission control (queue full).
+    pub rejected: u64,
+    /// Rejections broken down by tenant.
+    pub rejected_by_tenant: Vec<u64>,
+    /// Admitted requests served to RECOVERED.
+    pub served: u64,
+    /// Service units executed (journal batches + singletons).
+    pub batches: u64,
+    /// Distinct batch members across all units (what the model
+    /// actually ran ascents for).
+    pub distinct_members: u64,
+    /// Mean requests sharing one SGA + recovery pass:
+    /// `served / batches`. 1.0 means coalescing never helped.
+    pub coalesce_ratio: f32,
+    /// Median virtual latency (arrival → unit completion), µs.
+    pub p50_latency_us: u64,
+    /// 99th-percentile virtual latency, µs.
+    pub p99_latency_us: u64,
+    /// Served requests per virtual second.
+    pub throughput_rps: f32,
+    /// Largest total queue depth observed at any admission.
+    pub max_queue_depth: u64,
+    /// Mean total queue depth over admission samples.
+    pub mean_queue_depth: f32,
+    /// Virtual completion time of the last unit, µs.
+    pub makespan_us: u64,
+}
+
+/// Nearest-rank percentile of an unsorted sample (q in percent).
+/// Returns 0 for an empty sample.
+pub fn percentile_us(samples: &[u64], q: f64) -> u64 {
+    if samples.is_empty() {
+        return 0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = ((q / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+impl ServeStats {
+    /// Derives the full metric set from a completed plan.
+    pub fn from_plan(plan: &Plan) -> ServeStats {
+        let served: u64 = plan.batches.iter().map(|b| b.served() as u64).sum();
+        let distinct_members: u64 = plan.batches.iter().map(|b| b.members.len() as u64).sum();
+        let batches = plan.batches.len() as u64;
+        let coalesce_ratio = if batches == 0 {
+            0.0
+        } else {
+            served as f32 / batches as f32
+        };
+        let throughput_rps = if plan.makespan_us == 0 {
+            0.0
+        } else {
+            served as f32 / (plan.makespan_us as f32 / 1_000_000.0)
+        };
+        let mean_queue_depth = if plan.depth_samples == 0 {
+            0.0
+        } else {
+            plan.depth_sum as f32 / plan.depth_samples as f32
+        };
+        ServeStats {
+            tenants: plan.rejected_by_tenant.len(),
+            offered: plan.offered,
+            admitted: plan.admitted,
+            rejected: plan.rejected_by_tenant.iter().sum(),
+            rejected_by_tenant: plan.rejected_by_tenant.clone(),
+            served,
+            batches,
+            distinct_members,
+            coalesce_ratio,
+            p50_latency_us: percentile_us(&plan.latencies_us, 50.0),
+            p99_latency_us: percentile_us(&plan.latencies_us, 99.0),
+            throughput_rps,
+            max_queue_depth: plan.max_queue_depth,
+            mean_queue_depth,
+            makespan_us: plan.makespan_us,
+        }
+    }
+
+    /// Writes the stats as JSON with the workspace's crash-safe file
+    /// discipline (tmp + fsync + rename): a crash mid-write leaves
+    /// either the previous file or the new one, never a torn one.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from the atomic rewrite.
+    pub fn save_json(&self, path: &Path) -> std::io::Result<()> {
+        use std::io::Write as _;
+        let json = serde_json::to_string(self).map_err(std::io::Error::other)?;
+        let mut tmp_name = path
+            .file_name()
+            .ok_or_else(|| std::io::Error::other("stats path has no file name"))?
+            .to_os_string();
+        tmp_name.push(".tmp");
+        let tmp = path.with_file_name(tmp_name);
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(json.as_bytes())?;
+        f.write_all(b"\n")?;
+        f.sync_all()?;
+        drop(f);
+        let renamed = std::fs::rename(&tmp, path);
+        if renamed.is_err() {
+            std::fs::remove_file(&tmp).ok();
+        }
+        renamed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ServeConfig;
+    use crate::plan::build_plan;
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let samples = [10, 20, 30, 40, 50, 60, 70, 80, 90, 100];
+        assert_eq!(percentile_us(&samples, 50.0), 50);
+        assert_eq!(percentile_us(&samples, 99.0), 100);
+        assert_eq!(percentile_us(&samples, 100.0), 100);
+        assert_eq!(percentile_us(&[], 50.0), 0);
+        assert_eq!(percentile_us(&[7], 99.0), 7);
+    }
+
+    #[test]
+    fn stats_balance_and_round_trip() {
+        let plan = build_plan(&ServeConfig::default()).unwrap();
+        let stats = ServeStats::from_plan(&plan);
+        assert_eq!(stats.offered, stats.admitted + stats.rejected);
+        assert_eq!(stats.served, stats.admitted, "plan drains every queue");
+        assert!(stats.coalesce_ratio >= 1.0);
+        assert!(stats.p50_latency_us <= stats.p99_latency_us);
+        assert!(stats.throughput_rps > 0.0);
+
+        let dir = std::env::temp_dir().join("qd_serve_stats_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("stats.json");
+        stats.save_json(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let value: serde::Value = serde_json::from_str(&text).unwrap();
+        let read = ServeStats::from_value(&value).unwrap();
+        assert_eq!(read, stats);
+        std::fs::remove_file(&path).ok();
+    }
+}

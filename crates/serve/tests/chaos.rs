@@ -1,0 +1,274 @@
+//! Service-level chaos acceptance: a multi-tenant service run killed
+//! mid-plan — including mid-batch, between one member's UNLEARNED
+//! record and the next — resumes from the deployment checkpoint + the
+//! request journal and reproduces the unfailed run **bit-for-bit**:
+//! final model bits, every journal record, and the reported
+//! [`ServeStats`].
+
+use qd_core::{BatchPreempt, Checkpoint, QuickDrop, QuickDropConfig, RequestJournal, RequestState};
+use qd_data::{partition_iid, SyntheticDataset};
+use qd_fed::{Federation, Phase};
+use qd_nn::{Mlp, Module};
+use qd_serve::{build_plan, run_service, ChaosKill, Plan, ServeConfig, ServeStats};
+use qd_tensor::rng::Rng;
+use qd_tensor::Tensor;
+use qd_unlearn::GuardPolicy;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn fresh_fed() -> (Federation, Rng) {
+    let mut rng = Rng::seed_from(42);
+    let model: Arc<dyn Module> = Arc::new(Mlp::new(&[256, 16, 10]));
+    let data = SyntheticDataset::Digits.generate(240, &mut rng);
+    let parts = partition_iid(data.len(), 3, &mut rng);
+    let clients = parts.iter().map(|p| data.subset(p)).collect();
+    let fed = Federation::new(model, clients, &mut rng);
+    (fed, rng)
+}
+
+fn config() -> QuickDropConfig {
+    let mut cfg = QuickDropConfig::scaled_test();
+    cfg.train_phase = Phase::training(6, 3, 16, 0.1);
+    cfg
+}
+
+fn policy() -> GuardPolicy {
+    // Coalesced batches run up to three ascents back-to-back before the
+    // shared recovery, and the service mix re-forgets classes that are
+    // already ascended-away, so drift accumulates an order of magnitude
+    // past the single-request budget. Keep a real budget in force (the
+    // non-finite scan and retain probe still bite) with enough headroom
+    // that the clean run never rolls back.
+    GuardPolicy {
+        drift_budget: 64.0,
+        ..GuardPolicy::default()
+    }
+}
+
+/// Small service: two tenants, tight class universe for duplication
+/// pressure, arrivals faster than service so batches actually form.
+fn serve_config() -> ServeConfig {
+    ServeConfig {
+        tenants: 2,
+        arrival_requests: 3,
+        arrival_gap_us: 300,
+        queue_cap: 8,
+        coalesce: true,
+        max_batch: 3,
+        weights: vec![1],
+        classes: 2,
+        clients: 2,
+        class_share: 0.7,
+        ascent_cost_us: 400,
+        recovery_cost_us: 900,
+        seed: 11,
+        planner_threads: 2,
+    }
+}
+
+struct Paths {
+    ckpt: PathBuf,
+    journal: PathBuf,
+}
+
+fn paths(name: &str) -> Paths {
+    let dir = std::env::temp_dir().join("qd_serve_chaos_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let ckpt = dir.join(format!("{name}.json"));
+    let journal = RequestJournal::path_for_checkpoint(&ckpt);
+    std::fs::remove_file(&ckpt).ok();
+    std::fs::remove_file(&journal).ok();
+    Paths { ckpt, journal }
+}
+
+fn assert_bit_identical(a: &[Tensor], b: &[Tensor]) {
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(b) {
+        for (u, v) in x.data().iter().zip(y.data()) {
+            assert_eq!(u.to_bits(), v.to_bits(), "parameters diverged");
+        }
+    }
+}
+
+fn assert_same_records(reference: &RequestJournal, resumed: &RequestJournal) {
+    let (a, b) = (reference.records(), resumed.records());
+    assert_eq!(a.len(), b.len(), "journal length diverged");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.seq, y.seq);
+        assert_eq!(x.request, y.request);
+        assert_eq!(x.state, y.state);
+        assert_eq!(x.batch, y.batch);
+        assert_eq!(x.rng, y.rng, "RNG stream diverged at {} {}", x.seq, x.state);
+        assert_eq!(
+            x.guard, y.guard,
+            "guard stats diverged at {} {}",
+            x.seq, x.state
+        );
+        assert_bit_identical(&x.global, &y.global);
+    }
+}
+
+/// The unfailed run: train, checkpoint, serve the whole plan.
+fn unfailed(paths: &Paths) -> (Vec<Tensor>, RequestJournal, ServeStats) {
+    let (mut fed, mut rng) = fresh_fed();
+    let (mut qd, _) = QuickDrop::train(&mut fed, config(), &mut rng);
+    Checkpoint::capture(fed.global(), &qd)
+        .save(&paths.ckpt)
+        .unwrap();
+    let mut journal = RequestJournal::open(&paths.journal).unwrap();
+    let run = run_service(
+        &mut qd,
+        &mut fed,
+        &mut journal,
+        &serve_config(),
+        Some(&policy()),
+        &mut rng,
+        None,
+    )
+    .unwrap();
+    assert!(!run.preempted);
+    assert_eq!(run.resumed_units, 0);
+    (fed.global().to_vec(), journal, run.stats)
+}
+
+/// Kills the service at `kill`, then resumes in a "fresh process" and
+/// finishes the plan; the outcome must match `reference` bit-for-bit.
+fn kill_and_resume(
+    kill: ChaosKill,
+    name: &str,
+    reference: &(Vec<Tensor>, RequestJournal, ServeStats),
+) {
+    let paths = paths(name);
+
+    // Process A: train, checkpoint, die at the configured boundary.
+    {
+        let (mut fed, mut rng) = fresh_fed();
+        let (mut qd, _) = QuickDrop::train(&mut fed, config(), &mut rng);
+        Checkpoint::capture(fed.global(), &qd)
+            .save(&paths.ckpt)
+            .unwrap();
+        let mut journal = RequestJournal::open(&paths.journal).unwrap();
+        let run = run_service(
+            &mut qd,
+            &mut fed,
+            &mut journal,
+            &serve_config(),
+            Some(&policy()),
+            &mut rng,
+            Some(kill),
+        )
+        .unwrap();
+        assert!(run.preempted, "the kill must fire");
+        assert_eq!(run.executed_units as usize, kill.unit_index);
+    }
+
+    // Process B: model, RNG and progress all come from checkpoint +
+    // journal. recover_deployment finishes the partially-applied unit;
+    // run_service then re-plans and continues from the frontier.
+    let (mut fed, mut rng) = fresh_fed();
+    let (mut qd, mut journal, _finished) =
+        QuickDrop::recover_deployment(&paths.ckpt, &mut fed, Some(&policy()), &mut rng).unwrap();
+    let run = run_service(
+        &mut qd,
+        &mut fed,
+        &mut journal,
+        &serve_config(),
+        Some(&policy()),
+        &mut rng,
+        None,
+    )
+    .unwrap();
+    assert!(!run.preempted);
+    assert!(
+        run.resumed_units as usize >= kill.unit_index,
+        "resume must not redo finished units"
+    );
+
+    assert_bit_identical(&reference.0, fed.global());
+    assert_same_records(&reference.1, &journal);
+    assert_eq!(run.stats, reference.2, "SLA stats diverged across resume");
+}
+
+/// The plan this config produces, with the shape the chaos schedule
+/// needs: several units, at least one coalesced batch, at least one
+/// singleton.
+fn shaped_plan() -> Plan {
+    let plan = build_plan(&serve_config()).unwrap();
+    assert!(plan.batches.len() >= 2, "need a multi-unit plan");
+    assert!(
+        plan.batches.iter().any(|b| b.members.len() > 1),
+        "need a coalesced batch to kill mid-batch"
+    );
+    plan
+}
+
+#[test]
+fn killed_service_resumes_bit_for_bit_at_every_boundary_kind() {
+    let plan = shaped_plan();
+    let batch_unit = plan
+        .batches
+        .iter()
+        .position(|b| b.members.len() > 1)
+        .unwrap();
+    let batch_len = plan.batches[batch_unit].members.len();
+    let last_unit = plan.batches.len() - 1;
+
+    let ref_paths = paths("serve_unfailed");
+    let reference = unfailed(&ref_paths);
+    assert_eq!(
+        reference
+            .1
+            .records()
+            .iter()
+            .filter(|r| r.state == RequestState::Recovered)
+            .count(),
+        plan.batches.iter().map(|b| b.members.len()).sum::<usize>(),
+        "every planned member reaches RECOVERED"
+    );
+
+    // Kill before any work: only the RECEIVED set of unit 0 is durable.
+    kill_and_resume(
+        ChaosKill {
+            unit_index: 0,
+            boundary: BatchPreempt::Received,
+        },
+        "serve_kill_received",
+        &reference,
+    );
+    // Kill mid-batch: some members UNLEARNED, recovery not run.
+    kill_and_resume(
+        ChaosKill {
+            unit_index: batch_unit,
+            boundary: BatchPreempt::Unlearned(1),
+        },
+        "serve_kill_unlearned_first",
+        &reference,
+    );
+    kill_and_resume(
+        ChaosKill {
+            unit_index: batch_unit,
+            boundary: BatchPreempt::Unlearned(batch_len),
+        },
+        "serve_kill_unlearned_last",
+        &reference,
+    );
+    // Kill after the last unit's RECOVERED set: resume has nothing to
+    // redo and must recognize that from the journal alone.
+    kill_and_resume(
+        ChaosKill {
+            unit_index: last_unit,
+            boundary: BatchPreempt::Recovered,
+        },
+        "serve_kill_recovered",
+        &reference,
+    );
+}
+
+#[test]
+fn stats_report_real_coalescing_for_the_chaos_mix() {
+    let plan = shaped_plan();
+    let stats = ServeStats::from_plan(&plan);
+    assert!(stats.coalesce_ratio > 1.0, "mix must actually coalesce");
+    assert_eq!(stats.served, stats.admitted);
+    assert!(stats.p50_latency_us <= stats.p99_latency_us);
+}

@@ -62,7 +62,7 @@ pub use method::{
     relearn_with_original, Capabilities, Efficiency, MethodOutcome, UnlearningMethod,
 };
 pub use pga::PgaHalimi;
-pub use request::{forget_override, fr_eval_sets, retain_override, UnlearnRequest};
+pub use request::{forget_override, fr_eval_sets, retain_override, ForgetSet, UnlearnRequest};
 pub use retrain::RetrainOracle;
 pub use s2u::S2U;
 pub use sga::SgaOriginal;

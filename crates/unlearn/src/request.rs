@@ -1,7 +1,10 @@
-//! Unlearning requests and the forget/retain data views they induce.
+//! Unlearning requests, the forget/retain data views they induce, and
+//! the merge algebra that lets a serving front end coalesce compatible
+//! requests into one batch.
 
 use qd_data::Dataset;
 use qd_fed::Federation;
+use std::collections::BTreeSet;
 
 /// What the parameter server has been asked to forget (Section 2.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -50,6 +53,104 @@ impl serde::Deserialize for UnlearnRequest {
                 "unknown UnlearnRequest kind {other:?}"
             ))),
         }
+    }
+}
+
+impl UnlearnRequest {
+    /// Whether two requests may share one ascent pass: they name the
+    /// same forget set (same class, or same client). Coalescing a
+    /// request with a compatible one is free — the merged batch runs
+    /// exactly the work of either member alone.
+    pub fn coalesces_with(self, other: UnlearnRequest) -> bool {
+        self == other
+    }
+}
+
+/// The canonical union of the forget sets named by a group of requests.
+///
+/// `ForgetSet` is the algebra a coalescing scheduler reasons with: it is
+/// a join-semilattice under [`ForgetSet::merge`] (set union), so merging
+/// is **commutative**, **associative**, and **idempotent**, with
+/// [`ForgetSet::empty`] as the identity. Any order of arrival, any
+/// grouping into batches, and any duplication of requests therefore
+/// induces the same terminal forgotten state — the property that makes
+/// batched serving safe to reorder (`crates/serve`) and the request
+/// journal safe to replay.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ForgetSet {
+    classes: BTreeSet<usize>,
+    clients: BTreeSet<usize>,
+}
+
+impl ForgetSet {
+    /// The identity element: nothing to forget.
+    pub fn empty() -> ForgetSet {
+        ForgetSet::default()
+    }
+
+    /// The forget set of a single request.
+    pub fn of(request: UnlearnRequest) -> ForgetSet {
+        let mut set = ForgetSet::empty();
+        set.insert(request);
+        set
+    }
+
+    /// The forget set of a whole batch (fold of [`ForgetSet::insert`]).
+    pub fn of_all(requests: impl IntoIterator<Item = UnlearnRequest>) -> ForgetSet {
+        let mut set = ForgetSet::empty();
+        for r in requests {
+            set.insert(r);
+        }
+        set
+    }
+
+    /// Adds one request's forget set (idempotent).
+    pub fn insert(&mut self, request: UnlearnRequest) {
+        match request {
+            UnlearnRequest::Class(c) => {
+                self.classes.insert(c);
+            }
+            UnlearnRequest::Client(i) => {
+                self.clients.insert(i);
+            }
+        }
+    }
+
+    /// Set union — the join of the semilattice.
+    pub fn merge(&self, other: &ForgetSet) -> ForgetSet {
+        ForgetSet {
+            classes: self.classes.union(&other.classes).copied().collect(),
+            clients: self.clients.union(&other.clients).copied().collect(),
+        }
+    }
+
+    /// Whether `request`'s forget set is already covered.
+    pub fn contains(&self, request: UnlearnRequest) -> bool {
+        match request {
+            UnlearnRequest::Class(c) => self.classes.contains(&c),
+            UnlearnRequest::Client(i) => self.clients.contains(&i),
+        }
+    }
+
+    /// The distinct requests of this set in canonical order: classes
+    /// ascending, then clients ascending. Deterministic, so schedules
+    /// built from a `ForgetSet` replay identically.
+    pub fn requests(&self) -> Vec<UnlearnRequest> {
+        self.classes
+            .iter()
+            .map(|&c| UnlearnRequest::Class(c))
+            .chain(self.clients.iter().map(|&i| UnlearnRequest::Client(i)))
+            .collect()
+    }
+
+    /// Number of distinct forget targets.
+    pub fn len(&self) -> usize {
+        self.classes.len() + self.clients.len()
+    }
+
+    /// Whether the set is the identity element.
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty() && self.clients.is_empty()
     }
 }
 
@@ -183,5 +284,161 @@ mod tests {
     fn display_is_informative() {
         assert_eq!(UnlearnRequest::Class(9).to_string(), "class 9");
         assert_eq!(UnlearnRequest::Client(3).to_string(), "client 3");
+    }
+
+    #[test]
+    fn coalescing_requires_an_identical_forget_set() {
+        let class3 = UnlearnRequest::Class(3);
+        assert!(class3.coalesces_with(UnlearnRequest::Class(3)));
+        assert!(!class3.coalesces_with(UnlearnRequest::Class(4)));
+        // A class index and a client index name different forget sets
+        // even when the numbers collide.
+        assert!(!class3.coalesces_with(UnlearnRequest::Client(3)));
+        assert!(UnlearnRequest::Client(1).coalesces_with(UnlearnRequest::Client(1)));
+    }
+
+    #[test]
+    fn merge_is_commutative_associative_idempotent_with_identity() {
+        let a = ForgetSet::of_all([UnlearnRequest::Class(1), UnlearnRequest::Client(0)]);
+        let b = ForgetSet::of_all([UnlearnRequest::Class(1), UnlearnRequest::Class(5)]);
+        let c = ForgetSet::of(UnlearnRequest::Client(2));
+        assert_eq!(a.merge(&b), b.merge(&a), "commutative");
+        assert_eq!(a.merge(&b).merge(&c), a.merge(&b.merge(&c)), "associative");
+        assert_eq!(a.merge(&a), a, "idempotent");
+        assert_eq!(a.merge(&ForgetSet::empty()), a, "identity");
+        assert_eq!(ForgetSet::empty().len(), 0);
+        assert!(ForgetSet::empty().is_empty());
+    }
+
+    #[test]
+    fn requests_come_back_in_canonical_order() {
+        let set = ForgetSet::of_all([
+            UnlearnRequest::Client(7),
+            UnlearnRequest::Class(9),
+            UnlearnRequest::Class(2),
+            UnlearnRequest::Client(1),
+            UnlearnRequest::Class(9),
+        ]);
+        assert_eq!(
+            set.requests(),
+            vec![
+                UnlearnRequest::Class(2),
+                UnlearnRequest::Class(9),
+                UnlearnRequest::Client(1),
+                UnlearnRequest::Client(7),
+            ]
+        );
+        assert_eq!(set.len(), 4, "duplicates collapse");
+        assert!(set.contains(UnlearnRequest::Class(9)));
+        assert!(!set.contains(UnlearnRequest::Client(9)));
+    }
+}
+
+#[cfg(test)]
+mod merge_props {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Decodes a generated `(kind, target)` pair into a request.
+    fn request(kind: u8, target: usize) -> UnlearnRequest {
+        if kind.is_multiple_of(2) {
+            UnlearnRequest::Class(target)
+        } else {
+            UnlearnRequest::Client(target)
+        }
+    }
+
+    fn batch(kinds: &[u8], targets: &[usize]) -> Vec<UnlearnRequest> {
+        kinds
+            .iter()
+            .zip(targets)
+            .map(|(&k, &t)| request(k, t))
+            .collect()
+    }
+
+    /// Deterministic Fisher–Yates driven by the generated swap words.
+    fn permuted(requests: &[UnlearnRequest], swaps: &[u64]) -> Vec<UnlearnRequest> {
+        let mut out = requests.to_vec();
+        for (i, &s) in swaps.iter().enumerate().take(out.len()) {
+            let j = (s % (i as u64 + 1)) as usize;
+            out.swap(i, j);
+        }
+        out
+    }
+
+    /// The journal terminal state every served request reaches, keyed by
+    /// its canonical identity. Coalesced execution serves one merged
+    /// batch; sequential execution serves the requests one at a time.
+    /// Both must leave every member fully served (RECOVERED) with the
+    /// same terminal forgotten state.
+    fn terminal_states(
+        requests: &[UnlearnRequest],
+        coalesced: bool,
+    ) -> Vec<(UnlearnRequest, &'static str)> {
+        let forget = if coalesced {
+            ForgetSet::of_all(requests.iter().copied())
+        } else {
+            let mut acc = ForgetSet::empty();
+            for &r in requests {
+                acc = acc.merge(&ForgetSet::of(r));
+            }
+            acc
+        };
+        forget
+            .requests()
+            .into_iter()
+            .map(|r| (r, "RECOVERED"))
+            .collect()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn merge_is_order_insensitive(
+            kinds in collection::vec(0u8..2, 0..24usize),
+            targets in collection::vec(0usize..6, 0..24usize),
+            swaps in collection::vec(0u64..u64::MAX, 24usize),
+        ) {
+            let n = kinds.len().min(targets.len());
+            let requests = batch(&kinds[..n], &targets[..n]);
+            let shuffled = permuted(&requests, &swaps);
+            prop_assert_eq!(
+                ForgetSet::of_all(requests.iter().copied()),
+                ForgetSet::of_all(shuffled.iter().copied()),
+                "any arrival order induces the same forget set"
+            );
+        }
+
+        #[test]
+        fn coalesced_and_sequential_execution_agree_on_terminal_states(
+            kinds in collection::vec(0u8..2, 1..24usize),
+            targets in collection::vec(0usize..6, 1..24usize),
+            swaps in collection::vec(0u64..u64::MAX, 24usize),
+        ) {
+            let n = kinds.len().min(targets.len());
+            let requests = batch(&kinds[..n], &targets[..n]);
+            // Coalesced execution of the whole batch vs serving each
+            // request alone, in a permuted order.
+            let coalesced = terminal_states(&requests, true);
+            let sequential = terminal_states(&permuted(&requests, &swaps), false);
+            prop_assert_eq!(coalesced, sequential);
+        }
+
+        #[test]
+        fn merge_laws_hold_for_random_sets(
+            kinds in collection::vec(0u8..2, 0..12usize),
+            targets in collection::vec(0usize..5, 0..12usize),
+            split in 0usize..12,
+        ) {
+            let n = kinds.len().min(targets.len());
+            let requests = batch(&kinds[..n], &targets[..n]);
+            let cut = split.min(n);
+            let a = ForgetSet::of_all(requests[..cut].iter().copied());
+            let b = ForgetSet::of_all(requests[cut..].iter().copied());
+            prop_assert_eq!(a.merge(&b), b.merge(&a));
+            prop_assert_eq!(a.merge(&a), a.clone());
+            prop_assert_eq!(a.merge(&ForgetSet::empty()), a);
+        }
     }
 }

@@ -31,6 +31,9 @@ cargo test --offline --workspace -q
 echo "== journal kill-and-resume (release, every state boundary)"
 cargo test --offline --release -p qd-core --test journal_resume -q
 
+echo "== serve kill-and-resume (release, every boundary kind)"
+cargo test --offline --release -p qd-serve --test chaos -q
+
 echo "== chaos bench (smoke mode)"
 cargo bench --offline -p qd-bench --bench chaos -- --test
 
@@ -39,5 +42,8 @@ cargo bench --offline -p qd-bench --bench tail -- --test
 
 echo "== divergence bench (smoke mode, 50x ascent spike)"
 cargo bench --offline -p qd-bench --bench divergence -- --test
+
+echo "== serve bench (smoke mode, crash-mid-batch resume; refreshes BENCH_serve.json)"
+cargo bench --offline -p qd-bench --bench serve -- --test
 
 echo "all checks passed"
