@@ -28,7 +28,13 @@ impl fmt::Display for CliError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CliError::Parse(e) => write!(f, "{e}"),
-            CliError::Io(e) => write!(f, "{e}"),
+            // Storage failures carry the operation and path they failed
+            // on (plus what to do about disk-full / fsync failures);
+            // print that instead of the bare OS error chain.
+            CliError::Io(e) => match qd_core::storage_cause(e) {
+                Some(storage) => write!(f, "storage: {}", storage.actionable()),
+                None => write!(f, "{e}"),
+            },
             CliError::Usage(m) => f.write_str(m),
         }
     }
@@ -1093,6 +1099,47 @@ mod tests {
         }
         std::fs::remove_file(&uninterrupted).ok();
         std::fs::remove_file(&interrupted).ok();
+    }
+
+    #[test]
+    fn storage_failures_render_actionable_messages() {
+        use qd_core::{Fault, FaultFs, Vfs as _};
+        use std::path::Path;
+
+        // Disk-full during a journal append surfaces the operation, the
+        // segment path, and what to do — end to end through the
+        // io::Error conversions the command paths use.
+        let fs = std::sync::Arc::new(FaultFs::new());
+        fs.set_capacity(8); // room for the 5-byte marker, not a record
+        let mut journal = RequestJournal::open_on(fs.clone(), "svc.journal").unwrap();
+        let record = qd_core::JournalRecord {
+            seq: 0,
+            request: UnlearnRequest::Class(1),
+            state: qd_core::RequestState::Received,
+            rng: Rng::seed_from(1).state(),
+            global: Vec::new(),
+            guard: None,
+            batch: None,
+        };
+        let err = CliError::Io(journal.append(record).unwrap_err());
+        let msg = err.to_string();
+        assert!(msg.contains("svc.journal.seg-000000"), "{msg}");
+        assert!(msg.contains("appending to"), "{msg}");
+        assert!(msg.contains("free space"), "{msg}");
+
+        // A failed fsync names the file and warns about durability.
+        let fs = FaultFs::new();
+        fs.write(Path::new("deployment.json"), b"x").unwrap();
+        fs.schedule_fault(1, Fault::FsyncFail);
+        let storage = fs.fsync(Path::new("deployment.json")).unwrap_err();
+        let msg = CliError::Io(storage.into()).to_string();
+        assert!(msg.contains("fsyncing"), "{msg}");
+        assert!(msg.contains("deployment.json"), "{msg}");
+        assert!(msg.contains("may not be durable"), "{msg}");
+
+        // Plain I/O errors keep their ordinary rendering.
+        let plain = CliError::Io(std::io::Error::new(std::io::ErrorKind::NotFound, "plain"));
+        assert_eq!(plain.to_string(), "plain");
     }
 
     #[test]

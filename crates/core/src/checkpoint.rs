@@ -12,6 +12,7 @@
 //! checkpoint here reflects this crate's role as a *simulator* of the
 //! whole federation.
 
+use crate::vfs::{self, StdFs, Vfs};
 use crate::{QuickDrop, QuickDropConfig};
 use qd_data::Dataset;
 use qd_distill::SyntheticSet;
@@ -20,8 +21,7 @@ use qd_tensor::Tensor;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::fmt;
-use std::io::{Read as _, Write as _};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// Why a checkpoint operation failed — the typed error for every
 /// fallible [`Checkpoint`] method. Serving loops match on the variant;
@@ -84,6 +84,10 @@ impl From<CheckpointError> for std::io::Error {
             other => std::io::Error::new(std::io::ErrorKind::InvalidData, other.to_string()),
         }
     }
+}
+
+fn into_io(e: vfs::StorageError) -> CheckpointError {
+    CheckpointError::Io(e.into())
 }
 
 /// A serializable snapshot of a trained QuickDrop deployment.
@@ -218,11 +222,26 @@ impl Checkpoint {
         Ok((self.global, qd))
     }
 
+    /// The sibling path the previous checkpoint generation is rotated
+    /// to on save: `<name>.prev`.
+    pub fn prev_path(path: &Path) -> PathBuf {
+        let mut name = path.file_name().map_or_else(
+            || std::ffi::OsString::from("checkpoint"),
+            |n| n.to_os_string(),
+        );
+        name.push(".prev");
+        path.with_file_name(name)
+    }
+
     /// Serializes to JSON at `path`, atomically.
     ///
     /// The bytes are written to a sibling `<name>.tmp` file, synced, and
     /// renamed over `path`, so a crash mid-save leaves either the old
-    /// checkpoint or the new one — never a torn file.
+    /// checkpoint or the new one — never a torn file. An existing
+    /// checkpoint at `path` is first rotated to `<name>.prev` (see
+    /// [`Checkpoint::prev_path`]), keeping one known-good generation
+    /// for [`Checkpoint::load_with_fallback_on`] to fall back to if the
+    /// primary is later corrupted in place.
     ///
     /// # Errors
     ///
@@ -230,23 +249,29 @@ impl Checkpoint {
     /// it (as [`CheckpointError::Io`]); serialization itself is
     /// infallible for this type.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
-        let path = path.as_ref();
+        self.save_on(&StdFs, path.as_ref())
+    }
+
+    /// [`Checkpoint::save`] on an explicit [`Vfs`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Checkpoint::save`].
+    pub fn save_on(&self, fs: &dyn Vfs, path: &Path) -> Result<(), CheckpointError> {
         let json = serde_json::to_string(self).map_err(std::io::Error::other)?;
-        let mut tmp_name = path
-            .file_name()
-            .ok_or_else(|| std::io::Error::other("checkpoint path has no file name"))?
-            .to_os_string();
-        tmp_name.push(".tmp");
-        let tmp = path.with_file_name(tmp_name);
-        let mut f = std::fs::File::create(&tmp)?;
-        f.write_all(json.as_bytes())?;
-        f.sync_all()?;
-        drop(f);
-        let renamed = std::fs::rename(&tmp, path);
-        if renamed.is_err() {
-            std::fs::remove_file(&tmp).ok();
+        let tmp = vfs::sibling(path, ".tmp");
+        fs.write(&tmp, json.as_bytes()).map_err(into_io)?;
+        fs.fsync(&tmp).map_err(into_io)?;
+        // Rotate the previous generation aside rather than renaming
+        // over it: bit rot in the primary then still has a fallback.
+        if fs.exists(path).map_err(into_io)? {
+            fs.rename(path, &Self::prev_path(path)).map_err(into_io)?;
         }
-        Ok(renamed?)
+        if let Err(e) = fs.rename(&tmp, path) {
+            fs.remove(&tmp).ok();
+            return Err(into_io(e));
+        }
+        Ok(())
     }
 
     /// Loads a checkpoint from `path`.
@@ -259,9 +284,59 @@ impl Checkpoint {
     /// newer), or fail to decode as a checkpoint — plus
     /// [`CheckpointError::Io`] for any error reading the file itself.
     pub fn load(path: impl AsRef<Path>) -> Result<Self, CheckpointError> {
-        let path = path.as_ref();
-        let mut json = String::new();
-        std::fs::File::open(path)?.read_to_string(&mut json)?;
+        Self::load_on(&StdFs, path.as_ref())
+    }
+
+    /// [`Checkpoint::load`] on an explicit [`Vfs`]. Stale `<name>*.tmp`
+    /// droppings from a save that crashed between create and rename are
+    /// swept on the way in.
+    ///
+    /// # Errors
+    ///
+    /// As [`Checkpoint::load`].
+    pub fn load_on(fs: &dyn Vfs, path: &Path) -> Result<Self, CheckpointError> {
+        vfs::sweep_stale_tmps(fs, path);
+        let bytes = fs.read(path).map_err(into_io)?;
+        let invalid = |detail: String| CheckpointError::Format {
+            path: path.to_path_buf(),
+            detail,
+        };
+        let json = String::from_utf8(bytes)
+            .map_err(|e| invalid(format!("checkpoint is not UTF-8: {e}")))?;
+        Self::parse(path, &json)
+    }
+
+    /// Loads the checkpoint at `path`, falling back to the `.prev`
+    /// generation when the primary is unreadable (missing, torn, or
+    /// corrupted in place). On fallback the primary's error is returned
+    /// alongside the recovered checkpoint so callers can report what
+    /// was lost — the previous generation predates the primary, but the
+    /// journal replay of [`QuickDrop::recover_deployment_on`] rolls it
+    /// forward again.
+    ///
+    /// [`QuickDrop::recover_deployment_on`]: crate::QuickDrop::recover_deployment_on
+    ///
+    /// # Errors
+    ///
+    /// The primary's [`CheckpointError`] when no `.prev` generation
+    /// exists or it is unreadable too.
+    pub fn load_with_fallback_on(
+        fs: &dyn Vfs,
+        path: &Path,
+    ) -> Result<(Self, Option<CheckpointError>), CheckpointError> {
+        let primary_err = match Self::load_on(fs, path) {
+            Ok(ckpt) => return Ok((ckpt, None)),
+            Err(e) => e,
+        };
+        match Self::load_on(fs, &Self::prev_path(path)) {
+            Ok(ckpt) => Ok((ckpt, Some(primary_err))),
+            // The fallback's own error is strictly less interesting
+            // than the primary's; report the latter.
+            Err(_) => Err(primary_err),
+        }
+    }
+
+    fn parse(path: &Path, json: &str) -> Result<Self, CheckpointError> {
         let invalid = |detail: String| CheckpointError::Format {
             path: path.to_path_buf(),
             detail,
@@ -270,7 +345,7 @@ impl Checkpoint {
         // the payload, so a version mismatch is reported as such rather
         // than as whatever field happens to be missing from the old or
         // future layout.
-        let value: serde::Value = serde_json::from_str(&json)
+        let value: serde::Value = serde_json::from_str(json)
             .map_err(|e| invalid(format!("corrupt or truncated JSON: {e}")))?;
         let version = value
             .get("version")

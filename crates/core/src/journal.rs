@@ -17,12 +17,17 @@
 //! uninterrupted run bit-for-bit — the same guarantee the round
 //! checkpointing of PR 2 gives mid-training.
 //!
-//! Each append atomically rewrites the whole journal file (tmp + fsync +
-//! rename, the [`Checkpoint::save`] discipline). At QuickDrop's synthetic
-//! scales a journal is a few records of a small model, so the rewrite
-//! costs less than one ascent round; in exchange a crash at any byte
-//! leaves either the previous journal or the new one, never a torn file.
+//! Since version 3 the journal is stored as checksummed, length-framed
+//! commits in append-only segment files next to a small marker file
+//! (see [`JOURNAL_VERSION`]), all driven through the [`crate::vfs::Vfs`]
+//! syscall layer. An append costs one `append` + one `fsync` regardless
+//! of journal length (versions 1–2 rewrote the whole file every time);
+//! a crash mid-append tears at most the final commit, which the next
+//! open repairs by truncating to the last valid record; and in-place
+//! corruption is caught by a CRC32 per commit and surfaced as a typed
+//! [`JournalError::CorruptRecord`] instead of a JSON parse failure.
 
+use crate::vfs::{self, StdFs, StorageError, Vfs};
 use crate::{Checkpoint, QuickDrop};
 use qd_fed::{Federation, PhaseStats};
 use qd_nn::relative_drift;
@@ -33,16 +38,49 @@ use qd_unlearn::{
     UnlearnError, UnlearnRequest,
 };
 use serde::{Deserialize, Serialize};
-use std::io::Read as _;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
-/// Current journal format version. Version 2 added the optional `batch`
-/// field linking the records of one coalesced batch; version-1 journals
-/// (no batches) still load, and their records read back `batch: None`.
-pub const JOURNAL_VERSION: u32 = 2;
+/// Current journal format version.
+///
+/// Version 3 abandons the single JSON document of versions 1–2 for
+/// checksummed, length-framed commits in append-only segment files: the
+/// journal path itself holds only the [`JOURNAL_MAGIC`] marker bytes,
+/// and the records live in sibling `<name>.seg-NNNNNN` files (see
+/// [`segment_path`]). Each commit frame is
+///
+/// ```text
+/// len: u32le | crc32(body): u32le | body
+/// body = count: u32le, then per record: rec_len: u32le | rec_json
+/// ```
+///
+/// so an append is one framed write + one fsync instead of a whole-file
+/// rewrite, and every commit is independently verifiable. Version-1 and
+/// version-2 journals still load; they are migrated to version 3 on
+/// open (the marker atomically replacing the legacy JSON is the
+/// migration's commit point).
+pub const JOURNAL_VERSION: u32 = 3;
 
 /// Oldest journal format version this build still reads.
 pub const JOURNAL_MIN_VERSION: u32 = 1;
+
+/// Contents of a version-3 journal marker file.
+pub const JOURNAL_MAGIC: &[u8; 5] = b"QDJ3\n";
+
+/// Appends rotate to a fresh segment file once the tail segment reaches
+/// this many bytes, bounding the cost of a torn-tail repair (which
+/// rewrites one segment) and of any future segment-level retention.
+const SEGMENT_ROTATE_BYTES: usize = 256 * 1024;
+
+/// The path of segment `index` of the version-3 journal at `journal`:
+/// `<name>.seg-NNNNNN` next to the marker file.
+pub fn segment_path(journal: &Path, index: u32) -> PathBuf {
+    let mut name = journal
+        .file_name()
+        .map_or_else(|| std::ffi::OsString::from("journal"), |n| n.to_os_string());
+    name.push(format!(".seg-{index:06}"));
+    journal.with_file_name(name)
+}
 
 /// Where a journaled request stands. States are strictly ordered; a
 /// request only ever moves forward (relearning appends a new terminal
@@ -166,6 +204,32 @@ pub enum JournalError {
         /// The unrecognized state tag, verbatim.
         tag: String,
     },
+    /// A committed record failed its CRC or framing check somewhere
+    /// other than the journal's tail: the file was corrupted in place
+    /// (bit rot, a partial overwrite) rather than torn by a crash.
+    /// Truncating past it would drop later, valid records, so the open
+    /// refuses and leaves the file for the operator.
+    CorruptRecord {
+        /// The offending segment file.
+        path: PathBuf,
+        /// Byte offset of the corrupt frame within it.
+        offset: usize,
+        /// What failed to verify.
+        detail: String,
+    },
+    /// The journal's final commit is incomplete — the torn tail a crash
+    /// mid-append leaves behind. [`RequestJournal::open`] repairs this
+    /// automatically by truncating to the last valid commit;
+    /// [`RequestJournal::open_strict_on`] surfaces it as this error
+    /// instead.
+    TornTail {
+        /// The offending segment file.
+        path: PathBuf,
+        /// End of the last valid commit (the repair truncation point).
+        offset: usize,
+        /// Torn bytes after it.
+        trailing: usize,
+    },
 }
 
 impl std::fmt::Display for JournalError {
@@ -179,6 +243,26 @@ impl std::fmt::Display for JournalError {
                 f,
                 "journal {}: record {seq} is in unknown state {tag:?}; \
                  written by a newer build this one cannot replay",
+                path.display()
+            ),
+            JournalError::CorruptRecord {
+                path,
+                offset,
+                detail,
+            } => write!(
+                f,
+                "journal {}: corrupt record at byte {offset}: {detail}",
+                path.display()
+            ),
+            JournalError::TornTail {
+                path,
+                offset,
+                trailing,
+            } => write!(
+                f,
+                "journal {}: torn tail — {trailing} byte(s) after the last \
+                 valid commit ending at byte {offset} (crash mid-append); \
+                 a non-strict open truncates them",
                 path.display()
             ),
         }
@@ -202,39 +286,395 @@ impl From<JournalError> for std::io::Error {
     }
 }
 
-/// The append-only request journal, bound to one file on disk.
+/// One torn-tail truncation performed while opening a journal in
+/// repair mode — the audit trail of what a crash cost (nothing that
+/// was ever acknowledged: only the un-fsynced suffix of the last
+/// commit is ever dropped).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TailRepair {
+    /// The segment file that was truncated.
+    pub segment: PathBuf,
+    /// Its length after the repair (end of the last valid commit).
+    pub valid_len: usize,
+    /// Torn bytes dropped from it.
+    pub dropped_bytes: usize,
+}
+
+/// What a segment scan found: the valid prefix and any torn suffix.
+#[derive(Debug)]
+struct SegmentScan {
+    valid_len: usize,
+    trailing: usize,
+}
+
+/// The append-only request journal, bound to one marker file (plus its
+/// segment files) on a [`Vfs`].
 #[derive(Debug)]
 pub struct RequestJournal {
     path: PathBuf,
+    vfs: Arc<dyn Vfs>,
     records: Vec<JournalRecord>,
+    /// Segment index new commits append to.
+    tail_seg: u32,
+    /// Bytes currently in the tail segment.
+    tail_len: usize,
+    /// Whether the version-3 marker file exists at `path` yet (written
+    /// before the first append so reopens recognize the format).
+    marker_written: bool,
+    /// Set when an append failed after possibly leaving a torn frame on
+    /// disk; every later append refuses until the journal is reopened
+    /// (which repairs the tail), so in-memory and durable state can
+    /// never silently diverge.
+    poisoned: Option<String>,
+    /// Torn-tail truncations performed by this open.
+    repairs: Vec<TailRepair>,
+}
+
+fn io_err(e: StorageError) -> JournalError {
+    JournalError::Io(e.into())
+}
+
+/// Encodes one atomic commit frame holding `records`.
+fn encode_commit(records: &[JournalRecord]) -> std::io::Result<Vec<u8>> {
+    let mut body = Vec::new();
+    body.extend_from_slice(
+        &u32::try_from(records.len())
+            .map_err(std::io::Error::other)?
+            .to_le_bytes(),
+    );
+    for record in records {
+        let json = serde_json::to_string(record).map_err(std::io::Error::other)?;
+        body.extend_from_slice(
+            &u32::try_from(json.len())
+                .map_err(std::io::Error::other)?
+                .to_le_bytes(),
+        );
+        body.extend_from_slice(json.as_bytes());
+    }
+    let mut frame = Vec::with_capacity(body.len() + 8);
+    frame.extend_from_slice(
+        &u32::try_from(body.len())
+            .map_err(std::io::Error::other)?
+            .to_le_bytes(),
+    );
+    frame.extend_from_slice(&vfs::crc32(&body).to_le_bytes());
+    frame.extend_from_slice(&body);
+    Ok(frame)
+}
+
+/// Reads the u32le at `bytes[at..at + 4]`, if present.
+fn read_u32(bytes: &[u8], at: usize) -> Option<u32> {
+    let chunk: [u8; 4] = bytes.get(at..at + 4)?.try_into().ok()?;
+    Some(u32::from_le_bytes(chunk))
 }
 
 impl RequestJournal {
-    /// Opens the journal at `path`, loading any existing records; a
-    /// missing file starts an empty journal (created on first append).
+    /// Opens the journal at `path` on the real filesystem, loading any
+    /// existing records; a missing file starts an empty journal
+    /// (created on first append). A torn tail — the leftovers of a
+    /// crash mid-append — is repaired by truncating to the last valid
+    /// commit (see [`RequestJournal::repairs`]); legacy version-1/2
+    /// JSON journals are migrated to the version-3 segment format.
     ///
     /// # Errors
     ///
     /// [`JournalError::Format`] naming the file when its contents are
     /// corrupt, versionless, or of a version this build does not read;
-    /// [`JournalError::UnknownState`] when a record carries a state tag
-    /// from a newer build's state machine (replaying it would silently
-    /// drop a durable transition); [`JournalError::Io`] for read errors.
+    /// [`JournalError::CorruptRecord`] when a committed frame fails its
+    /// CRC or framing check away from the tail (in-place corruption a
+    /// truncation cannot safely repair); [`JournalError::UnknownState`]
+    /// when a record carries a state tag from a newer build's state
+    /// machine (replaying it would silently drop a durable transition);
+    /// [`JournalError::Io`] for read errors.
     pub fn open(path: impl Into<PathBuf>) -> Result<Self, JournalError> {
-        let path = path.into();
-        if !path.exists() {
+        Self::open_on(Arc::new(StdFs), path)
+    }
+
+    /// [`RequestJournal::open`] on an explicit [`Vfs`] — the entry
+    /// point the fault-injection harnesses use.
+    ///
+    /// # Errors
+    ///
+    /// As [`RequestJournal::open`].
+    pub fn open_on(vfs: Arc<dyn Vfs>, path: impl Into<PathBuf>) -> Result<Self, JournalError> {
+        Self::open_inner(vfs, path.into(), true)
+    }
+
+    /// Opens without repairing: a torn tail is surfaced as
+    /// [`JournalError::TornTail`] instead of being truncated, for
+    /// callers that want to inspect crash damage before discarding it.
+    ///
+    /// # Errors
+    ///
+    /// As [`RequestJournal::open`], plus [`JournalError::TornTail`].
+    pub fn open_strict_on(
+        vfs: Arc<dyn Vfs>,
+        path: impl Into<PathBuf>,
+    ) -> Result<Self, JournalError> {
+        Self::open_inner(vfs, path.into(), false)
+    }
+
+    fn open_inner(vfs: Arc<dyn Vfs>, path: PathBuf, repair: bool) -> Result<Self, JournalError> {
+        // A crash between create and rename leaves `<name>*.tmp`
+        // droppings; clear them so aborted saves never accumulate.
+        vfs::sweep_stale_tmps(&*vfs, &path);
+        if !vfs.exists(&path).map_err(io_err)? {
+            // Segments without a marker are unreachable — either the
+            // marker write of a brand-new journal never landed (no
+            // record was ever acknowledged) or the marker was deleted
+            // out from under us. Remove them rather than resurrect
+            // half a journal.
+            for (_, seg) in Self::segment_files(&*vfs, &path)? {
+                vfs.remove(&seg).map_err(io_err)?;
+            }
             return Ok(RequestJournal {
                 path,
+                vfs,
                 records: Vec::new(),
+                tail_seg: 0,
+                tail_len: 0,
+                marker_written: false,
+                poisoned: None,
+                repairs: Vec::new(),
             });
         }
-        let mut json = String::new();
-        std::fs::File::open(&path)?.read_to_string(&mut json)?;
-        let invalid = |detail: String| JournalError::Format {
+        let head = vfs.read(&path).map_err(io_err)?;
+        if head.starts_with(JOURNAL_MAGIC) {
+            return Self::open_v3(vfs, path, repair);
+        }
+        // Not a v3 marker: a legacy version-1/2 JSON journal (or
+        // garbage, which the legacy parser reports with context).
+        let json = String::from_utf8(head).map_err(|_| JournalError::Format {
             path: path.clone(),
+            detail: "neither a version-3 journal marker nor JSON".to_string(),
+        })?;
+        let records = Self::parse_legacy(&path, &json)?;
+        Self::migrate_legacy(vfs, path, records)
+    }
+
+    /// The existing `<name>.seg-NNNNNN` files for the journal at
+    /// `path`, sorted by index.
+    fn segment_files(vfs: &dyn Vfs, path: &Path) -> Result<Vec<(u32, PathBuf)>, JournalError> {
+        let Some(base) = path.file_name().and_then(|n| n.to_str()) else {
+            return Ok(Vec::new());
+        };
+        let prefix = format!("{base}.seg-");
+        let mut out = Vec::new();
+        for entry in vfs.list(&vfs::dir_of(path)).map_err(io_err)? {
+            let Some(name) = entry.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            let Some(index) = name.strip_prefix(&prefix) else {
+                continue;
+            };
+            if let Ok(index) = index.parse::<u32>() {
+                out.push((index, entry));
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    fn open_v3(vfs: Arc<dyn Vfs>, path: PathBuf, repair: bool) -> Result<Self, JournalError> {
+        let segments = Self::segment_files(&*vfs, &path)?;
+        for (expect, (index, seg)) in segments.iter().enumerate() {
+            if *index as usize != expect {
+                return Err(JournalError::Format {
+                    path: seg.clone(),
+                    detail: format!(
+                        "segment files are not contiguous: expected segment \
+                         {expect}, found {index}"
+                    ),
+                });
+            }
+        }
+        let mut records = Vec::new();
+        let mut repairs = Vec::new();
+        let mut tail_seg = 0u32;
+        let mut tail_len = 0usize;
+        for (i, (index, seg)) in segments.iter().enumerate() {
+            let bytes = vfs.read(seg).map_err(io_err)?;
+            let is_last = i + 1 == segments.len();
+            let scan = Self::parse_segment(seg, &bytes, is_last, &mut records)?;
+            tail_seg = *index;
+            tail_len = scan.valid_len;
+            if scan.trailing > 0 {
+                if !repair {
+                    return Err(JournalError::TornTail {
+                        path: seg.clone(),
+                        offset: scan.valid_len,
+                        trailing: scan.trailing,
+                    });
+                }
+                // Truncate to the last valid commit, atomically: a
+                // crash mid-repair leaves either the torn segment
+                // (repaired again next open) or the clean one.
+                vfs::atomic_write(&*vfs, seg, &bytes[..scan.valid_len]).map_err(io_err)?;
+                repairs.push(TailRepair {
+                    segment: seg.clone(),
+                    valid_len: scan.valid_len,
+                    dropped_bytes: scan.trailing,
+                });
+            }
+        }
+        Ok(RequestJournal {
+            path,
+            vfs,
+            records,
+            tail_seg,
+            tail_len,
+            marker_written: true,
+            poisoned: None,
+            repairs,
+        })
+    }
+
+    /// Walks one segment's commit frames, appending their records to
+    /// `records`. Returns the valid prefix length and, for the last
+    /// segment, any torn trailing bytes; a torn shape anywhere else is
+    /// in-place corruption ([`JournalError::CorruptRecord`]).
+    fn parse_segment(
+        seg: &Path,
+        bytes: &[u8],
+        is_last: bool,
+        records: &mut Vec<JournalRecord>,
+    ) -> Result<SegmentScan, JournalError> {
+        let corrupt = |offset: usize, detail: String| JournalError::CorruptRecord {
+            path: seg.to_path_buf(),
+            offset,
             detail,
         };
-        let value: serde::Value = serde_json::from_str(&json)
+        let mut offset = 0usize;
+        while offset < bytes.len() {
+            let remaining = bytes.len() - offset;
+            // A frame that runs past the end of the file is the torn
+            // tail a crash mid-append leaves — but only at the very end
+            // of the journal; anywhere else it is corruption.
+            let torn_or = |detail: String| -> Result<SegmentScan, JournalError> {
+                if is_last {
+                    Ok(SegmentScan {
+                        valid_len: offset,
+                        trailing: remaining,
+                    })
+                } else {
+                    Err(corrupt(offset, detail))
+                }
+            };
+            let (Some(len), Some(crc)) = (read_u32(bytes, offset), read_u32(bytes, offset + 4))
+            else {
+                return torn_or(format!("{remaining}-byte frame-header fragment"));
+            };
+            let len = len as usize;
+            if remaining - 8 < len {
+                return torn_or(format!(
+                    "frame of {len} bytes overruns the segment by {}",
+                    len - (remaining - 8)
+                ));
+            }
+            let body = &bytes[offset + 8..offset + 8 + len];
+            let computed = vfs::crc32(body);
+            if computed != crc {
+                // A bad CRC on the segment-final frame is a torn body
+                // whose header landed first; give the crash the benefit
+                // of the doubt there. Earlier frames have valid frames
+                // after them, so they can only be in-place corruption.
+                if is_last && offset + 8 + len == bytes.len() {
+                    return Ok(SegmentScan {
+                        valid_len: offset,
+                        trailing: remaining,
+                    });
+                }
+                return Err(corrupt(
+                    offset,
+                    format!("CRC mismatch: stored {crc:#010x}, computed {computed:#010x}"),
+                ));
+            }
+            Self::parse_commit_body(seg, offset, body, records)?;
+            offset += 8 + len;
+        }
+        Ok(SegmentScan {
+            valid_len: offset,
+            trailing: 0,
+        })
+    }
+
+    /// Decodes the records of one CRC-verified commit body.
+    fn parse_commit_body(
+        seg: &Path,
+        offset: usize,
+        body: &[u8],
+        records: &mut Vec<JournalRecord>,
+    ) -> Result<(), JournalError> {
+        let corrupt = |detail: String| JournalError::CorruptRecord {
+            path: seg.to_path_buf(),
+            offset,
+            detail,
+        };
+        let count = read_u32(body, 0).ok_or_else(|| corrupt("commit body too short".into()))?;
+        let mut pos = 4usize;
+        for _ in 0..count {
+            let rec_len = read_u32(body, pos)
+                .ok_or_else(|| corrupt("record length overruns the commit".into()))?
+                as usize;
+            pos += 4;
+            let json = body
+                .get(pos..pos + rec_len)
+                .ok_or_else(|| corrupt("record payload overruns the commit".into()))?;
+            pos += rec_len;
+            let json = std::str::from_utf8(json)
+                .map_err(|e| corrupt(format!("record is not UTF-8: {e}")))?;
+            let value: serde::Value = serde_json::from_str(json)
+                .map_err(|e| corrupt(format!("record is not valid JSON: {e}")))?;
+            Self::check_record_state(seg, &value, records.len() as u64)?;
+            let record = JournalRecord::from_value(&value)
+                .map_err(|e| corrupt(format!("malformed record: {e}")))?;
+            records.push(record);
+        }
+        if pos != body.len() {
+            return Err(corrupt(format!(
+                "{} stray byte(s) inside the commit body",
+                body.len() - pos
+            )));
+        }
+        Ok(())
+    }
+
+    /// Forward-compat guard for one record value: reject a `state` tag
+    /// this build's [`RequestState`] cannot represent, *before* the
+    /// full deserialize (which would fold the problem into a generic
+    /// parse error, and an ignore-unknown deserializer would skip the
+    /// record outright — both lose a durable transition).
+    fn check_record_state(
+        path: &Path,
+        value: &serde::Value,
+        fallback_seq: u64,
+    ) -> Result<(), JournalError> {
+        const KNOWN: [&str; 4] = ["Received", "Unlearned", "Recovered", "Relearned"];
+        let Some(serde::Value::Str(tag)) = value.get("state") else {
+            // Shape problems are the full deserialize's to report.
+            return Ok(());
+        };
+        if !KNOWN.contains(&tag.as_str()) {
+            let seq = value
+                .get("seq")
+                .and_then(|s| u64::from_value(s).ok())
+                .unwrap_or(fallback_seq);
+            return Err(JournalError::UnknownState {
+                path: path.to_path_buf(),
+                seq,
+                tag: tag.clone(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Parses a legacy (version-1/2) single-file JSON journal.
+    fn parse_legacy(path: &Path, json: &str) -> Result<Vec<JournalRecord>, JournalError> {
+        let invalid = |detail: String| JournalError::Format {
+            path: path.to_path_buf(),
+            detail,
+        };
+        let value: serde::Value = serde_json::from_str(json)
             .map_err(|e| invalid(format!("corrupt or truncated JSON: {e}")))?;
         let version = value
             .get("version")
@@ -247,43 +687,66 @@ impl RequestJournal {
                  {JOURNAL_MIN_VERSION} through {JOURNAL_VERSION}"
             )));
         }
-        Self::scan_state_tags(&path, &value)?;
+        if let Some(serde::Value::Seq(raw)) = value.get("records") {
+            for (index, record) in raw.iter().enumerate() {
+                Self::check_record_state(path, record, index as u64)?;
+            }
+        }
         let file: JournalFile = serde::Deserialize::from_value(&value)
             .map_err(|e| invalid(format!("malformed version-{version} payload: {e}")))?;
+        Ok(file.records)
+    }
+
+    /// Rewrites a legacy journal in the version-3 segment format. The
+    /// marker atomically replacing the legacy JSON at `path` is the
+    /// commit point: crash before it and the next open re-migrates
+    /// from the still-intact JSON (removing these half-built segments
+    /// first); crash after it and the migration is complete.
+    fn migrate_legacy(
+        vfs: Arc<dyn Vfs>,
+        path: PathBuf,
+        records: Vec<JournalRecord>,
+    ) -> Result<Self, JournalError> {
+        for (_, seg) in Self::segment_files(&*vfs, &path)? {
+            vfs.remove(&seg).map_err(io_err)?;
+        }
+        let mut tail_seg = 0u32;
+        let mut tail_len = 0usize;
+        for record in &records {
+            let frame = encode_commit(std::slice::from_ref(record)).map_err(JournalError::Io)?;
+            if tail_len >= SEGMENT_ROTATE_BYTES {
+                tail_seg += 1;
+                tail_len = 0;
+            }
+            vfs.append(&segment_path(&path, tail_seg), &frame)
+                .map_err(io_err)?;
+            tail_len += frame.len();
+        }
+        // Make every segment durable before the marker commits to them.
+        for index in 0..=tail_seg {
+            let seg = segment_path(&path, index);
+            if vfs.exists(&seg).map_err(io_err)? {
+                vfs.fsync(&seg).map_err(io_err)?;
+            }
+        }
+        vfs::atomic_write(&*vfs, &path, JOURNAL_MAGIC).map_err(io_err)?;
         Ok(RequestJournal {
             path,
-            records: file.records,
+            vfs,
+            records,
+            tail_seg,
+            tail_len,
+            marker_written: true,
+            poisoned: None,
+            repairs: Vec::new(),
         })
     }
 
-    /// Forward-compat guard: reject any record whose `state` tag is not
-    /// one this build's [`RequestState`] can represent, *before* the
-    /// full deserialize (which would fold the problem into a generic
-    /// parse error, and an ignore-unknown deserializer would skip the
-    /// record outright — both lose a durable transition).
-    fn scan_state_tags(path: &Path, value: &serde::Value) -> Result<(), JournalError> {
-        const KNOWN: [&str; 4] = ["Received", "Unlearned", "Recovered", "Relearned"];
-        let Some(serde::Value::Seq(records)) = value.get("records") else {
-            // Shape problems are the full deserialize's to report.
-            return Ok(());
-        };
-        for (index, record) in records.iter().enumerate() {
-            let Some(serde::Value::Str(tag)) = record.get("state") else {
-                continue;
-            };
-            if !KNOWN.contains(&tag.as_str()) {
-                let seq = record
-                    .get("seq")
-                    .and_then(|s| u64::from_value(s).ok())
-                    .unwrap_or(index as u64);
-                return Err(JournalError::UnknownState {
-                    path: path.to_path_buf(),
-                    seq,
-                    tag: tag.clone(),
-                });
-            }
-        }
-        Ok(())
+    /// Torn-tail truncations this open performed (empty for a clean
+    /// journal): which segment, where it was cut, and how many torn
+    /// bytes were dropped.
+    pub fn repairs(&self) -> &[TailRepair] {
+        &self.repairs
     }
 
     /// All records, oldest first.
@@ -301,38 +764,78 @@ impl RequestJournal {
         self.records.last().map_or(0, |r| r.seq + 1)
     }
 
-    /// Appends a record and atomically persists the journal.
+    /// Appends a record durably: one framed commit appended to the tail
+    /// segment and fsynced — two [`Vfs`] operations regardless of how
+    /// many records the journal already holds.
     ///
     /// # Errors
     ///
-    /// Returns any I/O error from the atomic rewrite; the in-memory
-    /// record list is only extended once the file is durable.
+    /// Returns any I/O error from the commit; the in-memory record list
+    /// is only extended once the frame is durable, and a failed append
+    /// poisons the journal (the on-disk tail may be torn) so every
+    /// later append fails until the journal is reopened and repaired.
     pub fn append(&mut self, record: JournalRecord) -> std::io::Result<()> {
+        let frame = encode_commit(std::slice::from_ref(&record))?;
+        self.append_frame(&frame)?;
         self.records.push(record);
-        if let Err(e) = self.persist() {
-            self.records.pop();
-            return Err(e);
-        }
         Ok(())
     }
 
-    /// Appends several records in one atomic rewrite: a crash during the
-    /// append leaves either none of `records` durable or all of them.
-    /// Batch serving relies on this — the RECEIVED (and later RECOVERED)
-    /// records of all batch members land together, so resume never sees
-    /// a batch whose membership is half-written.
+    /// Appends several records as **one** commit frame: its CRC covers
+    /// all of them, so a crash during the append leaves either none of
+    /// `records` durable or all of them (a torn frame fails the check
+    /// and is truncated whole on reopen). Batch serving relies on this
+    /// — the RECEIVED (and later RECOVERED) records of all batch
+    /// members land together, so resume never sees a batch whose
+    /// membership is half-written.
     ///
     /// # Errors
     ///
-    /// Returns any I/O error from the atomic rewrite; the in-memory
-    /// record list is only extended once the file is durable.
+    /// As [`RequestJournal::append`].
     pub fn append_all(&mut self, records: Vec<JournalRecord>) -> std::io::Result<()> {
-        let keep = self.records.len();
-        self.records.extend(records);
-        if let Err(e) = self.persist() {
-            self.records.truncate(keep);
-            return Err(e);
+        if records.is_empty() {
+            return Ok(());
         }
+        let frame = encode_commit(&records)?;
+        self.append_frame(&frame)?;
+        self.records.extend(records);
+        Ok(())
+    }
+
+    /// Lands one encoded commit frame on the tail segment, rotating
+    /// segments at the size threshold and writing the format marker
+    /// ahead of the very first frame.
+    fn append_frame(&mut self, frame: &[u8]) -> std::io::Result<()> {
+        if let Some(why) = &self.poisoned {
+            return Err(std::io::Error::other(format!(
+                "journal {} is poisoned by an earlier append failure ({why}); \
+                 reopen it to repair the tail before appending",
+                self.path.display()
+            )));
+        }
+        if !self.marker_written {
+            // Marker before data: a reopen must recognize the format
+            // before any segment exists. atomic_write leaves nothing
+            // torn on failure, so this needs no poisoning.
+            vfs::atomic_write(&*self.vfs, &self.path, JOURNAL_MAGIC)?;
+            self.marker_written = true;
+        }
+        if self.tail_len >= SEGMENT_ROTATE_BYTES {
+            self.tail_seg += 1;
+            self.tail_len = 0;
+        }
+        let seg = segment_path(&self.path, self.tail_seg);
+        if let Err(e) = self
+            .vfs
+            .append(&seg, frame)
+            .and_then(|()| self.vfs.fsync(&seg))
+        {
+            // The frame may be partially on disk; nothing durable can
+            // be appended after a possibly-torn tail.
+            self.poisoned = Some(e.to_string());
+            return Err(e.into());
+        }
+        self.tail_len += frame.len();
         Ok(())
     }
 
@@ -346,31 +849,6 @@ impl RequestJournal {
                 .max()
                 .unwrap_or(0),
         )
-    }
-
-    fn persist(&self) -> std::io::Result<()> {
-        use std::io::Write as _;
-        let file = JournalFile {
-            version: JOURNAL_VERSION,
-            records: self.records.clone(),
-        };
-        let json = serde_json::to_string(&file).map_err(std::io::Error::other)?;
-        let mut tmp_name = self
-            .path
-            .file_name()
-            .ok_or_else(|| std::io::Error::other("journal path has no file name"))?
-            .to_os_string();
-        tmp_name.push(".tmp");
-        let tmp = self.path.with_file_name(tmp_name);
-        let mut f = std::fs::File::create(&tmp)?;
-        f.write_all(json.as_bytes())?;
-        f.sync_all()?;
-        drop(f);
-        let renamed = std::fs::rename(&tmp, &self.path);
-        if renamed.is_err() {
-            std::fs::remove_file(&tmp).ok();
-        }
-        renamed
     }
 
     /// Conventional journal path next to a deployment checkpoint:
@@ -1241,6 +1719,12 @@ impl QuickDrop {
     /// journal at [`RequestJournal::path_for_checkpoint`] onto it —
     /// the one-call crash recovery entry point used by the CLI.
     ///
+    /// A corrupt primary checkpoint falls back to the `.prev`
+    /// generation its last save rotated aside (see
+    /// [`Checkpoint::load_with_fallback_on`]); the journal replay then
+    /// rolls the model forward, so the fallback costs nothing that was
+    /// journaled.
+    ///
     /// # Errors
     ///
     /// Any checkpoint/journal load error, plus everything
@@ -1251,11 +1735,29 @@ impl QuickDrop {
         policy: Option<&GuardPolicy>,
         rng: &mut Rng,
     ) -> Result<(QuickDrop, RequestJournal, Option<MethodOutcome>), ServeError> {
-        let ckpt = Checkpoint::load(checkpoint.as_ref())?;
+        Self::recover_deployment_on(Arc::new(StdFs), checkpoint, fed, policy, rng)
+    }
+
+    /// [`QuickDrop::recover_deployment`] on an explicit [`Vfs`] — the
+    /// entry point the crash-point matrix harness drives.
+    ///
+    /// # Errors
+    ///
+    /// As [`QuickDrop::recover_deployment`].
+    pub fn recover_deployment_on(
+        vfs: Arc<dyn Vfs>,
+        checkpoint: impl AsRef<Path>,
+        fed: &mut Federation,
+        policy: Option<&GuardPolicy>,
+        rng: &mut Rng,
+    ) -> Result<(QuickDrop, RequestJournal, Option<MethodOutcome>), ServeError> {
+        let (ckpt, _fell_back) = Checkpoint::load_with_fallback_on(&*vfs, checkpoint.as_ref())?;
         let (global, mut qd) = ckpt.restore()?;
         fed.set_global(global);
-        let mut journal =
-            RequestJournal::open(RequestJournal::path_for_checkpoint(checkpoint.as_ref()))?;
+        let mut journal = RequestJournal::open_on(
+            Arc::clone(&vfs),
+            RequestJournal::path_for_checkpoint(checkpoint.as_ref()),
+        )?;
         let finished = qd.resume_requests(fed, &mut journal, policy, rng)?;
         Ok((qd, journal, finished))
     }
@@ -1286,6 +1788,59 @@ mod tests {
         assert_eq!(read.batch, None);
         assert_eq!(read.seq, 3);
         assert_eq!(read.state, RequestState::Received);
+    }
+
+    #[test]
+    fn commit_frames_round_trip_and_classify_tail_damage() {
+        let rec = |seq| JournalRecord {
+            seq,
+            request: UnlearnRequest::Class(2),
+            state: RequestState::Received,
+            rng: Rng::seed_from(1).state(),
+            global: Vec::new(),
+            guard: None,
+            batch: None,
+        };
+        let seg = Path::new("j.seg-000000");
+        let mut bytes = encode_commit(&[rec(0), rec(1)]).expect("encodable");
+        let first_commit = bytes.len();
+        bytes.extend(encode_commit(std::slice::from_ref(&rec(2))).expect("encodable"));
+
+        let mut records = Vec::new();
+        let scan = RequestJournal::parse_segment(seg, &bytes, true, &mut records).expect("clean");
+        assert_eq!((scan.valid_len, scan.trailing), (bytes.len(), 0));
+        assert_eq!(
+            records.iter().map(|r| r.seq).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+
+        // Tearing the final frame yields the torn-tail shape in the last
+        // segment, and CorruptRecord anywhere else.
+        let torn = &bytes[..bytes.len() - 3];
+        let mut records = Vec::new();
+        let scan =
+            RequestJournal::parse_segment(seg, torn, true, &mut records).expect("repairable");
+        assert_eq!(scan.valid_len, first_commit);
+        assert_eq!(scan.trailing, torn.len() - first_commit);
+        assert_eq!(records.len(), 2, "the intact commit still loads");
+        let err = RequestJournal::parse_segment(seg, torn, false, &mut Vec::new())
+            .expect_err("mid-journal tear is corruption");
+        assert!(matches!(err, JournalError::CorruptRecord { .. }), "{err}");
+
+        // Flipping a committed byte is corruption even at the tail...
+        let mut flipped = bytes.clone();
+        flipped[10] ^= 0x40;
+        let err = RequestJournal::parse_segment(seg, &flipped, true, &mut Vec::new())
+            .expect_err("bad CRC mid-file");
+        assert!(matches!(err, JournalError::CorruptRecord { .. }), "{err}");
+        // ...unless it hits the segment-final frame, where a torn body
+        // behind a landed header is the innocent explanation.
+        let last = bytes.len() - 1;
+        let mut flipped = bytes;
+        flipped[last] ^= 0x40;
+        let scan = RequestJournal::parse_segment(seg, &flipped, true, &mut Vec::new())
+            .expect("tail-frame CRC failure repairs as torn");
+        assert_eq!(scan.valid_len, first_commit);
     }
 
     #[test]

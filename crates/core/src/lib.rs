@@ -62,12 +62,15 @@ mod config;
 mod journal;
 pub mod sample_level;
 mod system;
+pub mod vfs;
 
 pub use checkpoint::{Checkpoint, CheckpointError, MidPhase, CHECKPOINT_VERSION};
 pub use config::QuickDropConfig;
 pub use journal::{
-    BatchId, BatchOutcome, BatchPreempt, BatchRun, JournalError, JournalRecord, RequestJournal,
-    RequestState, ServeError, ServeRun, JOURNAL_MIN_VERSION, JOURNAL_VERSION,
+    segment_path, BatchId, BatchOutcome, BatchPreempt, BatchRun, JournalError, JournalRecord,
+    RequestJournal, RequestState, ServeError, ServeRun, TailRepair, JOURNAL_MAGIC,
+    JOURNAL_MIN_VERSION, JOURNAL_VERSION,
 };
 pub use sample_level::{SampleLevelConfig, SampleLevelQuickDrop};
 pub use system::{CheckpointPolicy, QuickDrop, TrainReport, TrainRun};
+pub use vfs::{storage_cause, Fault, FaultFs, StdFs, StorageError, Vfs, VfsOp};

@@ -1,0 +1,22 @@
+//! Fixture: vfs-discipline violations (in scope as a core source).
+
+fn read_config(path: &str) -> std::io::Result<String> {
+    std::fs::read_to_string(path) // VIOLATION: vfs-discipline
+}
+
+fn save_raw(path: &str, bytes: &[u8]) -> std::io::Result<()> {
+    std::fs::write(path, bytes) // VIOLATION: vfs-discipline
+}
+
+fn open_handle(path: &str) -> std::io::Result<std::fs::File> {
+    std::fs::File::open(path) // VIOLATION: vfs-discipline
+}
+
+fn remove(path: &str) -> std::io::Result<()> {
+    std::fs::remove_file(path) // VIOLATION: vfs-discipline
+}
+
+fn suppressed_probe(path: &str) -> bool {
+    // qd-lint: allow(vfs-discipline) -- startup probe, loss is harmless
+    std::fs::metadata(path).is_ok()
+}

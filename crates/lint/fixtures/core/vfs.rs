@@ -1,0 +1,7 @@
+//! Fixture: the Vfs implementation itself is carved out of
+//! vfs-discipline by the config's `exclude`, because it is the one
+//! translation layer allowed to touch `std::fs` directly.
+
+fn std_fs_write(path: &str, bytes: &[u8]) -> std::io::Result<()> {
+    std::fs::write(path, bytes) // ok: this file is the Vfs impl
+}

@@ -12,7 +12,7 @@
 //! silently: a stray `Instant::now` compiles, passes every test, and
 //! quietly breaks resume determinism a month later.
 //!
-//! `qd-lint` encodes them as five token-level rule families over a
+//! `qd-lint` encodes them as six token-level rule families over a
 //! [lexer](mod@lexer) that knows enough Rust to never match inside string
 //! literals, char literals or (nested) comments, and to skip
 //! `#[cfg(test)]` regions. Scoping lives in `qd-lint.toml`
@@ -33,6 +33,7 @@
 //! order-stability | fed / core / unlearn sources               | no HashMap/HashSet where iteration order feeds aggregation
 //! panic-safety    | core / fed / net / unlearn sources         | no unwrap/expect/panic!/literal indexing in serving paths
 //! durability      | checkpoint and journal modules             | File::create paired with tmp + fsync + rename in the same fn
+//! vfs-discipline  | core / serve sources outside the Vfs impl  | no direct std::fs calls; all storage I/O goes through qd_core::vfs
 //! unsafe-hygiene  | workspace-wide                             | no unsafe code anywhere
 //! ";
 //! assert_eq!(qd_lint::rules::render_table(), expected);

@@ -1,4 +1,4 @@
-//! The rule registry: five invariant families over lexed source.
+//! The rule registry: six invariant families over lexed source.
 //!
 //! Each rule is a pure function from a [`LexedFile`] to diagnostics
 //! `(line, message)`; scoping (which files a rule sees) and suppression
@@ -46,6 +46,11 @@ pub const RULES: &[Rule] = &[
         name: "durability",
         scope: "checkpoint and journal modules",
         invariant: "File::create paired with tmp + fsync + rename in the same fn",
+    },
+    Rule {
+        name: "vfs-discipline",
+        scope: "core / serve sources outside the Vfs impl",
+        invariant: "no direct std::fs calls; all storage I/O goes through qd_core::vfs",
     },
     Rule {
         name: "unsafe-hygiene",
@@ -97,6 +102,22 @@ pub fn check(name: &str, file: &LexedFile) -> Vec<(usize, String)> {
         }),
         "panic-safety" => check_panic_safety(file),
         "durability" => check_durability(file),
+        "vfs-discipline" => check_tokens(
+            file,
+            &[
+                "File::create",
+                "File::open",
+                "OpenOptions",
+                "fs::write",
+                "fs::read",
+                "fs::read_to_string",
+                "fs::rename",
+                "fs::remove_file",
+                "fs::metadata",
+                "read_dir",
+            ],
+            |tok| format!("direct `{tok}` bypasses the Vfs layer; route I/O through qd_core::vfs"),
+        ),
         "unsafe-hygiene" => check_tokens(file, &["unsafe"], |_| {
             "`unsafe` is denied workspace-wide".to_string()
         }),
@@ -235,6 +256,19 @@ mod tests {
         assert!(!has_literal_index("#[derive(Debug)]"));
         assert!(!has_literal_index("let y = map[key];"));
         assert!(!has_literal_index("let z = v[i + 1];"));
+    }
+
+    #[test]
+    fn vfs_discipline_flags_direct_fs_but_not_prefixed_names() {
+        let bad = lex("fn load() {\n let s = std::fs::read_to_string(p)?;\n}\n");
+        let diags = check("vfs-discipline", &bad);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].1.contains("fs::read_to_string"));
+        // `fs::read` must not also fire inside `fs::read_to_string`, and
+        // Vfs-layer calls share no tokens with std::fs.
+        let good =
+            lex("fn load() {\n let s = vfs.read(path)?;\n vfs::atomic_write(fs, p, b)?;\n}\n");
+        assert!(check("vfs-discipline", &good).is_empty());
     }
 
     #[test]

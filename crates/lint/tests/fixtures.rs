@@ -39,6 +39,10 @@ fn corpus_produces_exactly_the_expected_findings() {
     let expected: Vec<(String, usize, String)> = [
         ("checkpoint.rs", 7, "durability"),
         ("checkpoint.rs", 13, "durability"),
+        ("core/direct_fs.rs", 4, "vfs-discipline"),
+        ("core/direct_fs.rs", 8, "vfs-discipline"),
+        ("core/direct_fs.rs", 12, "vfs-discipline"),
+        ("core/direct_fs.rs", 16, "vfs-discipline"),
         ("determinism.rs", 3, "determinism"),
         ("determinism.rs", 6, "determinism"),
         ("determinism.rs", 9, "determinism"),
@@ -83,6 +87,7 @@ fn suppressed_and_out_of_scope_cases_never_fire() {
         ("serving/panics.rs", 30),
         ("serving/panics.rs", 35),
         ("checkpoint.rs", 29),
+        ("core/direct_fs.rs", 21),
         ("unsafe_code.rs", 10),
     ] {
         assert!(

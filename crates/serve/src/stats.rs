@@ -100,31 +100,28 @@ impl ServeStats {
     }
 
     /// Writes the stats as JSON with the workspace's crash-safe file
-    /// discipline (tmp + fsync + rename): a crash mid-write leaves
-    /// either the previous file or the new one, never a torn one.
+    /// discipline (tmp + fsync + rename, via
+    /// [`qd_core::vfs::atomic_write`]): a crash mid-write leaves either
+    /// the previous file or the new one, never a torn one.
     ///
     /// # Errors
     ///
     /// Any I/O error from the atomic rewrite.
     pub fn save_json(&self, path: &Path) -> std::io::Result<()> {
-        use std::io::Write as _;
-        let json = serde_json::to_string(self).map_err(std::io::Error::other)?;
-        let mut tmp_name = path
-            .file_name()
-            .ok_or_else(|| std::io::Error::other("stats path has no file name"))?
-            .to_os_string();
-        tmp_name.push(".tmp");
-        let tmp = path.with_file_name(tmp_name);
-        let mut f = std::fs::File::create(&tmp)?;
-        f.write_all(json.as_bytes())?;
-        f.write_all(b"\n")?;
-        f.sync_all()?;
-        drop(f);
-        let renamed = std::fs::rename(&tmp, path);
-        if renamed.is_err() {
-            std::fs::remove_file(&tmp).ok();
-        }
-        renamed
+        self.save_json_on(&qd_core::StdFs, path)
+    }
+
+    /// [`ServeStats::save_json`] on an explicit [`qd_core::Vfs`] — what
+    /// the fault-injection harnesses drive.
+    ///
+    /// # Errors
+    ///
+    /// As [`ServeStats::save_json`].
+    pub fn save_json_on(&self, fs: &dyn qd_core::Vfs, path: &Path) -> std::io::Result<()> {
+        let mut json = serde_json::to_string(self).map_err(std::io::Error::other)?;
+        json.push('\n');
+        qd_core::vfs::atomic_write(fs, path, json.as_bytes())?;
+        Ok(())
     }
 }
 

@@ -272,3 +272,194 @@ fn stats_report_real_coalescing_for_the_chaos_mix() {
     assert_eq!(stats.served, stats.admitted);
     assert!(stats.p50_latency_us <= stats.p99_latency_us);
 }
+
+// ---------------------------------------------------------------------------
+// Vfs-level crash matrix: instead of killing at semantic boundaries, kill
+// at every *syscall* of a full service run — checkpoint save, journal
+// marker, every framed append and fsync, the stats write — crash the
+// in-memory filesystem, recover, and demand the identical terminal state:
+// model bits, journal records, SLA stats, and every on-disk byte.
+// ---------------------------------------------------------------------------
+
+use qd_core::{FaultFs, JournalRecord, Vfs};
+use qd_tensor::rng::RngState;
+use std::collections::BTreeMap;
+
+fn vfs_ckpt_path() -> PathBuf {
+    PathBuf::from("svc.json")
+}
+
+fn vfs_stats_path() -> PathBuf {
+    PathBuf::from("svc.stats.json")
+}
+
+/// Train once; every matrix iteration redeploys from this snapshot
+/// (checkpoint capture/restore is bit-exact) instead of retraining.
+struct ServeSeed {
+    ckpt: Checkpoint,
+    rng: RngState,
+}
+
+fn serve_seed() -> ServeSeed {
+    let (mut fed, mut rng) = fresh_fed();
+    let (qd, _) = QuickDrop::train(&mut fed, config(), &mut rng);
+    ServeSeed {
+        ckpt: Checkpoint::capture(fed.global(), &qd),
+        rng: rng.state(),
+    }
+}
+
+fn vfs_deploy(seed: &ServeSeed) -> (Federation, QuickDrop, Rng) {
+    let (mut fed, _) = fresh_fed();
+    let (global, qd) = seed.ckpt.clone().restore().expect("snapshot restores");
+    fed.set_global(global);
+    (fed, qd, Rng::from_state(&seed.rng))
+}
+
+struct VfsTerminal {
+    global: Vec<Tensor>,
+    rng: RngState,
+    records: Vec<JournalRecord>,
+    stats: ServeStats,
+    files: BTreeMap<PathBuf, Vec<u8>>,
+}
+
+/// One full service deployment on `fs`: save checkpoint, open journal,
+/// serve the whole multi-tenant plan, persist stats. Any injected fault
+/// aborts with an error — the process dying at that syscall.
+fn vfs_scenario(seed: &ServeSeed, fs: &Arc<FaultFs>) -> Result<VfsTerminal, String> {
+    let (mut fed, mut qd, mut rng) = vfs_deploy(seed);
+    seed.ckpt
+        .save_on(fs.as_ref(), &vfs_ckpt_path())
+        .map_err(|e| e.to_string())?;
+    let vfs: Arc<dyn Vfs> = Arc::clone(fs) as Arc<dyn Vfs>;
+    let mut journal =
+        RequestJournal::open_on(vfs, RequestJournal::path_for_checkpoint(vfs_ckpt_path()))
+            .map_err(|e| e.to_string())?;
+    let run = run_service(
+        &mut qd,
+        &mut fed,
+        &mut journal,
+        &serve_config(),
+        Some(&policy()),
+        &mut rng,
+        None,
+    )
+    .map_err(|e| e.to_string())?;
+    run.stats
+        .save_json_on(fs.as_ref(), &vfs_stats_path())
+        .map_err(|e| e.to_string())?;
+    Ok(VfsTerminal {
+        global: fed.global().to_vec(),
+        rng: rng.state(),
+        records: journal.records().to_vec(),
+        stats: run.stats,
+        files: fs.files(),
+    })
+}
+
+/// The fresh process after the machine restarts: recover whatever is
+/// durable and finish the plan.
+fn vfs_resume(seed: &ServeSeed, fs: &Arc<FaultFs>) -> VfsTerminal {
+    if fs.file(&vfs_ckpt_path()).is_none() {
+        // The checkpoint save strictly precedes every journal write, so
+        // nothing was durable: redeploy from the seed.
+        return vfs_scenario(seed, fs).expect("fault-free redeploy succeeds");
+    }
+    let vfs: Arc<dyn Vfs> = Arc::clone(fs) as Arc<dyn Vfs>;
+    let (mut fed, mut rng) = fresh_fed();
+    let (mut qd, mut journal, _finished) =
+        QuickDrop::recover_deployment_on(vfs, vfs_ckpt_path(), &mut fed, Some(&policy()), &mut rng)
+            .expect("recovery after a crash succeeds");
+    if journal.records().is_empty() {
+        // Died before the first record became durable: the post-train
+        // RNG stream is not on disk; rebuild it from the seed.
+        let (fed2, qd2, rng2) = vfs_deploy(seed);
+        (fed, qd, rng) = (fed2, qd2, rng2);
+    }
+    let run = run_service(
+        &mut qd,
+        &mut fed,
+        &mut journal,
+        &serve_config(),
+        Some(&policy()),
+        &mut rng,
+        None,
+    )
+    .expect("resumed service run succeeds");
+    run.stats
+        .save_json_on(fs.as_ref(), &vfs_stats_path())
+        .expect("stats save after resume succeeds");
+    VfsTerminal {
+        global: fed.global().to_vec(),
+        rng: rng.state(),
+        records: journal.records().to_vec(),
+        stats: run.stats,
+        files: fs.files(),
+    }
+}
+
+fn assert_vfs_terminal_eq(reference: &VfsTerminal, resumed: &VfsTerminal, ctx: &str) {
+    assert_bit_identical(&reference.global, &resumed.global);
+    assert_eq!(reference.rng, resumed.rng, "{ctx}: RNG stream diverged");
+    assert_eq!(reference.stats, resumed.stats, "{ctx}: SLA stats diverged");
+    assert_eq!(
+        reference.records.len(),
+        resumed.records.len(),
+        "{ctx}: journal length diverged"
+    );
+    for (a, b) in reference.records.iter().zip(&resumed.records) {
+        assert_eq!(
+            (a.seq, a.request, a.state, a.batch),
+            (b.seq, b.request, b.state, b.batch),
+            "{ctx}"
+        );
+        assert_eq!(a.rng, b.rng, "{ctx}: record RNG diverged");
+        assert_eq!(a.guard, b.guard, "{ctx}: guard stats diverged");
+        assert_bit_identical(&a.global, &b.global);
+    }
+    assert_eq!(
+        reference.files.keys().collect::<Vec<_>>(),
+        resumed.files.keys().collect::<Vec<_>>(),
+        "{ctx}: on-disk file set diverged"
+    );
+    for (path, bytes) in &reference.files {
+        assert!(
+            resumed.files.get(path).is_some_and(|b| b == bytes),
+            "{ctx}: bytes of {} diverged",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn service_crash_matrix_kills_every_vfs_op_and_resumes_identically() {
+    let seed = serve_seed();
+    let baseline_fs = Arc::new(FaultFs::new());
+    let baseline = vfs_scenario(&seed, &baseline_fs).expect("unfailed service run succeeds");
+    let total_ops = baseline_fs.op_count();
+    assert!(
+        total_ops > 20,
+        "service run must exercise a real op stream, got {total_ops}"
+    );
+
+    // Debug builds sample the matrix; release (the check.sh gate) runs
+    // every operation index.
+    let stride = if cfg!(debug_assertions) { 6 } else { 1 };
+    let mut kill_points: Vec<u64> = (0..total_ops).step_by(stride).collect();
+    if kill_points.last() != Some(&(total_ops - 1)) {
+        kill_points.push(total_ops - 1);
+    }
+
+    for k in kill_points {
+        let fs = Arc::new(FaultFs::new());
+        fs.kill_at(k);
+        assert!(
+            vfs_scenario(&seed, &fs).is_err(),
+            "kill at op {k} must abort the run"
+        );
+        fs.crash();
+        let resumed = vfs_resume(&seed, &fs);
+        assert_vfs_terminal_eq(&baseline, &resumed, &format!("kill at op {k}"));
+    }
+}

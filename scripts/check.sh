@@ -31,8 +31,14 @@ cargo test --offline --workspace -q
 echo "== journal kill-and-resume (release, every state boundary)"
 cargo test --offline --release -p qd-core --test journal_resume -q
 
-echo "== serve kill-and-resume (release, every boundary kind)"
+echo "== serve kill-and-resume (release, every boundary kind + full Vfs crash matrix)"
 cargo test --offline --release -p qd-serve --test chaos -q
+
+echo "== crash-point matrix (release, kill at every Vfs op, stride 1)"
+cargo test --offline --release -p qd-core --test crash_matrix -q
+
+echo "== journal format corpus (release: pinned v1/v2 fixtures, corruption corpus, O(1) appends)"
+cargo test --offline --release -p qd-core --test journal_format -q
 
 echo "== chaos bench (smoke mode)"
 cargo bench --offline -p qd-bench --bench chaos -- --test
@@ -45,5 +51,8 @@ cargo bench --offline -p qd-bench --bench divergence -- --test
 
 echo "== serve bench (smoke mode, crash-mid-batch resume; refreshes BENCH_serve.json)"
 cargo bench --offline -p qd-bench --bench serve -- --test
+
+echo "== storage bench (smoke mode, O(1) append contract; refreshes BENCH_storage.json)"
+cargo bench --offline -p qd-bench --bench storage -- --test
 
 echo "all checks passed"
