@@ -18,10 +18,13 @@
 use qd_bench::{bench_config, print_paper_reference, Setup, Split};
 use qd_core::{BatchPreempt, Checkpoint, QuickDrop, RequestJournal};
 use qd_data::SyntheticDataset;
-use qd_fed::Phase;
-use qd_serve::{build_plan, run_service, ChaosKill, ServeConfig, ServeStats};
+use qd_fed::{FaultKind, FaultPlan, Phase};
+use qd_serve::{
+    build_plan, run_service, run_service_isolated, ChaosKill, IsolationConfig, ServeConfig,
+    ServeStats,
+};
 use qd_tensor::rng::Rng;
-use qd_unlearn::GuardPolicy;
+use qd_unlearn::{GuardPolicy, UnlearnRequest};
 use serde::Serialize;
 use std::path::PathBuf;
 
@@ -87,6 +90,54 @@ fn mixes(smoke: bool, clients: usize) -> Vec<(String, ServeConfig)> {
             },
         ),
     ]
+}
+
+/// The failure-mode mix: all-client-request traffic (so the Byzantine
+/// client below poisons exactly its own request) served under the
+/// isolated executor — retry ladder, bisection, tenant breakers.
+fn poisoned_mix(smoke: bool, clients: usize) -> ServeConfig {
+    let (_, base) = mixes(smoke, clients)
+        .into_iter()
+        .next()
+        .expect("mixes is non-empty");
+    ServeConfig {
+        class_share: 0.0,
+        ..base
+    }
+}
+
+fn isolation() -> IsolationConfig {
+    IsolationConfig {
+        unit_retries: 2,
+        bisect: true,
+        breaker_trip: 1,
+        breaker_cooldown: 2,
+    }
+}
+
+/// One of the deployment's clients runs its ascents at `scale`× the
+/// configured LR. The scale must be picked with care: big enough that
+/// the drift blows the serve-layer budget, yet small enough that the
+/// update stays *finite* — a non-finite upload is screened out by the
+/// aggregation guard before it can move the global model at all, and
+/// the unit then serves cleanly with zero drift.
+fn spike_plan(seed: u64, clients: usize, scale: f32) -> FaultPlan {
+    FaultPlan::new(seed, 1.0 / clients as f32)
+        .with_kinds(vec![FaultKind::AscentSpike])
+        .with_ascent_spike(scale)
+}
+
+/// Whether `fp`'s Byzantine pick actually arrives as traffic in `cfg`'s
+/// service plan — a spiked client nobody asks to unlearn poisons nothing.
+fn byzantine_in_plan(fp: &FaultPlan, clients: usize, cfg: &ServeConfig) -> bool {
+    let plan = build_plan(cfg).expect("poisoned mix must plan");
+    (0..clients).any(|c| {
+        fp.fault_of(clients, c).is_some()
+            && plan
+                .batches
+                .iter()
+                .any(|b| b.members.contains(&UnlearnRequest::Client(c)))
+    })
 }
 
 struct Deployment {
@@ -170,6 +221,49 @@ fn run_mix(dep: &mut Deployment, name: &str, cfg: &ServeConfig) -> ServeStats {
     run.stats
 }
 
+/// Runs the poisoned mix under the isolated executor: the Byzantine
+/// client's request must land in the dead-letter set while every other
+/// request is served.
+///
+/// Whether a spiked ascent diverges depends on the model's state when
+/// the poisoned unit runs (a saturated model has an exactly-zero forget
+/// gradient, which no LR magnifies), so the fault seed cannot be vetted
+/// statically. Instead the sweep *runs* the deterministic service under
+/// each candidate seed — rewound to the identical deployment every time
+/// — and reports the first run whose poison actually bites.
+fn run_poisoned_mix(dep: &mut Deployment, name: &str, cfg: &ServeConfig) -> ServeStats {
+    let clients = dep.setup.fed.n_clients();
+    for trial in 0..64u64 {
+        let (seed, scale) = (trial / 4, [1e4f32, 1e3, 1e5, 1e6][(trial % 4) as usize]);
+        let fp = spike_plan(seed, clients, scale);
+        if !byzantine_in_plan(&fp, clients, cfg) {
+            continue;
+        }
+        dep.rewind();
+        dep.setup.fed.set_fault_plan(Some(fp));
+        let (path, mut journal) = fresh_journal(name);
+        let mut qd = snapshot_qd(dep);
+        let run = run_service_isolated(
+            &mut qd,
+            &mut dep.setup.fed,
+            &mut journal,
+            cfg,
+            Some(&policy()),
+            &isolation(),
+            &mut dep.setup.rng,
+            None,
+        )
+        .expect("the poisoned mix must degrade, not die");
+        dep.setup.fed.set_fault_plan(None);
+        std::fs::remove_file(&path).ok();
+        assert!(!run.preempted);
+        if !run.dead_letter.is_empty() {
+            return run.stats;
+        }
+    }
+    panic!("no fault seed in 0..64 drove a Byzantine request into the dead-letter set");
+}
+
 /// A QuickDrop clone for one mix run. Serving mutates the deployment's
 /// forgotten-set bookkeeping, so each mix works on its own copy.
 fn snapshot_qd(dep: &Deployment) -> QuickDrop {
@@ -189,13 +283,22 @@ fn main() {
 
     let mut rows = Vec::new();
     println!(
-        "  {:<16} {:>7} {:>8} {:>9} {:>9} {:>10} {:>10} {:>8} {:>9}",
-        "mix", "tenants", "offered", "served", "rejected", "p50 µs", "p99 µs", "req/s", "coalesce"
+        "  {:<16} {:>7} {:>8} {:>9} {:>9} {:>10} {:>10} {:>8} {:>9} {:>6} {:>6}",
+        "mix",
+        "tenants",
+        "offered",
+        "served",
+        "rejected",
+        "p50 µs",
+        "p99 µs",
+        "req/s",
+        "coalesce",
+        "quar",
+        "shed"
     );
-    for (name, cfg) in mixes(smoke, clients) {
-        let stats = run_mix(&mut dep, &name, &cfg);
+    let print_row = |name: &str, stats: &ServeStats| {
         println!(
-            "  {:<16} {:>7} {:>8} {:>9} {:>9} {:>10} {:>10} {:>8.1} {:>9.2}",
+            "  {:<16} {:>7} {:>8} {:>9} {:>9} {:>10} {:>10} {:>8.1} {:>9.2} {:>6} {:>6}",
             name,
             stats.tenants,
             stats.offered,
@@ -205,9 +308,27 @@ fn main() {
             stats.p99_latency_us,
             stats.throughput_rps,
             stats.coalesce_ratio,
+            stats.quarantined,
+            stats.shed,
         );
+    };
+    for (name, cfg) in mixes(smoke, clients) {
+        let stats = run_mix(&mut dep, &name, &cfg);
+        print_row(&name, &stats);
         rows.push(MixRow {
             mix: name,
+            tenants: cfg.tenants,
+            coalesce: cfg.coalesce,
+            stats,
+        });
+    }
+    // The failure-mode row: one Byzantine client, isolated executor.
+    {
+        let cfg = poisoned_mix(smoke, clients);
+        let stats = run_poisoned_mix(&mut dep, "duo-poisoned", &cfg);
+        print_row("duo-poisoned", &stats);
+        rows.push(MixRow {
+            mix: "duo-poisoned".to_string(),
             tenants: cfg.tenants,
             coalesce: cfg.coalesce,
             stats,
@@ -239,6 +360,30 @@ fn main() {
 fn smoke_assertions(rows: &[MixRow], dep: &mut Deployment) {
     let coalesced = rows.iter().find(|r| r.mix == "duo-coalesced").unwrap();
     let sequential = rows.iter().find(|r| r.mix == "duo-sequential").unwrap();
+    let poisoned = rows.iter().find(|r| r.mix == "duo-poisoned").unwrap();
+
+    // Failure-mode accounting: the healthy mixes report clean columns,
+    // the poisoned one quarantines and still serves everything else.
+    for clean in [coalesced, sequential] {
+        assert_eq!(clean.stats.quarantined, 0);
+        assert_eq!(clean.stats.shed, 0);
+        assert!(!clean.stats.partial);
+    }
+    assert!(
+        poisoned.stats.quarantined > 0,
+        "the Byzantine request must be quarantined"
+    );
+    assert_eq!(
+        poisoned.stats.served + poisoned.stats.quarantined + poisoned.stats.shed,
+        poisoned.stats.admitted,
+        "every admitted request must end served, quarantined, or shed"
+    );
+    assert!(poisoned.stats.retried_units >= 1);
+    assert_eq!(
+        poisoned.stats.breaker.len(),
+        poisoned.stats.tenants,
+        "one breaker column per tenant"
+    );
     assert!(
         coalesced.stats.coalesce_ratio > 1.0,
         "duplication pressure must coalesce"

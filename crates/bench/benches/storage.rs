@@ -53,6 +53,7 @@ fn record(seq: u64) -> JournalRecord {
         global: vec![Tensor::from_vec(vec![1.5, -1.25, 3.0], &[3])],
         guard: None,
         batch: None,
+        reason: None,
     }
 }
 

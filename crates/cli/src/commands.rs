@@ -75,6 +75,22 @@ impl From<ServeError> for CliError {
     }
 }
 
+impl From<qd_serve::ServiceError> for CliError {
+    fn from(e: qd_serve::ServiceError) -> Self {
+        match e {
+            qd_serve::ServiceError::Plan(msg) => CliError::Usage(msg),
+            // I/O failures route through `CliError::Io` so storage
+            // errors render their actionable advice (operation, path,
+            // what to do) via `storage_cause`, like every other path.
+            qd_serve::ServiceError::Serve(s) => CliError::from(s),
+            qd_serve::ServiceError::ForeignJournal(msg) => CliError::Usage(format!(
+                "journal does not match this service plan: {msg}\n\
+                 (point --journal at this run's journal, or move the stale one aside)"
+            )),
+        }
+    }
+}
+
 /// Usage text printed by `help` and on errors.
 pub const USAGE: &str = "\
 quickdrop-cli — federated unlearning via synthetic data
@@ -108,6 +124,8 @@ USAGE:
                         [--weights W1,W2,...] [--seed X]
                         [--drift-budget F] [--retain-probe L]
                         [--ascent-retries N] [--journal [PATH]]
+                        [--unit-retries N] [--bisect]
+                        [--breaker-trip N] [--breaker-cooldown N]
                         [--stats-out stats.json]
   quickdrop-cli eval    --ckpt ckpt.json [--dataset D] [--samples N] [--seed X]
   quickdrop-cli show    --ckpt ckpt.json [--client I] [--limit N]
@@ -182,6 +200,22 @@ fn guard_policy_from(args: &Args) -> Result<Option<GuardPolicy>, CliError> {
         .validate()
         .map_err(|msg| CliError::Usage(format!("bad guard option: {msg}")))?;
     Ok(Some(policy))
+}
+
+/// Reads the `--unit-retries` / `--bisect` / `--breaker-*` family into
+/// an [`qd_serve::IsolationConfig`]. All default to off — a command
+/// line without these flags serves bit-for-bit as before failure
+/// isolation existed.
+fn isolation_config_from(args: &Args) -> Result<qd_serve::IsolationConfig, CliError> {
+    let iso = qd_serve::IsolationConfig {
+        unit_retries: args.get_usize("unit-retries", 0)? as u32,
+        bisect: args.flag("bisect"),
+        breaker_trip: args.get_usize("breaker-trip", 0)? as u32,
+        breaker_cooldown: args.get_usize("breaker-cooldown", 0)? as u32,
+    };
+    iso.validate()
+        .map_err(|msg| CliError::Usage(format!("bad isolation option: {msg}")))?;
+    Ok(iso)
 }
 
 /// The journal location: `--journal PATH` names it explicitly, a bare
@@ -519,6 +553,7 @@ fn service(args: &Args) -> Result<String, CliError> {
     let clients = qd.synthetic_sets().len();
     let cfg = serve_config_from(args, classes, clients)?;
     let policy = guard_policy_from(args)?;
+    let iso = isolation_config_from(args)?;
     let mut rng = Rng::seed_from(seed ^ 0x5EED);
 
     // The service always journals: progress counting and crash recovery
@@ -526,25 +561,30 @@ fn service(args: &Args) -> Result<String, CliError> {
     let journal_path = journal_path_from(args, &path)
         .unwrap_or_else(|| RequestJournal::path_for_checkpoint(&path));
     let mut journal = RequestJournal::open(&journal_path)?;
-    let resumed_line = qd
-        .resume_requests(&mut fed, &mut journal, policy.as_ref(), &mut rng)
-        .map_err(CliError::from)?
-        .map(|_| "finished an in-flight service unit from the journal\n")
-        .unwrap_or_default();
+    // Under failure isolation the executor resumes in-flight units
+    // itself (it must re-derive the retry-ladder rung before anything
+    // executes); the plain resume here would finish them under the
+    // base policy.
+    let resumed_line = if iso.active() {
+        String::new()
+    } else {
+        qd.resume_requests(&mut fed, &mut journal, policy.as_ref(), &mut rng)
+            .map_err(CliError::from)?
+            .map(|_| "finished an in-flight service unit from the journal\n".to_string())
+            .unwrap_or_default()
+    };
 
-    let run = qd_serve::run_service(
+    let run = qd_serve::run_service_isolated(
         &mut qd,
         &mut fed,
         &mut journal,
         &cfg,
         policy.as_ref(),
+        &iso,
         &mut rng,
         None,
     )
-    .map_err(|e| match e {
-        qd_serve::ServiceError::Plan(msg) => CliError::Usage(msg),
-        qd_serve::ServiceError::Serve(s) => CliError::from(s),
-    })?;
+    .map_err(CliError::from)?;
     Checkpoint::capture(fed.global(), &qd).save(&out)?;
 
     let stats = &run.stats;
@@ -563,11 +603,24 @@ fn service(args: &Args) -> Result<String, CliError> {
     } else {
         String::new()
     };
+    let degraded_line = if iso.active() {
+        format!(
+            "degraded mode: {} quarantined (dead-letter), {} shed by breakers; \
+             {} unit(s) retried, {} bisected; breakers [{}]\n",
+            stats.quarantined,
+            stats.shed,
+            stats.retried_units,
+            stats.bisected_units,
+            stats.breaker.join(", "),
+        )
+    } else {
+        String::new()
+    };
     Ok(format!(
         "served {} of {} offered requests from {} tenant(s) in {} unit(s) \
          (coalesce ratio {:.2}); rejected {}\n\
          virtual latency p50 {} µs, p99 {} µs; {:.1} req/s over {} µs\n\
-         {resumed_line}{resumed_units_line}{stats_line}checkpoint written to {out}\n",
+         {degraded_line}{resumed_line}{resumed_units_line}{stats_line}checkpoint written to {out}\n",
         stats.served,
         stats.offered,
         stats.tenants,
@@ -1120,6 +1173,7 @@ mod tests {
             global: Vec::new(),
             guard: None,
             batch: None,
+            reason: None,
         };
         let err = CliError::Io(journal.append(record).unwrap_err());
         let msg = err.to_string();

@@ -95,6 +95,16 @@ pub enum RequestState {
     Recovered,
     /// Erased knowledge restored on explicit relearn. Terminal.
     Relearned,
+    /// Shed unserved by a tripped per-tenant circuit breaker. Terminal;
+    /// the model never changed for this request. Carries a typed
+    /// [`FailReason`] in the record.
+    Failed,
+    /// Isolated to the dead-letter set: the request could not be served
+    /// under any rung of the retry ladder (alone or, for a coalesced
+    /// batch, as the poison member bisection converged on). Terminal;
+    /// the model never changed for this request. Carries a typed
+    /// [`FailReason`] in the record.
+    Quarantined,
 }
 
 impl std::fmt::Display for RequestState {
@@ -104,6 +114,8 @@ impl std::fmt::Display for RequestState {
             RequestState::Unlearned => "UNLEARNED",
             RequestState::Recovered => "RECOVERED",
             RequestState::Relearned => "RELEARNED",
+            RequestState::Failed => "FAILED",
+            RequestState::Quarantined => "QUARANTINED",
         };
         f.write_str(s)
     }
@@ -125,9 +137,36 @@ impl std::fmt::Display for BatchId {
     }
 }
 
+/// Why a request reached a failure-terminal state
+/// ([`RequestState::Failed`] or [`RequestState::Quarantined`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FailReason {
+    /// The guard rejected the unit and no retry ladder was configured.
+    Diverged,
+    /// Every rung of the retry ladder was exhausted.
+    RetriesExhausted,
+    /// Batch bisection isolated this member as the one poisoning an
+    /// otherwise-servable coalesced unit.
+    PoisonMember,
+    /// Shed unserved by the owning tenant's tripped circuit breaker.
+    Shed,
+}
+
+impl std::fmt::Display for FailReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            FailReason::Diverged => "diverged",
+            FailReason::RetriesExhausted => "retries-exhausted",
+            FailReason::PoisonMember => "poison-member",
+            FailReason::Shed => "shed",
+        };
+        f.write_str(s)
+    }
+}
+
 /// One journal entry: a request reaching `state`, with everything needed
 /// to continue from exactly this boundary.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct JournalRecord {
     /// Request sequence number (shared by all records of one request).
     pub seq: u64,
@@ -145,11 +184,37 @@ pub struct JournalRecord {
     /// The coalesced batch this record belongs to (`None` for requests
     /// served alone, and for every record of a version-1 journal).
     pub batch: Option<BatchId>,
+    /// Why the request failed (`Some` only on [`RequestState::Failed`]
+    /// and [`RequestState::Quarantined`] records).
+    pub reason: Option<FailReason>,
+}
+
+// Hand-written so the `reason` key is only emitted when set: every
+// record a pre-isolation build wrote — and every record a run with
+// isolation off writes — stays byte-identical (the derive would emit
+// `"reason": null` on all of them, changing every journal frame).
+impl Serialize for JournalRecord {
+    fn to_value(&self) -> serde::Value {
+        let mut entries = vec![
+            ("seq".to_string(), Serialize::to_value(&self.seq)),
+            ("request".to_string(), Serialize::to_value(&self.request)),
+            ("state".to_string(), Serialize::to_value(&self.state)),
+            ("rng".to_string(), Serialize::to_value(&self.rng)),
+            ("global".to_string(), Serialize::to_value(&self.global)),
+            ("guard".to_string(), Serialize::to_value(&self.guard)),
+            ("batch".to_string(), Serialize::to_value(&self.batch)),
+        ];
+        if let Some(reason) = &self.reason {
+            entries.push(("reason".to_string(), Serialize::to_value(reason)));
+        }
+        serde::Value::Map(entries)
+    }
 }
 
 // Hand-written so version-1 records — written before the `batch` field
 // existed — deserialize with `batch: None` instead of failing on the
-// missing field (the derive treats every field as required).
+// missing field (the derive treats every field as required); likewise
+// `reason`, absent from every pre-isolation record.
 impl Deserialize for JournalRecord {
     fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
         Ok(JournalRecord {
@@ -162,6 +227,10 @@ impl Deserialize for JournalRecord {
             batch: match v.get("batch") {
                 None => None,
                 Some(b) => Deserialize::from_value(b)?,
+            },
+            reason: match v.get("reason") {
+                None => None,
+                Some(r) => Deserialize::from_value(r)?,
             },
         })
     }
@@ -649,7 +718,14 @@ impl RequestJournal {
         value: &serde::Value,
         fallback_seq: u64,
     ) -> Result<(), JournalError> {
-        const KNOWN: [&str; 4] = ["Received", "Unlearned", "Recovered", "Relearned"];
+        const KNOWN: [&str; 6] = [
+            "Received",
+            "Unlearned",
+            "Recovered",
+            "Relearned",
+            "Failed",
+            "Quarantined",
+        ];
         let Some(serde::Value::Str(tag)) = value.get("state") else {
             // Shape problems are the full deserialize's to report.
             return Ok(());
@@ -760,8 +836,13 @@ impl RequestJournal {
     }
 
     /// The sequence number the next request will get.
+    ///
+    /// The maximum over all records, not the last record's: a terminal
+    /// FAILED or QUARANTINED record can be appended for an older
+    /// sequence after newer sequences already exist, and `last.seq + 1`
+    /// would then hand out a collision.
     pub fn next_seq(&self) -> u64 {
-        self.records.last().map_or(0, |r| r.seq + 1)
+        self.records.iter().map(|r| r.seq + 1).max().unwrap_or(0)
     }
 
     /// Appends a record durably: one framed commit appended to the tail
@@ -945,6 +1026,12 @@ pub enum BatchPreempt {
     /// Right after the atomic RECOVERED set is durable, before
     /// returning.
     Recovered,
+    /// Right after a unit's first atomic QUARANTINED set is durable —
+    /// the dead-letter boundary the failure-isolation executor adds.
+    Quarantined,
+    /// Right after a unit's atomic FAILED (breaker-shed) set is
+    /// durable.
+    Failed,
 }
 
 /// How a journaled batch serve call ended.
@@ -988,6 +1075,21 @@ pub struct BatchOutcome {
     /// Guard bookkeeping accumulated across the whole batch (`None`
     /// for unguarded serving).
     pub guard: Option<GuardStats>,
+}
+
+/// How a [`QuickDrop::resume_requests_until`] call ended.
+#[derive(Debug)]
+pub enum ResumeRun {
+    /// The journal tail was finished (or nothing needed finishing);
+    /// carries the outcome of the request finished during resume, if
+    /// any (boxed to keep the enum small).
+    Complete(Option<Box<MethodOutcome>>),
+    /// Finishing stopped right after `boundary` became durable — the
+    /// deterministic crash stand-in, as in [`BatchRun::Preempted`].
+    Preempted {
+        /// The last boundary made durable before stopping.
+        boundary: BatchPreempt,
+    },
 }
 
 impl QuickDrop {
@@ -1041,6 +1143,7 @@ impl QuickDrop {
             global: fed.global().to_vec(),
             guard: None,
             batch: None,
+            reason: None,
         })?;
         if preempt_at == Some(RequestState::Received) {
             return Ok(ServeRun::Preempted {
@@ -1069,7 +1172,7 @@ impl QuickDrop {
         let rng_mark = rng.state();
         let mut stats = GuardStats::default();
         let mut last_violation = GuardViolation::NonFinite;
-        let mut lr_scale = 1.0f32;
+        let mut lr_scale = policy.map_or(1.0f32, |p| p.ascent_lr_scale);
         let retries = policy.map_or(0, |p| p.ascent_retries);
         let mut accepted: Option<PhaseStats> = None;
         for attempt in 0..=retries {
@@ -1116,6 +1219,7 @@ impl QuickDrop {
             global: post_unlearn_params.clone(),
             guard: policy.map(|_| stats),
             batch: None,
+            reason: None,
         })?;
         if preempt_at == Some(RequestState::Unlearned) {
             return Ok(ServeRun::Preempted {
@@ -1139,6 +1243,7 @@ impl QuickDrop {
             global: fed.global().to_vec(),
             guard: stats,
             batch: None,
+            reason: None,
         })?;
         if preempt_at == Some(RequestState::Recovered) {
             return Ok(ServeRun::Preempted {
@@ -1276,6 +1381,7 @@ impl QuickDrop {
                 global: batch_reference.clone(),
                 guard: None,
                 batch: Some(batch),
+                reason: None,
             })
             .collect();
         journal.append_all(received)?;
@@ -1333,7 +1439,7 @@ impl QuickDrop {
             let member_reference = fed.global().to_vec();
             let rng_mark = rng.state();
             let mut last_violation = GuardViolation::NonFinite;
-            let mut lr_scale = 1.0f32;
+            let mut lr_scale = policy.map_or(1.0f32, |p| p.ascent_lr_scale);
             let retries = policy.map_or(0, |p| p.ascent_retries);
             let mut accepted: Option<PhaseStats> = None;
             for attempt in 0..=retries {
@@ -1394,6 +1500,7 @@ impl QuickDrop {
                 global: fed.global().to_vec(),
                 guard: policy.map(|_| stats),
                 batch: Some(batch),
+                reason: None,
             })?;
             unlearn_stats.push(unlearn);
             if preempt_at == Some(BatchPreempt::Unlearned(index + 1)) {
@@ -1446,6 +1553,7 @@ impl QuickDrop {
                 global: fed.global().to_vec(),
                 guard: final_stats,
                 batch: Some(batch),
+                reason: None,
             })
             .collect();
         journal.append_all(recovered)?;
@@ -1510,6 +1618,7 @@ impl QuickDrop {
             global: fed.global().to_vec(),
             guard: None,
             batch: None,
+            reason: None,
         })?;
         Ok(stats)
     }
@@ -1548,6 +1657,40 @@ impl QuickDrop {
         policy: Option<&GuardPolicy>,
         rng: &mut Rng,
     ) -> Result<Option<MethodOutcome>, ServeError> {
+        match self.resume_requests_until(fed, journal, policy, rng, None)? {
+            ResumeRun::Complete(outcome) => Ok(outcome.map(|o| *o)),
+            // Unreachable with `preempt_at: None`; nothing is left
+            // undone if it ever were.
+            ResumeRun::Preempted { .. } => Ok(None),
+        }
+    }
+
+    /// [`QuickDrop::resume_requests`] with a durable-boundary preempt:
+    /// finishing stops right after `preempt_at` becomes durable, the
+    /// deterministic crash stand-in the failure-isolation executor and
+    /// the chaos harnesses drive. `None` finishes everything.
+    ///
+    /// This is also the failure-isolation executor's *only* execution
+    /// path: it appends a unit's RECEIVED set itself and then drives
+    /// every attempt through this call, so a fresh unit and a
+    /// crash-resumed one execute identical code from identical
+    /// journal-derived state.
+    ///
+    /// # Errors
+    ///
+    /// As [`QuickDrop::resume_requests`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `policy` fails [`GuardPolicy::validate`].
+    pub fn resume_requests_until(
+        &mut self,
+        fed: &mut Federation,
+        journal: &mut RequestJournal,
+        policy: Option<&GuardPolicy>,
+        rng: &mut Rng,
+        preempt_at: Option<BatchPreempt>,
+    ) -> Result<ResumeRun, ServeError> {
         if let Some(policy) = policy {
             if let Err(msg) = policy.validate() {
                 // qd-lint: allow(panic-safety) -- policy validation failure
@@ -1557,27 +1700,41 @@ impl QuickDrop {
             }
         }
         let Some(last) = journal.last().cloned() else {
-            return Ok(None);
+            return Ok(ResumeRun::Complete(None));
         };
         // Replay the forgotten-state marks in journal order. Marking is
         // idempotent (set semantics), so records already reflected in
-        // the checkpoint apply harmlessly a second time.
+        // the checkpoint apply harmlessly a second time. FAILED and
+        // QUARANTINED requests never touched the model, so they mark
+        // nothing.
         for record in journal.records() {
             match record.state {
                 RequestState::Unlearned | RequestState::Recovered => {
                     self.mark_unlearned(record.request);
                 }
                 RequestState::Relearned => self.unmark_unlearned(record.request),
-                RequestState::Received => {}
+                RequestState::Received | RequestState::Failed | RequestState::Quarantined => {}
             }
         }
         fed.set_global(last.global.clone());
         *rng = Rng::from_state(&last.rng);
         if let Some(batch) = last.batch {
-            return self.resume_batch(fed, journal, batch, &last, policy, rng);
+            return self.resume_batch(fed, journal, batch, &last, policy, rng, preempt_at);
         }
+        // For a singleton request the batch-level boundaries map onto
+        // the request states (`Unlearned(_)` can only mean the one
+        // member); the isolation-only boundaries cannot occur here.
+        let preempt = preempt_at.and_then(|boundary| match boundary {
+            BatchPreempt::Received => Some(RequestState::Received),
+            BatchPreempt::Unlearned(_) => Some(RequestState::Unlearned),
+            BatchPreempt::Recovered => Some(RequestState::Recovered),
+            BatchPreempt::Quarantined | BatchPreempt::Failed => None,
+        });
         match last.state {
-            RequestState::Recovered | RequestState::Relearned => Ok(None),
+            RequestState::Recovered
+            | RequestState::Relearned
+            | RequestState::Failed
+            | RequestState::Quarantined => Ok(ResumeRun::Complete(None)),
             RequestState::Received => {
                 // Crash before (or during) ascent: the RECEIVED record
                 // holds the pre-request state we just restored; run the
@@ -1590,9 +1747,17 @@ impl QuickDrop {
                     last.request,
                     policy,
                     rng,
-                    None,
+                    preempt,
                 )?;
-                Ok(run.into_complete())
+                Ok(match run {
+                    ServeRun::Complete(outcome) => ResumeRun::Complete(Some(outcome)),
+                    ServeRun::Preempted { state } => ResumeRun::Preempted {
+                        boundary: match state {
+                            RequestState::Unlearned => BatchPreempt::Unlearned(1),
+                            _ => BatchPreempt::Recovered,
+                        },
+                    },
+                })
             }
             RequestState::Unlearned => {
                 // Crash between ascent and recovery: the pre-request
@@ -1629,27 +1794,37 @@ impl QuickDrop {
                     global: fed.global().to_vec(),
                     guard: stats,
                     batch: None,
+                    reason: None,
                 })?;
-                Ok(Some(MethodOutcome {
+                if preempt == Some(RequestState::Recovered) {
+                    return Ok(ResumeRun::Preempted {
+                        boundary: BatchPreempt::Recovered,
+                    });
+                }
+                Ok(ResumeRun::Complete(Some(Box::new(MethodOutcome {
                     // The ascent's cost accounting died with the original
                     // process; the model/RNG state did not.
                     unlearn: PhaseStats::default(),
                     recovery,
                     post_unlearn_params: last.global,
                     guard: stats,
-                }))
+                }))))
             }
         }
     }
 
     /// The batch arm of [`QuickDrop::resume_requests`]: membership and
     /// progress both come from the journal — the RECEIVED set (atomic,
-    /// so never half-written) lists the members, the UNLEARNED records
-    /// say how many ascents were accepted before the crash, and the
-    /// caller has already restored model/RNG from the last record and
-    /// replayed the forgotten-state marks. [`Self::finish_batch`] then
-    /// runs the remaining members and the shared recovery exactly as
-    /// the uninterrupted run would have.
+    /// so never half-written) lists the members, QUARANTINED and FAILED
+    /// records subtract the members isolated or shed out of the batch,
+    /// the UNLEARNED records say how many active ascents were accepted
+    /// before the crash, and the caller has already restored model/RNG
+    /// from the last record and replayed the forgotten-state marks.
+    /// `finish_batch` then runs the remaining members and the
+    /// shared recovery exactly as the uninterrupted run would have. A
+    /// batch whose every member is quarantined or shed has nothing left
+    /// to do.
+    #[allow(clippy::too_many_arguments)]
     fn resume_batch(
         &mut self,
         fed: &mut Federation,
@@ -1658,32 +1833,52 @@ impl QuickDrop {
         last: &JournalRecord,
         policy: Option<&GuardPolicy>,
         rng: &mut Rng,
-    ) -> Result<Option<MethodOutcome>, ServeError> {
+        preempt_at: Option<BatchPreempt>,
+    ) -> Result<ResumeRun, ServeError> {
         if matches!(
             last.state,
             RequestState::Recovered | RequestState::Relearned
         ) {
-            return Ok(None);
+            return Ok(ResumeRun::Complete(None));
         }
+        let inactive: Vec<u64> = journal
+            .records()
+            .iter()
+            .filter(|r| {
+                r.batch == Some(batch)
+                    && matches!(r.state, RequestState::Quarantined | RequestState::Failed)
+            })
+            .map(|r| r.seq)
+            .collect();
         let members: Vec<(u64, UnlearnRequest)> = journal
             .records()
             .iter()
-            .filter(|r| r.batch == Some(batch) && r.state == RequestState::Received)
+            .filter(|r| {
+                r.batch == Some(batch)
+                    && r.state == RequestState::Received
+                    && !inactive.contains(&r.seq)
+            })
             .map(|r| (r.seq, r.request))
             .collect();
+        if members.is_empty() {
+            return Ok(ResumeRun::Complete(None));
+        }
         let done = journal
             .records()
             .iter()
-            .filter(|r| r.batch == Some(batch) && r.state == RequestState::Unlearned)
-            .count();
-        let (batch_reference, batch_rng) = members
-            .first()
-            .and_then(|&(seq, _)| {
-                journal
-                    .records()
-                    .iter()
-                    .find(|r| r.seq == seq && r.state == RequestState::Received)
+            .filter(|r| {
+                r.batch == Some(batch)
+                    && r.state == RequestState::Unlearned
+                    && !inactive.contains(&r.seq)
             })
+            .count();
+        // Every member's RECEIVED record carries the same pre-batch
+        // state, so any of them (quarantined or not) supplies the
+        // reference.
+        let (batch_reference, batch_rng) = journal
+            .records()
+            .iter()
+            .find(|r| r.batch == Some(batch) && r.state == RequestState::Received)
             .map(|r| (r.global.clone(), r.rng.clone()))
             .ok_or_else(|| {
                 std::io::Error::new(
@@ -1703,16 +1898,140 @@ impl QuickDrop {
             stats,
             policy,
             rng,
-            None,
+            preempt_at,
         )?;
-        Ok(run.into_complete().map(|outcome| MethodOutcome {
-            // Ascent accounting from before the crash died with the
-            // original process; the model/RNG state did not.
-            unlearn: PhaseStats::default(),
-            recovery: outcome.recovery,
-            post_unlearn_params: outcome.post_unlearn_params,
-            guard: outcome.guard,
-        }))
+        Ok(match run {
+            BatchRun::Complete(outcome) => {
+                ResumeRun::Complete(Some(Box::new(MethodOutcome {
+                    // Ascent accounting from before the crash died with
+                    // the original process; the model/RNG state did not.
+                    unlearn: PhaseStats::default(),
+                    recovery: outcome.recovery,
+                    post_unlearn_params: outcome.post_unlearn_params,
+                    guard: outcome.guard,
+                })))
+            }
+            BatchRun::Preempted { boundary } => ResumeRun::Preempted { boundary },
+        })
+    }
+
+    /// Side-effect-free trial: would serving `requests` as one
+    /// coalesced unit from the **current** live state (model, RNG
+    /// stream, forgotten-state marks) succeed under `policy`?
+    ///
+    /// Runs the exact operation sequence `finish_batch` would —
+    /// per-member guarded ascents with in-guard rollback/LR-halving,
+    /// marks, one shared recovery, the post-recovery probe check — on a
+    /// cloned RNG stream, then restores the model and marks, so the
+    /// live state is untouched whatever the verdict. Because the trial
+    /// and the real execution perform identical operations from
+    /// identical state, a `true` here guarantees the subsequent real
+    /// (journaled) execution of the same unit under the same policy
+    /// accepts — which is what lets the failure-isolation executor pick
+    /// a retry-ladder rung (and bisect poison members) *before* writing
+    /// anything, keeping the ladder position journal-derivable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `policy` fails [`GuardPolicy::validate`] or `requests`
+    /// is empty.
+    pub fn probe_unit(
+        &mut self,
+        fed: &mut Federation,
+        requests: &[UnlearnRequest],
+        policy: &GuardPolicy,
+        rng: &Rng,
+    ) -> bool {
+        if let Err(msg) = policy.validate() {
+            // qd-lint: allow(panic-safety) -- policy validation failure
+            // is a documented caller bug (`# Panics`), not a runtime
+            // condition
+            panic!("invalid guard policy: {msg}");
+        }
+        // qd-lint: allow(panic-safety) -- an empty unit is a documented
+        // caller bug (`# Panics`), not a runtime condition
+        assert!(!requests.is_empty(), "cannot probe an empty unit");
+        let reference = fed.global().to_vec();
+        let marks = self.marks_snapshot();
+        let mut rng = Rng::from_state(&rng.state());
+        let mut ok = true;
+        for &request in requests {
+            let member_reference = fed.global().to_vec();
+            let rng_mark = rng.state();
+            let mut lr_scale = policy.ascent_lr_scale;
+            let mut accepted = false;
+            for attempt in 0..=policy.ascent_retries {
+                let (_, post) = self.ascent_stage(fed, request, &mut rng, lr_scale);
+                let gate = check_attempt(
+                    policy,
+                    fed.model().as_ref(),
+                    &member_reference,
+                    &post,
+                    &post,
+                    None,
+                );
+                if gate.is_ok() {
+                    accepted = true;
+                    break;
+                }
+                fed.set_global(member_reference.clone());
+                rng = Rng::from_state(&rng_mark);
+                if attempt < policy.ascent_retries {
+                    lr_scale *= 0.5;
+                }
+            }
+            if !accepted {
+                ok = false;
+                break;
+            }
+            self.mark_unlearned(request);
+        }
+        if ok {
+            let post_unlearn = fed.global().to_vec();
+            let _ = self.recovery_stage(fed, &mut rng);
+            let probe = probe_sample(&self.synthetic_retain(), policy.probe_samples);
+            ok = check_attempt(
+                policy,
+                fed.model().as_ref(),
+                &reference,
+                &post_unlearn,
+                fed.global(),
+                probe.as_ref(),
+            )
+            .is_ok();
+        }
+        fed.set_global(reference);
+        self.marks_restore(marks);
+        ok
+    }
+
+    /// Restores live state (forgotten-state marks, global model, RNG
+    /// stream) from the journal tail **without finishing anything** —
+    /// the failure-isolation executor's resume entry point. Unlike
+    /// [`QuickDrop::resume_requests`], an in-flight unit at the tail is
+    /// left exactly where the journal says it is, because the executor
+    /// must re-derive the winning retry-ladder rung (by re-running the
+    /// probes) before any serving code touches the unit; resuming with
+    /// the base policy here would finish it under the wrong rung.
+    ///
+    /// Idempotent: on a live (non-crashed) deployment the tail already
+    /// matches the live state and the mark replay re-applies set
+    /// semantics, so calling this is harmless. An empty journal is a
+    /// no-op.
+    pub fn restore_tail(&mut self, fed: &mut Federation, journal: &RequestJournal, rng: &mut Rng) {
+        for record in journal.records() {
+            match record.state {
+                RequestState::Unlearned | RequestState::Recovered => {
+                    self.mark_unlearned(record.request);
+                }
+                RequestState::Relearned => self.unmark_unlearned(record.request),
+                RequestState::Received | RequestState::Failed | RequestState::Quarantined => {}
+            }
+        }
+        if let Some(last) = journal.last() {
+            fed.set_global(last.global.clone());
+            *rng = Rng::from_state(&last.rng);
+        }
     }
 
     /// Loads the deployment checkpoint at `checkpoint` and replays the
@@ -1777,6 +2096,7 @@ mod tests {
             global: Vec::new(),
             guard: None,
             batch: Some(BatchId(4)),
+            reason: None,
         };
         // A version-1 writer never emitted the `batch` key at all;
         // strip it to simulate such a record.
@@ -1800,6 +2120,7 @@ mod tests {
             global: Vec::new(),
             guard: None,
             batch: None,
+            reason: None,
         };
         let seg = Path::new("j.seg-000000");
         let mut bytes = encode_commit(&[rec(0), rec(1)]).expect("encodable");

@@ -407,6 +407,21 @@ impl QuickDrop {
         )
     }
 
+    /// Snapshot of the forgotten-state marks, for side-effect-free
+    /// trials ([`QuickDrop::probe_unit`]) that must restore them.
+    pub(crate) fn marks_snapshot(&self) -> (BTreeSet<usize>, BTreeSet<usize>) {
+        (
+            self.unlearned_classes.clone(),
+            self.unlearned_clients.clone(),
+        )
+    }
+
+    /// Restores a [`QuickDrop::marks_snapshot`].
+    pub(crate) fn marks_restore(&mut self, marks: (BTreeSet<usize>, BTreeSet<usize>)) {
+        self.unlearned_classes = marks.0;
+        self.unlearned_clients = marks.1;
+    }
+
     /// Rebuilds a system from checkpoint state (see [`crate::Checkpoint`]).
     pub(crate) fn from_checkpoint_state(
         config: QuickDropConfig,

@@ -288,7 +288,7 @@ fn journal_rejects_unknown_future_state_tags() {
     // must refuse with the typed forward-compat error.
     std::fs::write(
         &path,
-        "{\"version\": 2, \"records\": [{\"seq\": 7, \"state\": \"Quarantined\"}]}",
+        "{\"version\": 2, \"records\": [{\"seq\": 7, \"state\": \"Vaporized\"}]}",
     )
     .unwrap();
     let err = RequestJournal::open(&path).expect_err("unknown state tag must not open");
@@ -296,8 +296,8 @@ fn journal_rejects_unknown_future_state_tags() {
         panic!("expected UnknownState, got {err:?}");
     };
     assert_eq!(seq, 7);
-    assert_eq!(tag, "Quarantined");
-    assert!(err.to_string().contains("Quarantined"), "{err}");
+    assert_eq!(tag, "Vaporized");
+    assert!(err.to_string().contains("Vaporized"), "{err}");
     std::fs::remove_file(&path).ok();
 }
 

@@ -32,18 +32,34 @@
 //! Everything reported in [`ServeStats`] uses the plan's virtual clock
 //! — no wall time anywhere — so benchmarks are reproducible across
 //! machines and across kill/resume schedules.
+//!
+//! # Failure isolation
+//!
+//! [`run_service_isolated`] wraps the same plan/execute split in a
+//! degraded-mode executor (see `executor`): a unit the guard rejects
+//! climbs a deterministic retry ladder of tightened policies, a
+//! poisoned coalesced batch is bisected down to the guilty members,
+//! those members are quarantined to a dead-letter journal instead of
+//! aborting the run, and per-tenant circuit breakers shed a repeatedly
+//! poisonous tenant's queue. All knobs ([`IsolationConfig`]) default
+//! off, and the inactive executor is bit-for-bit the plain service.
 
 #![forbid(unsafe_code)]
 #![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod executor;
 pub mod plan;
 pub mod pool;
 pub mod service;
 pub mod stats;
 
 pub use config::ServeConfig;
+pub use executor::{
+    isolate_poison, ladder_policy, run_service_isolated, IsolationConfig, TenantBreaker,
+    MAX_UNIT_RETRIES,
+};
 pub use plan::{build_plan, Arrival, Plan, PlannedBatch, RequestTag};
 pub use pool::ThreadPool;
 pub use service::{run_service, ChaosKill, ServiceError, ServiceRun};

@@ -7,19 +7,27 @@
 //! crash recovery is: reload checkpoint + journal (which finishes any
 //! partially-applied unit via `QuickDrop::resume_requests`), then call
 //! [`run_service`] again with the same config — it rebuilds the same
-//! plan, counts the units the journal already certifies, and continues
-//! from the first incomplete one. The final model, journal records and
+//! plan, maps the journal back onto it, and continues from the first
+//! incomplete unit. The final model, journal records and
 //! [`ServeStats`] match an unfailed run bit-for-bit.
+//!
+//! With an active [`crate::IsolationConfig`] the same entry point
+//! routes through the failure-isolation executor
+//! ([`crate::run_service_isolated`]): diverging units walk a retry
+//! ladder, poison members are bisected into a dead-letter set, and
+//! per-tenant circuit breakers shed work from repeat offenders — see
+//! `crate::executor`.
 
 use crate::config::ServeConfig;
-use crate::plan::{build_plan, Plan};
+use crate::executor::map_journal;
+use crate::plan::build_plan;
 use crate::stats::ServeStats;
 use qd_core::{
     BatchPreempt, BatchRun, QuickDrop, RequestJournal, RequestState, ServeError, ServeRun,
 };
 use qd_fed::Federation;
 use qd_tensor::rng::Rng;
-use qd_unlearn::GuardPolicy;
+use qd_unlearn::{ForgetSet, GuardPolicy};
 
 /// Why a service run failed.
 #[derive(Debug)]
@@ -28,6 +36,12 @@ pub enum ServiceError {
     Plan(String),
     /// A journaled serving call failed (I/O or guard divergence).
     Serve(ServeError),
+    /// The journal does not belong to this service plan: its records
+    /// cannot be aligned with the planned units (wrong config, a
+    /// relearn stream, or a journal from some other deployment).
+    /// Progress counting on such a journal would silently corrupt the
+    /// run, so it is refused up front.
+    ForeignJournal(String),
 }
 
 impl std::fmt::Display for ServiceError {
@@ -35,6 +49,9 @@ impl std::fmt::Display for ServiceError {
         match self {
             ServiceError::Plan(msg) => write!(f, "service plan: {msg}"),
             ServiceError::Serve(e) => e.fmt(f),
+            ServiceError::ForeignJournal(msg) => {
+                write!(f, "journal does not match this service plan: {msg}")
+            }
         }
     }
 }
@@ -55,14 +72,21 @@ pub struct ChaosKill {
     /// Index into the plan's unit list.
     pub unit_index: usize,
     /// The journal boundary to die at. For singleton units,
-    /// `Unlearned(_)` means the UNLEARNED record.
+    /// `Unlearned(_)` means the UNLEARNED record. The
+    /// isolation-only boundaries (`Quarantined`, `Failed`) only fire
+    /// under an active [`crate::IsolationConfig`]; the plain path
+    /// never reaches them.
     pub boundary: BatchPreempt,
 }
 
 /// What a [`run_service`] call did.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServiceRun {
-    /// Full SLA accounting (plan-derived; identical across resumes).
+    /// Full SLA accounting. Plan-derived and identical across resumes;
+    /// when `preempted` is true the stats are marked
+    /// [partial](ServeStats::partial) and the latency/throughput
+    /// fields are zeroed, because they would describe a schedule that
+    /// never finished.
     pub stats: ServeStats,
     /// Units this call executed (not counting ones a previous process
     /// had already completed).
@@ -72,47 +96,37 @@ pub struct ServiceRun {
     /// True when a [`ChaosKill`] stopped the run early; the journal
     /// holds the partial progress and a later call continues it.
     pub preempted: bool,
-}
-
-/// Counts the leading planned units the journal already fully
-/// certifies: unit *i* is complete once the journal holds RECOVERED
-/// records for all of its members (units execute strictly in plan
-/// order, so cumulative RECOVERED counts identify the frontier).
-fn completed_units(plan: &Plan, journal: &RequestJournal) -> usize {
-    let recovered = journal
-        .records()
-        .iter()
-        .filter(|r| r.state == RequestState::Recovered)
-        .count();
-    let mut cumulative = 0usize;
-    let mut done = 0usize;
-    for unit in &plan.batches {
-        cumulative += unit.members.len();
-        if recovered >= cumulative {
-            done += 1;
-        } else {
-            break;
-        }
-    }
-    done
+    /// The dead-letter set: requests whose members were isolated to
+    /// QUARANTINED. Empty on the plain path and on any run without
+    /// poison.
+    pub dead_letter: ForgetSet,
 }
 
 /// Plans and executes the whole service run for `cfg` — or, when the
 /// journal already holds progress from a killed run *of the same
 /// config*, the remainder of it.
 ///
-/// The journal must be dedicated to this service run: progress
-/// counting assumes every RECOVERED record in it was written by this
-/// plan's units. Callers resuming after a crash should first restore
-/// the deployment (`QuickDrop::recover_deployment`, which finishes any
+/// The journal must be dedicated to this service run: its records are
+/// aligned with the plan's units before anything executes, and a
+/// journal that cannot be aligned (wrong config, relearn records, some
+/// other deployment's history) is refused with
+/// [`ServiceError::ForeignJournal`] instead of being silently
+/// miscounted. Callers resuming after a crash should first restore the
+/// deployment (`QuickDrop::recover_deployment`, which finishes any
 /// partially-applied unit), then call this with the same config.
+///
+/// This is the *plain* (isolation-off) path — equivalent to
+/// [`crate::run_service_isolated`] with the default all-off
+/// [`crate::IsolationConfig`], which is exactly how it is implemented.
 ///
 /// # Errors
 ///
-/// [`ServiceError::Plan`] for an unrunnable config, or
-/// [`ServiceError::Serve`] when a unit fails (guard divergence aborts
-/// the run; the journal keeps the diverged unit at its last durable
-/// state, so a retry surfaces the same error deterministically).
+/// [`ServiceError::Plan`] for an unrunnable config,
+/// [`ServiceError::ForeignJournal`] when the journal cannot be aligned
+/// with the plan, or [`ServiceError::Serve`] when a unit fails (guard
+/// divergence aborts the run; the journal keeps the diverged unit at
+/// its last durable state, so a retry surfaces the same error
+/// deterministically).
 #[allow(clippy::too_many_arguments)]
 pub fn run_service(
     qd: &mut QuickDrop,
@@ -123,17 +137,41 @@ pub fn run_service(
     rng: &mut Rng,
     kill: Option<ChaosKill>,
 ) -> Result<ServiceRun, ServiceError> {
+    run_plain(qd, fed, journal, cfg, policy, rng, kill)
+}
+
+/// The isolation-off unit loop shared by [`run_service`] and the
+/// executor's inactive fast path: byte-for-byte the behaviour the
+/// service had before failure isolation existed, except that progress
+/// counting now goes through [`map_journal`] (typed
+/// [`ServiceError::ForeignJournal`] instead of silent miscounts) and
+/// preempted stats are marked partial.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_plain(
+    qd: &mut QuickDrop,
+    fed: &mut Federation,
+    journal: &mut RequestJournal,
+    cfg: &ServeConfig,
+    policy: Option<&GuardPolicy>,
+    rng: &mut Rng,
+    kill: Option<ChaosKill>,
+) -> Result<ServiceRun, ServiceError> {
     let plan = build_plan(cfg).map_err(ServiceError::Plan)?;
-    let stats = ServeStats::from_plan(&plan);
-    let resumed_units = completed_units(&plan, journal) as u64;
+    let frontier = map_journal(&plan, journal)?;
+    let resumed_units = frontier.done as u64;
+    let mut stats = ServeStats::from_plan(&plan);
     let mut executed_units = 0u64;
-    for (index, unit) in plan.batches.iter().enumerate().skip(resumed_units as usize) {
+    let mut preempted = false;
+    for (index, unit) in plan.batches.iter().enumerate().skip(frontier.done) {
         let unit_kill = kill.filter(|k| k.unit_index == index);
-        let preempted = if let [single] = unit.members.as_slice() {
-            let preempt_at = unit_kill.map(|k| match k.boundary {
-                BatchPreempt::Received => RequestState::Received,
-                BatchPreempt::Unlearned(_) => RequestState::Unlearned,
-                BatchPreempt::Recovered => RequestState::Recovered,
+        let hit = if let [single] = unit.members.as_slice() {
+            let preempt_at = unit_kill.and_then(|k| match k.boundary {
+                BatchPreempt::Received => Some(RequestState::Received),
+                BatchPreempt::Unlearned(_) => Some(RequestState::Unlearned),
+                BatchPreempt::Recovered => Some(RequestState::Recovered),
+                // Isolation-only boundaries: the plain path never
+                // writes these records, so the kill cannot fire.
+                BatchPreempt::Quarantined | BatchPreempt::Failed => None,
             });
             let run = qd.serve_journaled(fed, journal, *single, policy, rng, preempt_at)?;
             matches!(run, ServeRun::Preempted { .. })
@@ -143,20 +181,21 @@ pub fn run_service(
                 qd.serve_batch_journaled(fed, journal, &unit.members, policy, rng, preempt_at)?;
             matches!(run, BatchRun::Preempted { .. })
         };
-        if preempted {
-            return Ok(ServiceRun {
-                stats,
-                executed_units,
-                resumed_units,
-                preempted: true,
-            });
+        if hit {
+            preempted = true;
+            break;
         }
         executed_units += 1;
     }
+    if preempted {
+        stats.mark_partial();
+    }
+    let dead_letter = map_journal(&plan, journal)?.dead_letter(&plan);
     Ok(ServiceRun {
         stats,
         executed_units,
         resumed_units,
-        preempted: false,
+        preempted,
+        dead_letter,
     })
 }

@@ -45,6 +45,27 @@ pub struct ServeStats {
     pub mean_queue_depth: f32,
     /// Virtual completion time of the last unit, µs.
     pub makespan_us: u64,
+    /// Admitted requests riding members isolated to the dead-letter
+    /// set (journal QUARANTINED records). Subtracted from `served`.
+    pub quarantined: u64,
+    /// Admitted requests shed to FAILED by a tripped tenant circuit
+    /// breaker. Subtracted from `served`.
+    pub shed: u64,
+    /// Units that exhausted the full retry ladder at least once
+    /// (journal-derivable; units rescued by a mid-ladder rung leave no
+    /// journal evidence and are deliberately not counted, so a resumed
+    /// run reports the same number as an unfailed one).
+    pub retried_units: u64,
+    /// Units where batch bisection isolated poison members (at least
+    /// one QUARANTINED record with the poison-member reason).
+    pub bisected_units: u64,
+    /// Final per-tenant circuit-breaker state: `"closed"`, `"open(n)"`
+    /// (n cooldown units remaining) or `"half-open"`.
+    pub breaker: Vec<String>,
+    /// True when the run was preempted before completing every unit;
+    /// the latency/throughput fields are zeroed because they would
+    /// describe a schedule that never finished.
+    pub partial: bool,
 }
 
 /// Nearest-rank percentile of an unsorted sample (q in percent).
@@ -96,7 +117,25 @@ impl ServeStats {
             max_queue_depth: plan.max_queue_depth,
             mean_queue_depth,
             makespan_us: plan.makespan_us,
+            quarantined: 0,
+            shed: 0,
+            retried_units: 0,
+            bisected_units: 0,
+            breaker: vec!["closed".to_string(); plan.rejected_by_tenant.len()],
+            partial: false,
         }
+    }
+
+    /// Marks a preempted run's stats partial: the SLA numbers describe
+    /// the planned schedule, not what actually completed, so the
+    /// latency and throughput fields are zeroed rather than reported
+    /// as final-looking figures.
+    pub fn mark_partial(&mut self) {
+        self.partial = true;
+        self.p50_latency_us = 0;
+        self.p99_latency_us = 0;
+        self.throughput_rps = 0.0;
+        self.makespan_us = 0;
     }
 
     /// Writes the stats as JSON with the workspace's crash-safe file

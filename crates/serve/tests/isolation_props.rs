@@ -1,0 +1,157 @@
+//! Property-based tests of the failure-isolation primitives: the
+//! retry ladder's tightening schedule and the bisection-based poison
+//! localizer.
+//!
+//! The properties mirror what the chaos matrix in `tests/poison.rs`
+//! relies on: the ladder is *deterministic* (resume re-derives the
+//! winning rung by re-probing) and *monotone* (a higher rung is never
+//! laxer), and bisection blames a set of members that is insensitive
+//! to member order — so the dead-letter [`ForgetSet`] a resumed run
+//! accumulates merges to the same set an unfailed run wrote.
+
+use proptest::prelude::*;
+use qd_serve::{isolate_poison, ladder_policy, IsolationConfig, MAX_UNIT_RETRIES};
+use qd_unlearn::{ForgetSet, GuardPolicy, UnlearnRequest};
+
+fn forget_set(members: &[usize]) -> ForgetSet {
+    let mut set = ForgetSet::empty();
+    for &i in members {
+        set.insert(UnlearnRequest::Client(i));
+    }
+    set
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn ladder_tightens_monotonically_and_deterministically(
+        budget in 0.01f32..1000.0,
+        scale in 0.01f32..1.0,
+        rungs in 1u32..24,
+    ) {
+        let base = GuardPolicy {
+            drift_budget: budget,
+            ascent_lr_scale: scale,
+            ..GuardPolicy::default()
+        };
+        // Rung 0 is exactly the base policy.
+        prop_assert_eq!(ladder_policy(&base, 0), base);
+        let mut prev = base;
+        for rung in 1..=rungs {
+            let p = ladder_policy(&base, rung);
+            // Deterministic: the same rung from the same base is the
+            // same policy, bit for bit — what makes the winning rung
+            // re-derivable on resume without ever serializing it.
+            prop_assert_eq!(p, ladder_policy(&base, rung));
+            // Monotone: never laxer than the rung below.
+            prop_assert!(p.drift_budget <= prev.drift_budget, "budget loosened at rung {}", rung);
+            prop_assert!(p.ascent_lr_scale <= prev.ascent_lr_scale, "LR scale grew at rung {}", rung);
+            // Still a valid policy: the scale stays in (0, 1].
+            prop_assert!(p.ascent_lr_scale > 0.0, "rung {} killed the ascent LR", rung);
+            // Every knob the ladder does not own is untouched.
+            prop_assert_eq!(p.retain_probe, base.retain_probe);
+            prop_assert_eq!(p.ascent_retries, base.ascent_retries);
+            prop_assert_eq!(p.probe_samples, base.probe_samples);
+            prev = p;
+        }
+        // The tightening saturates at MAX_UNIT_RETRIES halvings.
+        prop_assert_eq!(
+            ladder_policy(&base, MAX_UNIT_RETRIES + 7),
+            ladder_policy(&base, MAX_UNIT_RETRIES)
+        );
+    }
+
+    #[test]
+    fn bisection_blames_exactly_the_poison_set_in_any_member_order(
+        n in 1usize..12,
+        mask in 0u32..4096,
+        rot in 0usize..12,
+    ) {
+        let members: Vec<usize> = (0..n).collect();
+        let poison: Vec<usize> = members
+            .iter()
+            .copied()
+            .filter(|&i| mask & (1 << i) != 0)
+            .collect();
+        let mut rotated = members.clone();
+        rotated.rotate_left(rot % n);
+        // Per-member poison: a subset passes iff it holds no poison —
+        // the monotone regime bisection is specified for.
+        let mut probe = |set: &[usize]| set.iter().all(|i| !poison.contains(i));
+        let found = isolate_poison(&members, &mut probe);
+        let found_rotated = isolate_poison(&rotated, &mut probe);
+        if poison.is_empty() {
+            // A passing set blames nobody (the executor never calls
+            // isolate_poison on one, but the primitive stays total).
+            prop_assert!(found.is_empty());
+            prop_assert!(found_rotated.is_empty());
+        } else {
+            // Order-insensitive as ForgetSets: the two traversals merge
+            // to the identical dead-letter set, which is the poison set.
+            let set = forget_set(&found);
+            let set_rotated = forget_set(&found_rotated);
+            prop_assert_eq!(set.requests(), set_rotated.requests());
+            prop_assert_eq!(set.requests(), forget_set(&poison).requests());
+            prop_assert_eq!(
+                set.merge(&set_rotated).requests(),
+                set.requests(),
+                "merging both orders must add nothing"
+            );
+        }
+    }
+
+    #[test]
+    fn bisection_exonerates_whole_halves_without_probing_inside(
+        n in 4usize..12,
+        poison_member in 0usize..12,
+    ) {
+        let poison_member = poison_member % n;
+        let members: Vec<usize> = (0..n).collect();
+        let mut probed: Vec<Vec<usize>> = Vec::new();
+        let mut probe = |set: &[usize]| {
+            probed.push(set.to_vec());
+            !set.contains(&poison_member)
+        };
+        let found = isolate_poison(&members, &mut probe);
+        prop_assert_eq!(found, vec![poison_member]);
+        // Pruning: every probed subset is on the recursion path of the
+        // poison member, so the count is logarithmic (2 per level),
+        // not linear in n.
+        let levels = (n as f32).log2().ceil() as usize + 1;
+        prop_assert!(
+            probed.len() <= 2 * levels,
+            "{} probes for {} members — a passing half must be exonerated wholesale",
+            probed.len(),
+            n
+        );
+    }
+
+    #[test]
+    fn isolation_config_validation_is_total(
+        retries in 0u32..40,
+        trip in 0u32..6,
+        cooldown in 0u32..6,
+        bisect_bit in 0u8..2,
+    ) {
+        let bisect = bisect_bit == 1;
+        let cfg = IsolationConfig {
+            unit_retries: retries,
+            bisect,
+            breaker_trip: trip,
+            breaker_cooldown: cooldown,
+        };
+        let ok = cfg.validate().is_ok();
+        prop_assert_eq!(
+            ok,
+            retries <= MAX_UNIT_RETRIES && (trip == 0 || cooldown >= 1),
+            "validate disagreed for {:?}",
+            cfg
+        );
+        // Inert means inert: a default config is valid and inactive.
+        prop_assert!(IsolationConfig::default().validate().is_ok());
+        prop_assert!(!IsolationConfig::default().active());
+        // Any enabled knob activates the executor.
+        prop_assert_eq!(cfg.active(), retries > 0 || bisect || trip > 0);
+    }
+}

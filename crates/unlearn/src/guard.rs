@@ -44,6 +44,12 @@ pub struct GuardPolicy {
     pub ascent_retries: u32,
     /// Retain samples drawn (across clients) for the probe.
     pub probe_samples: usize,
+    /// Initial ascent-LR multiplier the first attempt starts from
+    /// (each in-guard retry still halves it further). `1.0` — the
+    /// default — is the configured LR untouched; a failure-isolation
+    /// retry ladder hands in progressively smaller scales to re-run a
+    /// diverged unit more gently.
+    pub ascent_lr_scale: f32,
 }
 
 impl Default for GuardPolicy {
@@ -53,6 +59,7 @@ impl Default for GuardPolicy {
             retain_probe: 0.0,
             ascent_retries: 3,
             probe_samples: 64,
+            ascent_lr_scale: 1.0,
         }
     }
 }
@@ -86,6 +93,15 @@ impl GuardPolicy {
         }
         if self.probe_samples == 0 {
             return Err("probe_samples must be >= 1".to_string());
+        }
+        if !self.ascent_lr_scale.is_finite()
+            || self.ascent_lr_scale <= 0.0
+            || self.ascent_lr_scale > 1.0
+        {
+            return Err(format!(
+                "ascent LR scale must be in (0, 1], got {}",
+                self.ascent_lr_scale
+            ));
         }
         Ok(())
     }

@@ -40,6 +40,12 @@ cargo test --offline --release -p qd-core --test crash_matrix -q
 echo "== journal format corpus (release: pinned v1/v2 fixtures, corruption corpus, O(1) appends)"
 cargo test --offline --release -p qd-core --test journal_format -q
 
+echo "== poison-request matrix (release: quarantine exactness, kill-at-every-boundary, inertness)"
+cargo test --offline --release -p qd-serve --test poison -q
+
+echo "== isolation properties (release: ladder monotonicity, bisection order-insensitivity)"
+cargo test --offline --release -p qd-serve --test isolation_props -q
+
 echo "== chaos bench (smoke mode)"
 cargo bench --offline -p qd-bench --bench chaos -- --test
 
