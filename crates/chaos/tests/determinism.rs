@@ -1,0 +1,45 @@
+//! Chaos acceptance: generated schedules run violation-free on the
+//! current system, and the whole pipeline — generation, execution,
+//! reporting — is bit-for-bit deterministic.
+
+use qd_chaos::{ChaosSchedule, Harness};
+use serde::Serialize;
+
+fn report_json(report: &qd_chaos::RunReport) -> String {
+    serde_json::to_string(&report.to_value()).expect("reports encode")
+}
+
+#[test]
+fn generated_schedules_complete_without_violations() {
+    let mut harness = Harness::new();
+    // A small sweep over one seed: shares one training epoch through
+    // the harness cache, varies the serving mix and fault plans.
+    for run in 0..3 {
+        let schedule = ChaosSchedule::generate(7, run);
+        let report = harness.run(&schedule).expect("schedule executes");
+        assert!(
+            report.completed,
+            "run {run} stalled: {:?}",
+            report.violations
+        );
+        assert!(
+            report.violations.is_empty(),
+            "run {run} violated invariants: {:?}",
+            report.violations
+        );
+        assert_eq!(report.invariants_checked, 6);
+    }
+}
+
+#[test]
+fn execution_is_bit_for_bit_deterministic() {
+    let schedule = ChaosSchedule::generate(11, 1);
+    let mut first = Harness::new();
+    let mut second = Harness::new();
+    let a = first.run(&schedule).expect("first execution");
+    let b = second.run(&schedule).expect("second execution");
+    assert_eq!(report_json(&a), report_json(&b), "reports diverged");
+    // And again on the same (warm-cache) harness.
+    let c = first.run(&schedule).expect("warm re-execution");
+    assert_eq!(report_json(&a), report_json(&c), "warm re-run diverged");
+}

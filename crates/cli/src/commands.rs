@@ -129,6 +129,9 @@ USAGE:
                         [--stats-out stats.json]
   quickdrop-cli eval    --ckpt ckpt.json [--dataset D] [--samples N] [--seed X]
   quickdrop-cli show    --ckpt ckpt.json [--client I] [--limit N]
+  quickdrop-cli chaos   [--seed X] [--runs N] [--shrink]
+                        [--repro-out chaos-repro.json]
+                        [--replay chaos-repro.json]
   quickdrop-cli help
 ";
 
@@ -269,6 +272,7 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         "serve" => service(args),
         "eval" => eval(args),
         "show" => show(args),
+        "chaos" => chaos(args),
         other => Err(CliError::Usage(format!(
             "unknown subcommand {other:?}\n\n{USAGE}"
         ))),
@@ -632,6 +636,79 @@ fn service(args: &Args) -> Result<String, CliError> {
         stats.throughput_rps,
         stats.makespan_us,
     ))
+}
+
+/// `chaos`: deterministic whole-system fault orchestration. Without
+/// `--replay`, generates and executes `--runs` seeded schedules; the
+/// first invariant violation is (optionally shrunk and) written as a
+/// replayable reproducer, and the command exits nonzero. With
+/// `--replay FILE`, re-executes a stored reproducer and demands the
+/// identical violation byte-for-byte.
+fn chaos(args: &Args) -> Result<String, CliError> {
+    if args.has_option("replay") {
+        return chaos_replay(&args.get_str("replay", ""));
+    }
+    let seed = args.get_u64("seed", 7)?;
+    let runs = args.get_u64("runs", 10)?;
+    let mut harness = qd_chaos::Harness::new();
+    let mut faults_fired = 0u64;
+    let mut invariants_checked = 0u64;
+    for run in 0..runs {
+        let schedule = qd_chaos::ChaosSchedule::generate(seed, run);
+        let report = harness
+            .run(&schedule)
+            .map_err(|e| CliError::Usage(e.to_string()))?;
+        faults_fired += report.faults_fired;
+        invariants_checked += report.invariants_checked;
+        if let Some(violation) = report.violations.first() {
+            let repro = if args.flag("shrink") {
+                qd_chaos::shrink(&mut harness, &schedule, violation)
+                    .map_err(|e| CliError::Usage(e.to_string()))?
+            } else {
+                qd_chaos::Repro {
+                    schedule: schedule.clone(),
+                    violation: violation.clone(),
+                }
+            };
+            let out = args.get_str("repro-out", "chaos-repro.json");
+            std::fs::write(&out, repro.to_json().map_err(CliError::Usage)?)?;
+            return Err(CliError::Usage(format!(
+                "chaos run {run} of seed {seed} violated {}: {}\nreproducer written to {out}",
+                repro.violation.invariant, repro.violation.detail
+            )));
+        }
+    }
+    Ok(format!(
+        "{runs} chaos run(s) of seed {seed} completed: {faults_fired} fault(s) fired, \
+         {invariants_checked} invariant check(s), 0 violations\n"
+    ))
+}
+
+fn chaos_replay(path: &str) -> Result<String, CliError> {
+    let text = std::fs::read_to_string(path)?;
+    let repro = qd_chaos::Repro::from_json(&text).map_err(CliError::Usage)?;
+    let mut harness = qd_chaos::Harness::new();
+    let report = harness
+        .run(&repro.schedule)
+        .map_err(|e| CliError::Usage(e.to_string()))?;
+    let replayed = report
+        .violations
+        .iter()
+        .find(|v| v.invariant == repro.violation.invariant);
+    match replayed {
+        Some(v) if *v == repro.violation => Ok(format!(
+            "replayed {}: {}\nviolation reproduced byte-for-byte\n",
+            v.invariant, v.detail
+        )),
+        Some(v) => Err(CliError::Usage(format!(
+            "violation drifted under replay:\n  stored:   {}\n  replayed: {}",
+            repro.violation.detail, v.detail
+        ))),
+        None => Err(CliError::Usage(format!(
+            "stored violation of {} did not reproduce",
+            repro.violation.invariant
+        ))),
+    }
 }
 
 fn eval(args: &Args) -> Result<String, CliError> {

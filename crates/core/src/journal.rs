@@ -1017,6 +1017,8 @@ impl From<JournalError> for ServeError {
 /// for a crash at exactly that point.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BatchPreempt {
+    // (serde impls are hand-written below: the vendored derive only
+    // handles fieldless enums, and `Unlearned` carries its count.)
     /// Right after the atomic RECEIVED set is durable, before any
     /// model change.
     Received,
@@ -1032,6 +1034,40 @@ pub enum BatchPreempt {
     /// Right after a unit's atomic FAILED (breaker-shed) set is
     /// durable.
     Failed,
+}
+
+impl Serialize for BatchPreempt {
+    fn to_value(&self) -> serde::Value {
+        match *self {
+            BatchPreempt::Received => serde::Value::Str("received".to_string()),
+            BatchPreempt::Unlearned(n) => {
+                serde::Value::Map(vec![("unlearned".to_string(), Serialize::to_value(&n))])
+            }
+            BatchPreempt::Recovered => serde::Value::Str("recovered".to_string()),
+            BatchPreempt::Quarantined => serde::Value::Str("quarantined".to_string()),
+            BatchPreempt::Failed => serde::Value::Str("failed".to_string()),
+        }
+    }
+}
+
+impl Deserialize for BatchPreempt {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        match v {
+            serde::Value::Str(s) => match s.as_str() {
+                "received" => Ok(BatchPreempt::Received),
+                "recovered" => Ok(BatchPreempt::Recovered),
+                "quarantined" => Ok(BatchPreempt::Quarantined),
+                "failed" => Ok(BatchPreempt::Failed),
+                other => Err(serde::DeError::new(format!(
+                    "unknown BatchPreempt variant {other:?}"
+                ))),
+            },
+            other => {
+                let n = other.field("BatchPreempt", "unlearned")?;
+                Ok(BatchPreempt::Unlearned(Deserialize::from_value(n)?))
+            }
+        }
+    }
 }
 
 /// How a journaled batch serve call ended.

@@ -73,4 +73,4 @@ pub use journal::{
 };
 pub use sample_level::{SampleLevelConfig, SampleLevelQuickDrop};
 pub use system::{CheckpointPolicy, QuickDrop, TrainReport, TrainRun};
-pub use vfs::{storage_cause, Fault, FaultFs, StdFs, StorageError, Vfs, VfsOp};
+pub use vfs::{storage_cause, CrashPoint, Fault, FaultFs, StdFs, StorageError, Vfs, VfsOp};

@@ -402,6 +402,69 @@ pub enum Fault {
     ShortRead(usize),
 }
 
+/// One process death, expressed in the single vocabulary every fault
+/// layer routes through.
+///
+/// Before this type existed the workspace modeled "the process dies"
+/// twice: [`FaultFs::kill_at`] (die at the *k*-th storage syscall) and
+/// the serve crate's `ChaosKill` (die once a journal *boundary* of a
+/// planned unit is durable). A composed chaos schedule could therefore
+/// arm both for the same lifetime and mean two different deaths.
+/// `CrashPoint` unifies them: a schedule carries at most one per
+/// process lifetime, [`FaultFs::arm`] consumes the storage flavor, and
+/// the serving executor consumes the boundary flavor — precedence is
+/// documented in DESIGN.md §5k (storage kills fire first because the
+/// syscall happens before the boundary becomes durable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// Die at the 0-based `op`-th [`Vfs`] operation ([`Fault::Kill`]
+    /// semantics: the op fails and every later op fails too).
+    VfsOp(u64),
+    /// Die right after `boundary` of planned service unit `unit` is
+    /// durable — the serve executor's semantic kill.
+    Boundary {
+        /// Index into the service plan's unit list.
+        unit: usize,
+        /// The journal boundary to die at.
+        boundary: crate::journal::BatchPreempt,
+    },
+}
+
+impl serde::Serialize for CrashPoint {
+    fn to_value(&self) -> serde::Value {
+        match *self {
+            CrashPoint::VfsOp(op) => serde::Value::Map(vec![(
+                "vfs_op".to_string(),
+                serde::Serialize::to_value(&op),
+            )]),
+            CrashPoint::Boundary { unit, boundary } => serde::Value::Map(vec![
+                ("unit".to_string(), serde::Serialize::to_value(&unit)),
+                (
+                    "boundary".to_string(),
+                    serde::Serialize::to_value(&boundary),
+                ),
+            ]),
+        }
+    }
+}
+
+impl serde::Deserialize for CrashPoint {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        if let Some(op) = v.get("vfs_op") {
+            return Ok(CrashPoint::VfsOp(serde::Deserialize::from_value(op)?));
+        }
+        if v.get("unit").is_some() {
+            return Ok(CrashPoint::Boundary {
+                unit: serde::Deserialize::from_value(v.field("CrashPoint", "unit")?)?,
+                boundary: serde::Deserialize::from_value(v.field("CrashPoint", "boundary")?)?,
+            });
+        }
+        Err(serde::DeError::new(
+            "expected object with `vfs_op` or `unit`+`boundary` for CrashPoint",
+        ))
+    }
+}
+
 #[derive(Debug, Clone, Default)]
 struct FileEntry {
     bytes: Vec<u8>,
@@ -453,6 +516,32 @@ impl FaultFs {
     /// Schedules a [`Fault::Kill`] at operation `op`.
     pub fn kill_at(&self, op: u64) {
         self.schedule_fault(op, Fault::Kill);
+    }
+
+    /// Arms a unified [`CrashPoint`] on this filesystem. Storage-level
+    /// points ([`CrashPoint::VfsOp`]) become a [`Fault::Kill`] at that
+    /// operation index and the call returns `true`; semantic points
+    /// ([`CrashPoint::Boundary`]) are the serving executor's to honor
+    /// (it translates them to its own preemption type) and leave the
+    /// schedule untouched, returning `false`. This is the single
+    /// entry point chaos harnesses route every kill through, so one
+    /// schedule cannot express two contradictory deaths for the same
+    /// process lifetime.
+    pub fn arm(&self, point: &CrashPoint) -> bool {
+        match *point {
+            CrashPoint::VfsOp(op) => {
+                self.kill_at(op);
+                true
+            }
+            CrashPoint::Boundary { .. } => false,
+        }
+    }
+
+    /// Number of scheduled faults that have not fired yet. Chaos
+    /// harnesses subtract this from the number they armed to report how
+    /// many faults a run actually hit before dying.
+    pub fn pending_faults(&self) -> u64 {
+        self.lock().schedule.len() as u64
     }
 
     /// Builds a seeded pseudo-random fault schedule: over `ops`

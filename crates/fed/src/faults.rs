@@ -115,6 +115,23 @@ impl FaultPlan {
         self
     }
 
+    /// The ascent-poisoning plan the serving chaos harnesses install: a
+    /// `byzantine_frac` share of clients fire [`FaultKind::AscentSpike`]
+    /// with LR magnification `scale` during unlearning ascents, and
+    /// nothing else. Equivalent to
+    /// `FaultPlan::new(seed, byzantine_frac)` restricted to the spike
+    /// kind — kept as one constructor so qd-chaos, the poison tests and
+    /// the serve bench all mean the same adversary.
+    ///
+    /// # Panics
+    ///
+    /// As [`FaultPlan::new`] and [`FaultPlan::with_ascent_spike`].
+    pub fn serving_spike(seed: u64, byzantine_frac: f32, scale: f32) -> Self {
+        FaultPlan::new(seed, byzantine_frac)
+            .with_kinds(vec![FaultKind::AscentSpike])
+            .with_ascent_spike(scale)
+    }
+
     /// Sets the LR magnification used by [`FaultKind::AscentSpike`]
     /// clients (the divergence bench sweeps 10x–100x).
     ///

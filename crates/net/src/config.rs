@@ -166,6 +166,18 @@ impl Default for NetConfig {
 }
 
 impl NetConfig {
+    /// A seeded lossy network with per-round client dropout and nothing
+    /// else — the one-knob degraded network the chaos harness composes
+    /// into its training environments. `dropout_prob` of `0.0` yields a
+    /// config that [`NetConfig::is_ideal`] (loopback; no simulation).
+    pub fn lossy(seed: u64, dropout_prob: f32) -> Self {
+        NetConfig {
+            dropout_prob,
+            seed,
+            ..NetConfig::default()
+        }
+    }
+
     /// `true` when the network adds no cost, no faults and no
     /// quantization — i.e. simulating it is pointless.
     pub fn is_ideal(&self) -> bool {

@@ -705,18 +705,23 @@ fn serve_unit(
     }
 }
 
-/// Folds the journal's failure outcomes into the plan-derived stats:
-/// quarantined/shed riders come off `served`, retried/bisected unit
-/// counts come from the typed QUARANTINED reasons, and the breaker
-/// column reports the final per-tenant state. Everything here is a
-/// pure function of (plan, journal, breaker fold), so a resumed run
-/// reports bit-for-bit the stats of an unfailed one.
-fn apply_failure_stats(
+/// Folds the journal's terminal outcomes into the plan-derived stats:
+/// `served` becomes the riders of journal-certified RECOVERED members
+/// (not the plan's promise), quarantined/shed riders come from the
+/// QUARANTINED/FAILED records, `pending` is whatever the journal has
+/// not made terminal yet (nonzero exactly on preempted runs), and the
+/// breaker column reports the final per-tenant fold when one is in
+/// force. Everything here is a pure function of (plan, journal,
+/// breaker fold), so a resumed run reports bit-for-bit the stats of an
+/// unfailed one — and the accounting identity `admitted = served +
+/// quarantined + shed + pending` holds even mid-crash.
+pub(crate) fn apply_failure_stats(
     stats: &mut ServeStats,
     plan: &Plan,
     frontier: &Frontier,
-    breaker: &TenantBreaker,
+    breaker: Option<&TenantBreaker>,
 ) {
+    let mut served = 0u64;
     let mut quarantined = 0u64;
     let mut shed = 0u64;
     for (unit, progress) in plan.batches.iter().zip(&frontier.units) {
@@ -730,6 +735,9 @@ fn apply_failure_stats(
         {
             stats.bisected_units += 1;
         }
+        for &i in &progress.recovered {
+            served += unit.riders.get(i).map_or(0, |r| r.len() as u64);
+        }
         for &(i, _) in &progress.quarantined {
             quarantined += unit.riders.get(i).map_or(0, |r| r.len() as u64);
         }
@@ -739,8 +747,68 @@ fn apply_failure_stats(
     }
     stats.quarantined = quarantined;
     stats.shed = shed;
-    stats.served = stats.served.saturating_sub(quarantined + shed);
-    stats.breaker = breaker.labels();
+    stats.served = served;
+    stats.pending = stats.admitted.saturating_sub(served + quarantined + shed);
+    if let Some(breaker) = breaker {
+        stats.breaker = breaker.labels();
+    }
+}
+
+/// Journal↔plan consistency, summarized for external harnesses.
+///
+/// Produced by [`frontier_summary`], which runs the same typed
+/// alignment the executor itself resumes from (`map_journal`): a
+/// journal that cannot be aligned with the plan is a
+/// [`ServiceError::ForeignJournal`], and an aligned one yields these
+/// counts for invariant checking (qd-chaos's journal-frontier
+/// invariant).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrontierSummary {
+    /// Units the plan schedules.
+    pub units: usize,
+    /// Leading units whose every member holds a terminal state.
+    pub done: usize,
+    /// Members with a durable RECEIVED record.
+    pub received: usize,
+    /// Members served to RECOVERED.
+    pub recovered: usize,
+    /// Members isolated to QUARANTINED.
+    pub quarantined: usize,
+    /// Members shed to FAILED.
+    pub failed: usize,
+}
+
+/// Aligns `journal` against the plan `cfg` produces and summarizes the
+/// frontier — the read-only entry point chaos harnesses check journal
+/// consistency through.
+///
+/// # Errors
+///
+/// [`ServiceError::Plan`] for an unrunnable config, or
+/// [`ServiceError::ForeignJournal`] when the journal's records cannot
+/// be aligned with the plan (wrong config, relearn records, some other
+/// deployment's history).
+pub fn frontier_summary(
+    cfg: &crate::config::ServeConfig,
+    journal: &RequestJournal,
+) -> Result<FrontierSummary, ServiceError> {
+    let plan = crate::plan::build_plan(cfg).map_err(ServiceError::Plan)?;
+    let frontier = map_journal(&plan, journal)?;
+    let mut summary = FrontierSummary {
+        units: plan.batches.len(),
+        done: frontier.done,
+        received: 0,
+        recovered: 0,
+        quarantined: 0,
+        failed: 0,
+    };
+    for progress in &frontier.units {
+        summary.received += progress.received_seqs.len();
+        summary.recovered += progress.recovered.len();
+        summary.quarantined += progress.quarantined.len();
+        summary.failed += progress.failed.len();
+    }
+    Ok(summary)
 }
 
 /// [`crate::run_service`] with failure isolation: the retry ladder,
@@ -820,7 +888,7 @@ pub fn run_service_isolated(
     }
     let final_frontier = map_journal(&plan, journal)?;
     let mut stats = ServeStats::from_plan(&plan);
-    apply_failure_stats(&mut stats, &plan, &final_frontier, &breaker);
+    apply_failure_stats(&mut stats, &plan, &final_frontier, Some(&breaker));
     if preempted {
         stats.mark_partial();
     }

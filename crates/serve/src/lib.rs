@@ -57,8 +57,8 @@ pub mod stats;
 
 pub use config::ServeConfig;
 pub use executor::{
-    isolate_poison, ladder_policy, run_service_isolated, IsolationConfig, TenantBreaker,
-    MAX_UNIT_RETRIES,
+    frontier_summary, isolate_poison, ladder_policy, run_service_isolated, FrontierSummary,
+    IsolationConfig, TenantBreaker, MAX_UNIT_RETRIES,
 };
 pub use plan::{build_plan, Arrival, Plan, PlannedBatch, RequestTag};
 pub use pool::ThreadPool;

@@ -79,6 +79,24 @@ pub struct ChaosKill {
     pub boundary: BatchPreempt,
 }
 
+impl ChaosKill {
+    /// The serve-side reading of a unified [`qd_core::CrashPoint`]:
+    /// boundary points become a `ChaosKill`, storage points are
+    /// [`qd_core::FaultFs::arm`]'s to consume (and return `None`
+    /// here). A chaos schedule holds at most one `CrashPoint` per
+    /// process lifetime, so routing every kill through these two
+    /// translations means it can never express contradictory deaths.
+    pub fn from_point(point: &qd_core::CrashPoint) -> Option<ChaosKill> {
+        match *point {
+            qd_core::CrashPoint::VfsOp(_) => None,
+            qd_core::CrashPoint::Boundary { unit, boundary } => Some(ChaosKill {
+                unit_index: unit,
+                boundary,
+            }),
+        }
+    }
+}
+
 /// What a [`run_service`] call did.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServiceRun {
@@ -187,10 +205,12 @@ pub(crate) fn run_plain(
         }
         executed_units += 1;
     }
+    let final_frontier = map_journal(&plan, journal)?;
+    crate::executor::apply_failure_stats(&mut stats, &plan, &final_frontier, None);
     if preempted {
         stats.mark_partial();
     }
-    let dead_letter = map_journal(&plan, journal)?.dead_letter(&plan);
+    let dead_letter = final_frontier.dead_letter(&plan);
     Ok(ServiceRun {
         stats,
         executed_units,

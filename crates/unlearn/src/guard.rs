@@ -123,6 +123,22 @@ pub struct GuardStats {
     pub final_drift: f32,
 }
 
+impl GuardStats {
+    /// The internal-consistency contract every recorded guard outcome
+    /// keeps: at least one attempt ran, rollbacks never outnumber
+    /// attempts, LR halvings never outnumber rollbacks (one per
+    /// rollback), and the final drift is a finite non-negative ratio.
+    /// The chaos harness's guard-monotonicity invariant checks this on
+    /// every journal record that carries guard stats.
+    pub fn is_consistent(&self) -> bool {
+        self.steps >= 1
+            && self.rollbacks <= self.steps
+            && self.lr_halvings <= self.rollbacks
+            && self.final_drift.is_finite()
+            && self.final_drift >= 0.0
+    }
+}
+
 /// Why a guarded attempt was rejected.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum GuardViolation {

@@ -46,7 +46,13 @@ cargo test --offline --release -p qd-serve --test poison -q
 echo "== isolation properties (release: ladder monotonicity, bisection order-insensitivity)"
 cargo test --offline --release -p qd-serve --test isolation_props -q
 
-echo "== chaos bench (smoke mode)"
+echo "== chaos determinism + shrink + fixture replay (release, qd-chaos)"
+cargo test --offline --release -p qd-chaos -q
+
+echo "== whole-system chaos gate (release, pinned seed, 25 schedules, all invariants)"
+cargo run --offline --release -q -p qd-cli -- chaos --seed 7 --runs 25
+
+echo "== chaos bench (smoke mode; refreshes BENCH_chaos.json)"
 cargo bench --offline -p qd-bench --bench chaos -- --test
 
 echo "== tail bench (smoke mode, 30% dropout)"
