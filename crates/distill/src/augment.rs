@@ -29,7 +29,7 @@ use qd_tensor::rng::Rng;
 pub fn augment_with_real(syn: &SyntheticSet, real: &Dataset, rng: &mut Rng) -> Dataset {
     let mut mixed = syn.to_dataset();
     for class in syn.owned_classes() {
-        let m = syn.class_samples(class).map_or(0, |t| t.dims()[0]);
+        let m = syn.class_samples(class).map_or(0, crate::synset::rows);
         let members = real.indices_of_class(class);
         if members.is_empty() || m == 0 {
             continue;

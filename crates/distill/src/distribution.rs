@@ -19,7 +19,7 @@ use qd_tensor::Tensor;
 /// representation).
 fn mean_embedding(tape: &mut Tape, model: &dyn Module, params: &[Var], x: Var) -> Var {
     let logits = model.forward(tape, params, x);
-    let rows = tape.value(logits).dims()[0].max(1);
+    let rows = crate::synset::rows(tape.value(logits)).max(1);
     let summed = tape.sum_rows(logits);
     tape.scale(summed, 1.0 / rows as f32)
 }
@@ -62,7 +62,9 @@ pub fn distribution_match_step(
         if steps == 0 {
             break;
         }
-        let g = tape.grad(obj, &[sv])[0];
+        let Some(g) = tape.grad(obj, &[sv]).pop() else {
+            break;
+        };
         let mut updated = syn.clone();
         updated.axpy(-lr, tape.value(g));
         syn = updated;

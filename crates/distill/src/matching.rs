@@ -32,7 +32,8 @@ pub fn reference_gradients(
 ///
 /// where rows are per-output groups (first axis for matrices, the whole
 /// tensor for vectors). `grads_s` must be differentiable tape variables
-/// (the synthetic branch); `grads_d` are fixed reference tensors.
+/// (the synthetic branch); `grads_d` are fixed reference tensors. Empty
+/// gradient lists yield a zero distance (the empty sum).
 ///
 /// # Panics
 ///
@@ -54,10 +55,9 @@ pub fn matching_distance(tape: &mut Tape, grads_s: &[Var], grads_d: &[Tensor]) -
         );
         // Per-output-row grouping: matrices match row-wise, vectors as one
         // group.
-        let (rows, cols) = if dims.len() >= 2 {
-            (dims[0], dims[1..].iter().product::<usize>())
-        } else {
-            (1, gd.len())
+        let (rows, cols) = match dims.split_first() {
+            Some((&r, rest)) if !rest.is_empty() => (r, rest.iter().product::<usize>()),
+            _ => (1, gd.len()),
         };
         let a = tape.reshape(gs, &[rows, cols]);
         let b = tape.constant(gd.reshape(&[rows, cols]));
@@ -79,7 +79,8 @@ pub fn matching_distance(tape: &mut Tape, grads_s: &[Var], grads_d: &[Tensor]) -
             None => layer,
         });
     }
-    total.expect("at least one gradient tensor required")
+    // Empty gradient lists reduce to the empty sum: a zero distance.
+    total.unwrap_or_else(|| tape.constant(Tensor::zeros(&[1])))
 }
 
 /// One class-wise synthetic update (Eq. 6): runs `steps` SGD steps on the
@@ -112,7 +113,7 @@ pub fn match_class_step(
         let mut tape = Tape::new();
         let p: Vec<Var> = params.iter().map(|t| tape.leaf(t.clone())).collect();
         let sv = tape.leaf(syn.clone());
-        let labels = vec![class; syn.dims()[0]];
+        let labels = vec![class; crate::synset::rows(&syn)];
         let logits = model.forward(&mut tape, &p, sv);
         let loss = cross_entropy(&mut tape, logits, &labels, classes);
         let grads_s = tape.grad(loss, &p);
@@ -123,7 +124,9 @@ pub fn match_class_step(
         if steps == 0 {
             break;
         }
-        let g = tape.grad(dist, &[sv])[0];
+        let Some(g) = tape.grad(dist, &[sv]).pop() else {
+            break;
+        };
         let mut updated = syn.clone();
         updated.axpy(-lr, tape.value(g));
         syn = updated;

@@ -5,6 +5,11 @@ use qd_tensor::rng::Rng;
 use qd_tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
+/// Leading (sample-count) dimension of a tensor, zero for rank-0.
+pub(crate) fn rows(t: &Tensor) -> usize {
+    t.dims().first().copied().unwrap_or(0)
+}
+
 /// One client's per-class synthetic dataset `Sᵢ = ∪_c Sᵢᶜ`.
 ///
 /// Samples are held as one `(m_c, C, H, W)` tensor per class so the
@@ -91,7 +96,7 @@ impl SyntheticSet {
 
     /// Total number of synthetic samples across classes.
     pub fn len(&self) -> usize {
-        self.per_class.iter().flatten().map(|t| t.dims()[0]).sum()
+        self.per_class.iter().flatten().map(rows).sum()
     }
 
     /// Returns `true` if no class has synthetic samples.
@@ -121,8 +126,8 @@ impl SyntheticSet {
         assert!(class < self.per_class.len(), "class out of range");
         let d = samples.dims();
         assert_eq!(
-            (d[1], d[2], d[3]),
-            (self.channels, self.height, self.width),
+            (d.get(1).copied(), d.get(2).copied(), d.get(3).copied()),
+            (Some(self.channels), Some(self.height), Some(self.width)),
             "sample geometry mismatch"
         );
         self.per_class[class] = Some(samples);
@@ -143,7 +148,7 @@ impl SyntheticSet {
         for (class, samples) in self.per_class.iter().enumerate() {
             if let Some(t) = samples {
                 images.extend_from_slice(t.data());
-                labels.extend(std::iter::repeat_n(class, t.dims()[0]));
+                labels.extend(std::iter::repeat_n(class, rows(t)));
             }
         }
         Dataset::new(
@@ -161,7 +166,7 @@ impl SyntheticSet {
     pub fn class_dataset(&self, class: usize) -> Dataset {
         match self.class_samples(class) {
             Some(t) => {
-                let labels = vec![class; t.dims()[0]];
+                let labels = vec![class; rows(t)];
                 Dataset::new(
                     t.data().to_vec(),
                     labels,

@@ -256,10 +256,10 @@ impl DistillingTrainer {
                     .0
                 }
             };
-            self.synthetic
-                .as_mut()
-                .expect("synthetic set initialized")
-                .set_class_samples(class, updated);
+            // `syn` above came out of this very Option, so it is Some here.
+            if let Some(set) = self.synthetic.as_mut() {
+                set.set_class_samples(class, updated);
+            }
         }
     }
 }

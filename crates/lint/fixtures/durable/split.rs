@@ -1,0 +1,27 @@
+//! Interprocedural durability fixture: the create/fsync/rename triple
+//! is legitimately split across helpers in `save_good`; `save_bad`'s
+//! reachable component never fsyncs.
+
+pub fn save_good(state: &State) {
+    let file = File::create(tmp_path());
+    write_payload(&file, state);
+    finish_swap(file);
+}
+
+fn finish_swap(file: File) {
+    file.sync_all();
+    fs::rename(tmp_path(), final_path());
+}
+
+fn write_payload(file: &File, state: &State) {
+    file.write_all(&state.bytes);
+}
+
+pub fn save_bad(state: &State) {
+    let file = File::create(scratch_path());
+    spill(&file, state);
+}
+
+fn spill(file: &File, state: &State) {
+    file.write_all(&state.bytes);
+}

@@ -1,0 +1,11 @@
+//! Tiny clean workspace whose call graph is pinned byte-for-byte as
+//! `fixtures/graph.dot` (see scripts/check.sh and tests/fixtures.rs).
+
+pub fn serve_tick(state: &mut State) {
+    refresh(state);
+    persist(state);
+}
+
+fn refresh(state: &mut State) {
+    state.apply(delta());
+}

@@ -1,0 +1,12 @@
+//! Storage half of the pinned graph fixture: `persist` is reachable
+//! from the entry point, `offline_compact` is not.
+
+pub fn persist(state: &State) {
+    encode(state);
+}
+
+fn encode(_state: &State) {}
+
+pub fn offline_compact(state: &mut State) {
+    encode(state);
+}

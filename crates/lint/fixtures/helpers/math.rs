@@ -1,0 +1,19 @@
+//! Helper code outside the panic-safety path scopes: only entry-point
+//! reachability pulls these fns into the serving invariant.
+
+pub fn deep_mean(xs: &[f32]) -> f32 {
+    deep_sum(xs) / count(xs)
+}
+
+fn deep_sum(xs: &[f32]) -> f32 {
+    xs.first().copied().unwrap()
+}
+
+fn count(xs: &[f32]) -> f32 {
+    // qd-lint: allow(panic-safety) -- fixture: reachable but justified
+    f32::from_len(xs.len()).unwrap()
+}
+
+pub fn cold_stats(xs: &[f32]) -> f32 {
+    xs.first().copied().unwrap()
+}

@@ -1,0 +1,24 @@
+//! Lock-order fixture: `forward` takes queue → slots, while
+//! `backward_via_helper` ends up taking slots → queue through a
+//! callee — an interleaving deadlock, flagged at both witnesses.
+
+pub fn forward(shared: &Shared) {
+    let q = shared.queue.lock();
+    let s = shared.slots.lock();
+    consume(q, s);
+}
+
+pub fn backward_via_helper(shared: &Shared) {
+    let s = shared.slots.lock();
+    grab_queue(shared);
+}
+
+fn grab_queue(shared: &Shared) {
+    let _q = shared.queue.lock();
+}
+
+pub fn consistent(shared: &Shared) {
+    let q = shared.queue.lock();
+    let s = shared.slots.lock();
+    consume(q, s);
+}

@@ -1,0 +1,11 @@
+//! Entry-point fixture: `handle_request` is declared in
+//! `[entrypoints] serving`; the chain below reaches helper code that
+//! lives outside every panic-safety path scope.
+
+pub fn handle_request(req: &Request) -> f32 {
+    stage_one(req)
+}
+
+fn stage_one(req: &Request) -> f32 {
+    helpers::math::deep_mean(&req.samples)
+}

@@ -1,0 +1,10 @@
+//! Suppression-hygiene fixture: a typoed rule name in an allow is a
+//! finding, not a silent no-op.
+
+fn scratch() {
+    let _x = maybe(); // qd-lint: allow(panik-safety) -- typo: must be flagged
+}
+
+// qd-lint: allow(suppression-hygiene) -- fixture: reviewed meta-allow
+// qd-lint: allow(no-such-rule)
+fn covered() {}

@@ -47,6 +47,11 @@ pub struct Config {
     /// Per-rule scopes, keyed by rule name. Rules absent from the map
     /// apply everywhere.
     pub rule_scopes: BTreeMap<String, RuleScope>,
+    /// Named entry-point sets from `[entrypoints]`: set name to
+    /// `::`-glob patterns over qualified function names, e.g.
+    /// `serving = ["qd_serve::executor::run_service*"]`. Reachability
+    /// rules start their traversal here.
+    pub entrypoints: BTreeMap<String, Vec<String>>,
 }
 
 impl Config {
@@ -82,8 +87,11 @@ impl Config {
                 let header = header
                     .strip_suffix(']')
                     .ok_or_else(|| err("unterminated section header"))?;
-                if header != "lint" && header.strip_prefix("rules.").is_none() {
-                    return Err(err("expected [lint] or [rules.<name>]"));
+                if header != "lint"
+                    && header != "entrypoints"
+                    && header.strip_prefix("rules.").is_none()
+                {
+                    return Err(err("expected [lint], [entrypoints] or [rules.<name>]"));
                 }
                 section = Some(header.to_string());
                 continue;
@@ -99,6 +107,13 @@ impl Config {
                     "exclude" => config.exclude.extend(values),
                     _ => return Err(err("unknown [lint] key (expected exclude)")),
                 },
+                Some("entrypoints") => {
+                    config
+                        .entrypoints
+                        .entry(key.to_string())
+                        .or_default()
+                        .extend(values);
+                }
                 Some(section) => {
                     let rule = section.trim_start_matches("rules.").to_string();
                     let scope = config.rule_scopes.entry(rule).or_default();
@@ -193,6 +208,15 @@ pub fn glob_match(pattern: &str, path: &str) -> bool {
     match_segments(&pat, &segs)
 }
 
+/// Glob match over `::`-separated qualified names, with the same
+/// semantics as [`glob_match`]: `**` spans segments, `*` spans within a
+/// segment. Used for `[entrypoints]` patterns.
+pub fn name_glob_match(pattern: &str, name: &str) -> bool {
+    let pat: Vec<&str> = pattern.split("::").collect();
+    let segs: Vec<&str> = name.split("::").collect();
+    match_segments(&pat, &segs)
+}
+
 fn match_segments(pat: &[&str], segs: &[&str]) -> bool {
     match pat.first() {
         None => segs.is_empty(),
@@ -254,6 +278,35 @@ exclude = ["crates/core/src/bin/**"]
         // Unscoped rules apply everywhere.
         assert!(c.scope("unsafe-hygiene").applies_to("anything/at/all.rs"));
         assert!(c.scope("never-mentioned").applies_to("anything/at/all.rs"));
+    }
+
+    #[test]
+    fn entrypoints_parse_and_name_globs_match() {
+        let text = r#"
+[entrypoints]
+serving = ["qd_serve::executor::run_service*", "qd_core::journal::**"]
+admin = ["**::admin::main"]
+"#;
+        let c = Config::parse(text).unwrap();
+        assert_eq!(c.entrypoints.len(), 2);
+        let serving = &c.entrypoints["serving"];
+        assert!(name_glob_match(
+            &serving[0],
+            "qd_serve::executor::run_service_isolated"
+        ));
+        assert!(!name_glob_match(
+            &serving[0],
+            "qd_serve::plan::run_service_isolated"
+        ));
+        assert!(name_glob_match(
+            &serving[1],
+            "qd_core::journal::QuickDrop::serve_batch_journaled"
+        ));
+        assert!(!name_glob_match(&serving[1], "qd_core::checkpoint::save"));
+        assert!(name_glob_match(
+            &c.entrypoints["admin"][0],
+            "fixtures::graph::admin::main"
+        ));
     }
 
     #[test]

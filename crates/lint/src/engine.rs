@@ -6,10 +6,29 @@
 //! survives only if no `// qd-lint: allow(<rule>)` annotation covers
 //! its line — either on the line itself or in a comment-only line block
 //! immediately above it (the shape rustfmt produces for long lines).
+//!
+//! Two analysis modes exist:
+//!
+//! * [`check_source`] — single-file, local rules only. This is the
+//!   stable unit-test surface; it has no call graph, so `durability`
+//!   runs in its original intra-function form and the interprocedural
+//!   rules contribute nothing.
+//! * [`analyze`] / [`run`] — workspace mode. All files are lexed and
+//!   parsed into a [`Graph`]; local rules run per file (except
+//!   `durability`, which is superseded by its interprocedural form),
+//!   then the graph-backed rules add reachability-scoped panic-safety,
+//!   component-wide durability, and lock-order findings. Local findings
+//!   win dedup at a `(path, line, rule)` collision, so path-scoped
+//!   diagnostics keep their original messages and the graph only adds
+//!   *new* locations.
 
 use crate::config::Config;
+use crate::graph::{Graph, Reach};
+use crate::interproc;
+use crate::items::parse_items;
 use crate::lexer::{lex, LexedFile};
 use crate::rules::{self, RULES};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::path::{Path, PathBuf};
 
@@ -24,6 +43,9 @@ pub struct Diagnostic {
     pub rule: String,
     /// What went wrong.
     pub message: String,
+    /// Witness call chain (qualified names, entry first) for
+    /// interprocedural findings; empty for local ones.
+    pub chain: Vec<String>,
 }
 
 impl fmt::Display for Diagnostic {
@@ -32,11 +54,15 @@ impl fmt::Display for Diagnostic {
             f,
             "{}:{}: [{}] {}",
             self.path, self.line, self.rule, self.message
-        )
+        )?;
+        if self.chain.len() > 1 {
+            write!(f, " [via {}]", self.chain.join(" -> "))?;
+        }
+        Ok(())
     }
 }
 
-/// Analyzes one file's source under every in-scope rule.
+/// Analyzes one file's source under every in-scope local rule.
 ///
 /// `path` is the file's config-relative path (`/`-separated); it decides
 /// rule scoping and is echoed into diagnostics.
@@ -59,6 +85,7 @@ pub fn check_source(path: &str, source: &str, config: &Config) -> Vec<Diagnostic
                 line: line0 + 1,
                 rule: rule.name.to_string(),
                 message,
+                chain: Vec::new(),
             });
         }
     }
@@ -66,11 +93,111 @@ pub fn check_source(path: &str, source: &str, config: &Config) -> Vec<Diagnostic
     out
 }
 
+/// A full workspace analysis: diagnostics plus the call graph and
+/// reachability they were computed against (for `--graph dot`).
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    /// All surviving findings, sorted by `(path, line, rule)`.
+    pub diagnostics: Vec<Diagnostic>,
+    /// The linked call graph.
+    pub graph: Graph,
+    /// Entry-point reachability over `graph`.
+    pub reach: Reach,
+}
+
+/// Workspace-mode analysis over pre-read `(path, source)` pairs.
+///
+/// Local rules run per file — except `durability`, whose
+/// interprocedural form supersedes the single-function check — then the
+/// call graph is built and the graph-backed rules run. Suppressions
+/// apply uniformly; at a `(path, line, rule)` collision the local
+/// finding wins.
+pub fn analyze(files: &[(String, String)], config: &Config) -> Analysis {
+    let mut lexed: BTreeMap<String, LexedFile> = BTreeMap::new();
+    let mut parsed: Vec<(String, Vec<crate::items::FnItem>)> = Vec::new();
+    let mut diagnostics = Vec::new();
+    for (path, source) in files {
+        if config.is_excluded(path) {
+            continue;
+        }
+        let file = lex(source);
+        for rule in RULES {
+            if rule.name == "durability" || !config.scope(rule.name).applies_to(path) {
+                continue;
+            }
+            for (line0, message) in rules::check(rule.name, &file) {
+                if suppressed(&file, line0, rule.name) {
+                    continue;
+                }
+                diagnostics.push(Diagnostic {
+                    path: path.clone(),
+                    line: line0 + 1,
+                    rule: rule.name.to_string(),
+                    message,
+                    chain: Vec::new(),
+                });
+            }
+        }
+        parsed.push((path.clone(), parse_items(path, &file)));
+        lexed.insert(path.clone(), file);
+    }
+    let graph = Graph::build(&parsed);
+    let reach = graph.reachability(&config.entrypoints);
+
+    let mut findings =
+        interproc::reachable_panics(&graph, &reach, &lexed, &config.scope("panic-safety"));
+    findings.extend(interproc::durability(
+        &graph,
+        &lexed,
+        &config.scope("durability"),
+    ));
+    findings.extend(interproc::lock_order(
+        &graph,
+        &lexed,
+        &config.scope("lock-order"),
+    ));
+
+    let mut seen: BTreeSet<(String, usize, String)> = diagnostics
+        .iter()
+        .map(|d| (d.path.clone(), d.line, d.rule.clone()))
+        .collect();
+    for f in findings {
+        let key = (f.path.clone(), f.line + 1, f.rule.to_string());
+        if seen.contains(&key) {
+            continue;
+        }
+        if let Some(file) = lexed.get(&f.path) {
+            if suppressed(file, f.line, f.rule) {
+                continue;
+            }
+        }
+        seen.insert(key);
+        diagnostics.push(Diagnostic {
+            path: f.path,
+            line: f.line + 1,
+            rule: f.rule.to_string(),
+            message: f.message,
+            chain: f.chain,
+        });
+    }
+    diagnostics.sort_by(|a, b| {
+        (&a.path, a.line, &a.rule, &a.message).cmp(&(&b.path, b.line, &b.rule, &b.message))
+    });
+    Analysis {
+        diagnostics,
+        graph,
+        reach,
+    }
+}
+
 /// Whether `rule` is allowed at 0-based `line`: an allow annotation on
 /// the line itself, or in the run of comment-only/blank lines directly
 /// above it.
 fn suppressed(file: &LexedFile, line: usize, rule: &str) -> bool {
-    if allows(&file.lines[line].comment, rule) {
+    let Some(at) = file.lines.get(line) else {
+        return false;
+    };
+    if allows(&at.comment, rule) {
         return true;
     }
     let mut i = line;
@@ -92,21 +219,9 @@ fn suppressed(file: &LexedFile, line: usize, rule: &str) -> bool {
     false
 }
 
-/// Parses every `qd-lint: allow(a, b)` group in a comment.
+/// Whether a comment's `qd-lint: allow(..)` groups name `rule`.
 fn allows(comment: &str, rule: &str) -> bool {
-    let mut rest = comment;
-    while let Some(at) = rest.find("qd-lint: allow(") {
-        let args = &rest[at + "qd-lint: allow(".len()..];
-        if let Some(end) = args.find(')') {
-            if args[..end].split(',').any(|r| r.trim() == rule) {
-                return true;
-            }
-            rest = &args[end + 1..];
-        } else {
-            return false;
-        }
-    }
-    false
+    rules::allow_names(comment).iter().any(|r| r == rule)
 }
 
 /// Recursively collects `.rs` files under `roots`, sorted for
@@ -152,18 +267,79 @@ fn rel_str(path: &Path) -> String {
     s.trim_start_matches("./").to_string()
 }
 
-/// Runs the full analysis over `roots` with `config`.
+/// Reads every `.rs` file under `roots` into `(relative path, source)`
+/// pairs in deterministic order, skipping excluded paths.
+///
+/// # Errors
+///
+/// Propagates file-read and directory-walk I/O errors.
+pub fn load_files(roots: &[PathBuf], config: &Config) -> std::io::Result<Vec<(String, String)>> {
+    let mut out = Vec::new();
+    for file in collect_files(roots, config)? {
+        let source = std::fs::read_to_string(&file)?;
+        out.push((rel_str(&file), source));
+    }
+    Ok(out)
+}
+
+/// Runs the full workspace analysis over `roots` with `config`.
 ///
 /// # Errors
 ///
 /// Propagates file-read and directory-walk I/O errors.
 pub fn run(roots: &[PathBuf], config: &Config) -> std::io::Result<Vec<Diagnostic>> {
-    let mut diagnostics = Vec::new();
-    for file in collect_files(roots, config)? {
-        let source = std::fs::read_to_string(&file)?;
-        diagnostics.extend(check_source(&rel_str(&file), &source, config));
+    let files = load_files(roots, config)?;
+    Ok(analyze(&files, config).diagnostics)
+}
+
+/// Serializes diagnostics as a deterministic JSON array (sorted as
+/// emitted, keys in fixed order), suitable for `--format json`.
+pub fn to_json(diagnostics: &[Diagnostic]) -> String {
+    let mut out = String::from("[");
+    for (i, d) in diagnostics.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n  {\"path\":");
+        json_string(&mut out, &d.path);
+        out.push_str(",\"line\":");
+        out.push_str(&d.line.to_string());
+        out.push_str(",\"rule\":");
+        json_string(&mut out, &d.rule);
+        out.push_str(",\"message\":");
+        json_string(&mut out, &d.message);
+        out.push_str(",\"chain\":[");
+        for (j, link) in d.chain.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            json_string(&mut out, link);
+        }
+        out.push_str("]}");
     }
-    Ok(diagnostics)
+    if !diagnostics.is_empty() {
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    out
+}
+
+fn json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
 }
 
 #[cfg(test)]
@@ -218,5 +394,163 @@ fn f() { x.unwrap(); }
             diags.iter().all(|d| d.rule != "order-stability"),
             "{diags:?}"
         );
+    }
+
+    fn serving_config() -> Config {
+        Config::parse(
+            "[entrypoints]\nserving = [\"**::entry::serve\"]\n\
+             [rules.panic-safety]\ninclude = [\"crates/a/src/**\"]\n\
+             [rules.lock-order]\ninclude = [\"**/locks/**\"]\n",
+        )
+        .expect("test config parses")
+    }
+
+    #[test]
+    fn analyze_reports_reachable_panics_with_chains() {
+        let files = vec![
+            (
+                "crates/a/src/entry.rs".to_string(),
+                "pub fn serve() { helper_mid(); }\n".to_string(),
+            ),
+            (
+                "crates/b/src/helpers.rs".to_string(),
+                "pub fn helper_mid() { helper_leaf(); }\n\
+                 pub fn helper_leaf() -> u32 { maybe().unwrap() }\n\
+                 pub fn cold_leaf() -> u32 { maybe().unwrap() }\n"
+                    .to_string(),
+            ),
+        ];
+        let analysis = analyze(&files, &serving_config());
+        let panics: Vec<_> = analysis
+            .diagnostics
+            .iter()
+            .filter(|d| d.rule == "panic-safety")
+            .collect();
+        assert_eq!(panics.len(), 1, "{panics:?}");
+        assert_eq!(panics[0].path, "crates/b/src/helpers.rs");
+        assert_eq!(panics[0].line, 2);
+        assert_eq!(
+            panics[0].chain,
+            [
+                "qd_a::entry::serve",
+                "qd_b::helpers::helper_mid",
+                "qd_b::helpers::helper_leaf"
+            ]
+        );
+        let shown = panics[0].to_string();
+        assert!(shown.contains("[via qd_a::entry::serve -> "), "{shown}");
+    }
+
+    #[test]
+    fn analyze_respects_suppressions_on_reachable_lines() {
+        let files = vec![
+            (
+                "crates/a/src/entry.rs".to_string(),
+                "pub fn serve() { helper_leaf(); }\n".to_string(),
+            ),
+            (
+                "crates/b/src/helpers.rs".to_string(),
+                "pub fn helper_leaf() -> u32 {\n    \
+                 // qd-lint: allow(panic-safety) -- fixture invariant\n    \
+                 maybe().unwrap()\n}\n"
+                    .to_string(),
+            ),
+        ];
+        let analysis = analyze(&files, &serving_config());
+        assert!(
+            analysis
+                .diagnostics
+                .iter()
+                .all(|d| d.rule != "panic-safety"),
+            "{:?}",
+            analysis.diagnostics
+        );
+    }
+
+    #[test]
+    fn analyze_flags_inverted_lock_order_in_both_fns() {
+        let files = vec![(
+            "crates/a/src/locks/order.rs".to_string(),
+            "pub fn forward(s: &S) {\n    \
+             let a = s.alpha.lock();\n    \
+             let b = s.beta.lock();\n}\n\
+             pub fn backward(s: &S) {\n    \
+             let b = s.beta.lock();\n    \
+             let a = s.alpha.lock();\n}\n"
+                .to_string(),
+        )];
+        let analysis = analyze(&files, &serving_config());
+        let locks: Vec<_> = analysis
+            .diagnostics
+            .iter()
+            .filter(|d| d.rule == "lock-order")
+            .collect();
+        assert_eq!(locks.len(), 2, "{locks:?}");
+        assert_eq!(locks[0].line, 3);
+        assert_eq!(locks[1].line, 7);
+        assert!(
+            locks[0].message.contains("opposite order"),
+            "{}",
+            locks[0].message
+        );
+    }
+
+    #[test]
+    fn analyze_durability_satisfied_across_functions() {
+        let good = vec![(
+            "crates/a/src/checkpoint.rs".to_string(),
+            "pub fn save() {\n    let f = File::create(tmp);\n    finish(f);\n}\n\
+             fn finish(f: File) {\n    f.sync_all();\n    fs::rename(tmp, dst);\n}\n"
+                .to_string(),
+        )];
+        let mut config = serving_config();
+        config
+            .rule_scopes
+            .entry("durability".into())
+            .or_default()
+            .include
+            .push("**/checkpoint.rs".into());
+        let analysis = analyze(&good, &config);
+        assert!(
+            analysis.diagnostics.iter().all(|d| d.rule != "durability"),
+            "{:?}",
+            analysis.diagnostics
+        );
+        let bad = vec![(
+            "crates/a/src/checkpoint.rs".to_string(),
+            "pub fn save() {\n    let f = File::create(tmp);\n    finish(f);\n}\n\
+             fn finish(f: File) {\n    f.sync_all();\n}\n"
+                .to_string(),
+        )];
+        let analysis = analyze(&bad, &config);
+        let dur: Vec<_> = analysis
+            .diagnostics
+            .iter()
+            .filter(|d| d.rule == "durability")
+            .collect();
+        assert_eq!(dur.len(), 1, "{dur:?}");
+        assert_eq!(dur[0].line, 2);
+        assert!(
+            dur[0].message.contains("missing rename"),
+            "{}",
+            dur[0].message
+        );
+    }
+
+    #[test]
+    fn json_output_is_deterministic_and_escaped() {
+        let diags = vec![Diagnostic {
+            path: "a\"b.rs".into(),
+            line: 3,
+            rule: "panic-safety".into(),
+            message: "tab\there".into(),
+            chain: vec!["a::b".into()],
+        }];
+        let json = to_json(&diags);
+        assert_eq!(json, to_json(&diags));
+        assert!(json.contains("\"path\":\"a\\\"b.rs\""), "{json}");
+        assert!(json.contains("\"message\":\"tab\\there\""), "{json}");
+        assert!(json.contains("\"chain\":[\"a::b\"]"), "{json}");
+        assert_eq!(to_json(&[]), "[]\n");
     }
 }

@@ -1,0 +1,384 @@
+//! Interprocedural rules over the workspace call graph.
+//!
+//! Three rule families live here because they cannot be decided one
+//! file at a time:
+//!
+//! * **panic-safety (reachability-scoped)** — a panic-capable token in
+//!   *any* function transitively reachable from a configured entry
+//!   point is a finding, no matter which directory the function lives
+//!   in. Path-scoped findings are still produced by the local rule; this
+//!   pass only adds functions *outside* those path scopes, so a helper
+//!   in `crates/data` called from the serving executor no longer sails
+//!   through. Each diagnostic carries the witness call chain.
+//! * **durability (interprocedural)** — a file-creating or
+//!   file-writing call in a durable module is satisfied by
+//!   `fsync`/`sync_all` (+ `rename` for fresh files) anywhere in its
+//!   reachable component: the function itself, its transitive callees,
+//!   its direct callers, and those callers' callees. The tmp+fsync+
+//!   rename idiom may legitimately be split across helpers; only a
+//!   component with no fsync at all is a finding.
+//! * **lock-order** — lock acquisition sites (method calls named
+//!   `lock()`, keyed by the receiver's final field segment) are
+//!   collected per function; an acquisition made while another lock is
+//!   held — directly or through a call chain — records an ordered
+//!   pair. Two functions that can acquire the same two locks in
+//!   opposite orders along some call path are each flagged with the
+//!   witness chain, since that shape deadlocks under interleaving.
+//!
+//! Conservatism inherits from the graph: name-based resolution
+//! over-links, so every analysis here over-approximates true reachability
+//! and flags a superset. Deliberate exceptions use the same
+//! `// qd-lint: allow(<rule>)` protocol as every other rule.
+
+use crate::config::RuleScope;
+use crate::graph::{Graph, Reach};
+use crate::lexer::{find_token, LexedFile};
+use crate::rules::panic_tokens_on;
+use std::collections::BTreeMap;
+
+/// An interprocedural finding, before suppression filtering.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// File the finding is in.
+    pub path: String,
+    /// 0-based line.
+    pub line: usize,
+    /// Rule family name.
+    pub rule: &'static str,
+    /// What went wrong.
+    pub message: String,
+    /// Witness call chain (qualified names, outermost first).
+    pub chain: Vec<String>,
+}
+
+fn line_in_test(files: &BTreeMap<String, LexedFile>, path: &str, line: usize) -> bool {
+    files
+        .get(path)
+        .and_then(|f| f.lines.get(line))
+        .is_none_or(|l| l.in_test)
+}
+
+/// Reachability-scoped panic-safety: panic-capable tokens in functions
+/// reachable from any entry set, outside the rule's path-scope
+/// `include` (those are the local rule's job) and outside its
+/// `exclude` globs (the explicit conservatism dial).
+pub fn reachable_panics(
+    graph: &Graph,
+    reach: &Reach,
+    files: &BTreeMap<String, LexedFile>,
+    scope: &RuleScope,
+) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (i, node) in graph.nodes.iter().enumerate() {
+        let Some(origin) = &reach.origin[i] else {
+            continue;
+        };
+        if node.item.in_test {
+            continue;
+        }
+        let path = &node.file;
+        if scope
+            .exclude
+            .iter()
+            .any(|g| crate::config::glob_match(g, path))
+        {
+            continue;
+        }
+        if !scope.include.is_empty() && scope.applies_to(path) {
+            continue; // the local path-scoped rule already covers this file
+        }
+        let Some(lexed) = files.get(path) else {
+            continue;
+        };
+        let chain = graph.chain(reach, i);
+        let entry = &graph.nodes[origin.entry].item.qualified;
+        for line in node.item.start..=node.item.end.min(lexed.lines.len().saturating_sub(1)) {
+            let lexline = &lexed.lines[line];
+            if lexline.in_test {
+                continue;
+            }
+            for tok in panic_tokens_on(&lexline.code) {
+                out.push(Finding {
+                    path: path.clone(),
+                    line,
+                    rule: "panic-safety",
+                    message: format!(
+                        "`{tok}` can panic in `{}`, which is reachable from `{}` entry \
+                         point `{entry}`",
+                        node.item.qualified, origin.set
+                    ),
+                    chain: chain.clone(),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// What a durability trigger demands of its reachable component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Demand {
+    /// Fresh file contents: fsync and rename (the tmp-swap idiom).
+    CreateWrite,
+    /// Append to a committed file: fsync only.
+    Append,
+}
+
+/// Interprocedural durability over the files `scope` selects: triggers
+/// are `File::create` path calls and `create`/`write`/`append` method
+/// calls on a `vfs`/`fs` receiver; satisfaction is searched across the
+/// trigger function's reachable component (itself, transitive callees,
+/// direct callers and their callees).
+pub fn durability(
+    graph: &Graph,
+    files: &BTreeMap<String, LexedFile>,
+    scope: &RuleScope,
+) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (i, node) in graph.nodes.iter().enumerate() {
+        if node.item.in_test || !scope.applies_to(&node.file) {
+            continue;
+        }
+        let mut component: Option<Vec<usize>> = None;
+        for call in &node.item.calls {
+            let demand = if !call.method && call.path.len() >= 2 && call.name == "create" {
+                Some((
+                    Demand::CreateWrite,
+                    format!("{}::create", call.path[call.path.len() - 2]),
+                ))
+            } else if call.method
+                && matches!(call.receiver.as_deref(), Some("vfs") | Some("fs"))
+                && matches!(call.name.as_str(), "create" | "write")
+            {
+                Some((
+                    Demand::CreateWrite,
+                    format!("{}.{}", call.receiver.as_deref().unwrap_or(""), call.name),
+                ))
+            } else if call.method
+                && matches!(call.receiver.as_deref(), Some("vfs") | Some("fs"))
+                && call.name == "append"
+            {
+                Some((
+                    Demand::Append,
+                    format!("{}.append", call.receiver.as_deref().unwrap_or("")),
+                ))
+            } else {
+                None
+            };
+            let Some((demand, what)) = demand else {
+                continue;
+            };
+            if line_in_test(files, &node.file, call.line) {
+                continue;
+            }
+            let ids = component.get_or_insert_with(|| {
+                let mut ids = graph.descendants(i);
+                for caller in graph.callers(i) {
+                    for d in graph.descendants(caller) {
+                        if !ids.contains(&d) {
+                            ids.push(d);
+                        }
+                    }
+                }
+                ids
+            });
+            let has = |tokens: &[&str]| {
+                ids.iter().any(|&n| {
+                    let nd = &graph.nodes[n];
+                    let Some(lexed) = files.get(&nd.file) else {
+                        return false;
+                    };
+                    lexed.lines[nd.item.start..=nd.item.end.min(lexed.lines.len() - 1)]
+                        .iter()
+                        .any(|l| tokens.iter().any(|t| find_token(&l.code, t)))
+                })
+            };
+            let fsynced = has(&["sync_all", "sync_data", "fsync"]);
+            let renamed = demand == Demand::Append || has(&["rename"]);
+            if fsynced && renamed {
+                continue;
+            }
+            let mut missing = Vec::new();
+            if !fsynced {
+                missing.push("fsync");
+            }
+            if !renamed {
+                missing.push("rename");
+            }
+            out.push(Finding {
+                path: node.file.clone(),
+                line: call.line,
+                rule: "durability",
+                message: format!(
+                    "`{what}` without the tmp+fsync+rename idiom (missing {}) in \
+                     `{}` or any fn in its reachable component",
+                    missing.join("+"),
+                    node.item.qualified
+                ),
+                chain: vec![node.item.qualified.clone()],
+            });
+        }
+    }
+    out
+}
+
+/// Where an ordered lock pair was witnessed.
+#[derive(Debug, Clone)]
+struct Witness {
+    path: String,
+    line: usize,
+    chain: Vec<String>,
+}
+
+/// Lock-order consistency over the files `scope` selects: flags any two
+/// locks acquired in opposite orders along some (possibly
+/// interprocedural) path.
+pub fn lock_order(
+    graph: &Graph,
+    files: &BTreeMap<String, LexedFile>,
+    scope: &RuleScope,
+) -> Vec<Finding> {
+    // Which locks each function acquires, transitively, with a witness
+    // path of node indices from the function to the acquiring function.
+    let mut closure_memo: BTreeMap<usize, Vec<(String, Vec<usize>)>> = BTreeMap::new();
+    let mut closure = |graph: &Graph, start: usize| -> Vec<(String, Vec<usize>)> {
+        if let Some(hit) = closure_memo.get(&start) {
+            return hit.clone();
+        }
+        // BFS with parent links so each acquired lock gets a shortest
+        // witness path.
+        let mut parent: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut order = vec![start];
+        let mut at = 0;
+        while at < order.len() {
+            let n = order[at];
+            at += 1;
+            for edge in &graph.edges[n] {
+                for &t in &edge.targets {
+                    if t != start && !parent.contains_key(&t) && !graph.nodes[t].item.in_test {
+                        parent.insert(t, n);
+                        order.push(t);
+                    }
+                }
+            }
+        }
+        let mut acquired: Vec<(String, Vec<usize>)> = Vec::new();
+        for &n in &order {
+            let node = &graph.nodes[n];
+            if !scope.applies_to(&node.file) || node.item.in_test {
+                continue;
+            }
+            for lock in &node.item.locks {
+                if acquired.iter().any(|(l, _)| l == &lock.lock) {
+                    continue;
+                }
+                let mut path = vec![n];
+                let mut cur = n;
+                while cur != start {
+                    cur = parent[&cur];
+                    path.push(cur);
+                }
+                path.reverse();
+                acquired.push((lock.lock.clone(), path));
+            }
+        }
+        closure_memo.insert(start, acquired.clone());
+        acquired
+    };
+
+    // Ordered pairs: lock `a` held (conservatively: acquired earlier in
+    // the same fn) when lock `b` is acquired, directly or via a call.
+    let mut pairs: BTreeMap<(String, String), Witness> = BTreeMap::new();
+    for (i, node) in graph.nodes.iter().enumerate() {
+        if node.item.in_test || !scope.applies_to(&node.file) {
+            continue;
+        }
+        #[derive(Debug)]
+        enum Event<'a> {
+            Acquire(&'a crate::items::LockSite),
+            Call(usize),
+        }
+        let mut events: Vec<(usize, Event<'_>)> = node
+            .item
+            .locks
+            .iter()
+            .map(|l| (l.seq, Event::Acquire(l)))
+            .chain(graph.edges[i].iter().enumerate().map(|(ei, _)| {
+                (
+                    node.item.calls[graph.edges[i][ei].call].seq,
+                    Event::Call(ei),
+                )
+            }))
+            .collect();
+        events.sort_by_key(|&(seq, _)| seq);
+        let mut held: Vec<String> = Vec::new();
+        for (_, event) in events {
+            match event {
+                Event::Acquire(site) => {
+                    if line_in_test(files, &node.file, site.line) {
+                        continue;
+                    }
+                    for a in &held {
+                        if a != &site.lock {
+                            pairs
+                                .entry((a.clone(), site.lock.clone()))
+                                .or_insert_with(|| Witness {
+                                    path: node.file.clone(),
+                                    line: site.line,
+                                    chain: vec![node.item.qualified.clone()],
+                                });
+                        }
+                    }
+                    if !held.contains(&site.lock) {
+                        held.push(site.lock.clone());
+                    }
+                }
+                Event::Call(ei) => {
+                    if held.is_empty() {
+                        continue;
+                    }
+                    let call = &node.item.calls[graph.edges[i][ei].call];
+                    for &t in &graph.edges[i][ei].targets {
+                        for (b, path) in closure(graph, t) {
+                            for a in &held {
+                                if a != &b {
+                                    let chain: Vec<String> = std::iter::once(i)
+                                        .chain(path.iter().copied())
+                                        .map(|n| graph.nodes[n].item.qualified.clone())
+                                        .collect();
+                                    pairs.entry((a.clone(), b.clone())).or_insert_with(|| {
+                                        Witness {
+                                            path: node.file.clone(),
+                                            line: call.line,
+                                            chain,
+                                        }
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    for ((a, b), w) in &pairs {
+        let Some(rev) = pairs.get(&(b.clone(), a.clone())) else {
+            continue;
+        };
+        out.push(Finding {
+            path: w.path.clone(),
+            line: w.line,
+            rule: "lock-order",
+            message: format!(
+                "inconsistent lock order: `{a}` is held when `{b}` is acquired here, \
+                 but the opposite order occurs at {}:{}",
+                rev.path,
+                rev.line + 1
+            ),
+            chain: w.chain.clone(),
+        });
+    }
+    out
+}

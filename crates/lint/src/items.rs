@@ -1,0 +1,791 @@
+//! Item-level parsing on top of the [lexer](crate::lexer): `fn`
+//! definitions, call expressions and lock-acquisition sites.
+//!
+//! The call-graph rules (reachability-scoped panic-safety,
+//! interprocedural durability, lock-order) need to know *which function*
+//! a line belongs to and *which functions it calls* — strictly more than
+//! the lexer's line classification, strictly less than a real parse
+//! tree. This module walks the lexer's blanked code (strings, chars and
+//! comments already removed) with a small token window and extracts:
+//!
+//! * **items** — every `fn` with its module path and `impl` owner,
+//!   qualified as `crate::module::Owner::name` (the crate segment is
+//!   derived from the file path: `crates/serve/src/pool.rs` →
+//!   `qd_serve::pool`);
+//! * **calls** — direct calls (`helper(..)`, `path::to::helper(..)`)
+//!   and method calls (`x.helper(..)`), attributed to the innermost
+//!   enclosing `fn` in source order;
+//! * **locks** — method calls named `lock()` with the receiver's final
+//!   field segment as the lock's name (`shared.queue.lock()` acquires
+//!   `queue`), which the lock-order rule consumes.
+//!
+//! Deliberate conservatism, in the direction that never panics and
+//! never invents spurious *resolutions* (the graph layer records
+//! unresolvable calls as such):
+//!
+//! * `fn` keywords inside macro invocation bodies (`macro_rules!`
+//!   definitions included) do not open items — macro bodies are token
+//!   soup, not items — but calls inside argument-position macro bodies
+//!   (`assert!(x.step())`) are still recorded;
+//! * attribute contents (`#[cfg(test)]`, `#[derive(..)]`) produce
+//!   neither items nor calls;
+//! * turbofish calls (`iter.collect::<Vec<_>>()`) are not recognized as
+//!   calls — the token before `(` is `>` — which only ever *removes*
+//!   edges from the graph;
+//! * a parse that loses track (pathological const-generic braces, raw
+//!   identifiers) degrades to fewer items/calls, never to a panic —
+//!   property-tested against every file in this workspace.
+
+use crate::lexer::LexedFile;
+
+/// A call expression inside a `fn` body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Call {
+    /// 0-based source line of the opening parenthesis.
+    pub line: usize,
+    /// Occurrence index within the enclosing `fn` (shared counter with
+    /// [`LockSite::seq`]), giving a total order of calls and
+    /// acquisitions.
+    pub seq: usize,
+    /// The callee's final path segment (`append` in `vfs.append(..)`).
+    pub name: String,
+    /// Every path segment as written (`["vfs", "atomic_write"]`);
+    /// length 1 for bare and method calls.
+    pub path: Vec<String>,
+    /// True for method-call syntax (`x.name(..)`).
+    pub method: bool,
+    /// For method calls: the final identifier of the receiver chain
+    /// (`queue` in `shared.queue.lock()`), when the receiver is an
+    /// identifier chain at all.
+    pub receiver: Option<String>,
+}
+
+/// A `.lock()` acquisition site inside a `fn` body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockSite {
+    /// 0-based source line.
+    pub line: usize,
+    /// Occurrence index within the enclosing `fn` (shared counter with
+    /// [`Call::seq`]).
+    pub seq: usize,
+    /// The lock's name: the receiver chain's final field segment.
+    pub lock: String,
+}
+
+/// One `fn` item with everything the graph layer needs.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// The bare function name.
+    pub name: String,
+    /// `crate::module::Owner::name` (see module docs for derivation).
+    pub qualified: String,
+    /// 0-based line of the body's opening brace.
+    pub start: usize,
+    /// 0-based line of the body's closing brace.
+    pub end: usize,
+    /// True when the item sits inside a `#[cfg(test)]` / `#[test]`
+    /// region.
+    pub in_test: bool,
+    /// Calls made by this function, in source order.
+    pub calls: Vec<Call>,
+    /// Lock acquisitions made by this function, in source order.
+    pub locks: Vec<LockSite>,
+}
+
+/// Whether a file is compiled only for tests, benches or examples —
+/// Cargo's `tests/`, `benches/` and `examples/` directories. Items in
+/// such files are marked `in_test`, so they neither seed nor propagate
+/// reachability and stay out of the DOT dump, exactly like
+/// `#[cfg(test)]` regions.
+pub fn test_only_path(path: &str) -> bool {
+    path.split('/')
+        .any(|seg| matches!(seg, "tests" | "benches" | "examples"))
+}
+
+/// Derives the leading qualified-name segments for a file path.
+///
+/// `crates/<c>/src/<mods..>/<stem>.rs` maps onto the Cargo layout:
+/// crate `qd_<c>` plus the module path (`lib`/`main`/`mod` stems are the
+/// enclosing module itself). Any other path degrades to its segments
+/// (minus `src` and a `lib`/`main` stem), so fixture trees still get
+/// stable, matchable names.
+pub fn path_segments(path: &str) -> Vec<String> {
+    let segs: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+    let mut out = Vec::new();
+    let crate_tail = segs
+        .windows(3)
+        .position(|w| w[0] == "crates" && w[2] == "src")
+        .map(|at| {
+            out.push(format!("qd_{}", segs[at + 1].replace('-', "_")));
+            at + 3
+        });
+    let tail = match crate_tail {
+        Some(from) => &segs[from..],
+        None => &segs[..],
+    };
+    for (i, seg) in tail.iter().enumerate() {
+        let is_last = i + 1 == tail.len();
+        let seg = if is_last {
+            seg.strip_suffix(".rs").unwrap_or(seg)
+        } else {
+            seg
+        };
+        if crate_tail.is_none() && seg == "src" {
+            continue;
+        }
+        if is_last && matches!(seg, "lib" | "main" | "mod") {
+            continue;
+        }
+        out.push(seg.to_string());
+    }
+    out
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Punct(char),
+}
+
+/// Keywords that look like call names but never are.
+fn is_keyword(word: &str) -> bool {
+    matches!(
+        word,
+        "if" | "while"
+            | "for"
+            | "match"
+            | "return"
+            | "loop"
+            | "in"
+            | "as"
+            | "move"
+            | "ref"
+            | "mut"
+            | "else"
+            | "fn"
+            | "impl"
+            | "mod"
+            | "use"
+            | "let"
+            | "pub"
+            | "where"
+            | "unsafe"
+            | "dyn"
+            | "break"
+            | "continue"
+            | "await"
+            | "const"
+            | "static"
+            | "crate"
+            | "super"
+    )
+}
+
+/// Item-introducing keywords whose following `(` is a declaration, not
+/// a call (`struct Foo(u32);`).
+fn is_decl_keyword(word: &str) -> bool {
+    matches!(word, "struct" | "enum" | "union" | "trait" | "type" | "fn")
+}
+
+#[derive(Debug)]
+enum Pending {
+    None,
+    /// Saw `mod`, awaiting the module name.
+    ModName,
+    /// Saw `mod name`, awaiting `{` (inline) or `;` (out-of-line).
+    ModNamed(String),
+    /// Inside `impl .. {` header; idents collected at angle depth 0.
+    ImplHeader {
+        names: Vec<String>,
+        angle: i32,
+    },
+    /// Inside a `trait .. {` header; the first ident is the trait name
+    /// (default-method owner).
+    TraitHeader(Option<String>),
+    /// Saw `fn`, awaiting the function name.
+    FnName,
+    /// Inside a `fn` signature, awaiting the body `{` or a `;`.
+    FnSig {
+        name: String,
+        line: usize,
+        paren: i32,
+        angle: i32,
+        bracket: i32,
+    },
+}
+
+#[derive(Debug)]
+enum Scope {
+    Mod(String, u32),
+    Impl(String, u32),
+}
+
+struct OpenFn {
+    item: usize,
+    depth: u32,
+    seq: usize,
+}
+
+struct Parser<'a> {
+    file: &'a LexedFile,
+    base: Vec<String>,
+    items: Vec<FnItem>,
+    recent: Vec<Tok>,
+    pending: Pending,
+    depth: u32,
+    scopes: Vec<Scope>,
+    open_fns: Vec<OpenFn>,
+    /// Active macro-invocation body: (open delim, close delim, nesting).
+    macro_body: Option<(char, char, u32)>,
+    /// `#` seen, awaiting `[` to open an attribute.
+    hash_pending: bool,
+    /// Bracket depth of an active `#[..]` attribute.
+    attr_depth: u32,
+    prev_char: char,
+}
+
+impl<'a> Parser<'a> {
+    fn new(path: &str, file: &'a LexedFile) -> Self {
+        Parser {
+            file,
+            base: path_segments(path),
+            items: Vec::new(),
+            recent: Vec::new(),
+            pending: Pending::None,
+            depth: 0,
+            scopes: Vec::new(),
+            open_fns: Vec::new(),
+            macro_body: None,
+            hash_pending: false,
+            attr_depth: 0,
+            prev_char: ' ',
+        }
+    }
+
+    fn push_tok(&mut self, tok: Tok) {
+        self.recent.push(tok);
+        if self.recent.len() > 32 {
+            self.recent.remove(0);
+        }
+    }
+
+    fn qualified(&self, name: &str) -> String {
+        let mut segs: Vec<&str> = self.base.iter().map(String::as_str).collect();
+        for scope in &self.scopes {
+            match scope {
+                Scope::Mod(n, _) | Scope::Impl(n, _) => segs.push(n),
+            }
+        }
+        segs.push(name);
+        segs.join("::")
+    }
+
+    fn in_test(&self, line: usize) -> bool {
+        self.file.lines.get(line).is_some_and(|l| l.in_test)
+    }
+
+    fn handle_ident(&mut self, word: String, line: usize) {
+        let structural = self.macro_body.is_none() && self.attr_depth == 0 && !self.hash_pending;
+        match &mut self.pending {
+            Pending::FnName => {
+                self.pending = Pending::FnSig {
+                    name: word.clone(),
+                    line,
+                    paren: 0,
+                    angle: 0,
+                    bracket: 0,
+                };
+            }
+            Pending::ModName => {
+                self.pending = Pending::ModNamed(word.clone());
+            }
+            Pending::TraitHeader(name) => {
+                if name.is_none() {
+                    *name = Some(word.clone());
+                }
+            }
+            Pending::ImplHeader { names, angle } => {
+                if *angle == 0 && word != "where" {
+                    names.push(word.clone());
+                }
+                if word == "where" {
+                    // Bounds after `where` never name the implementing
+                    // type; freeze the collected names.
+                    *angle = i32::MAX / 2;
+                }
+            }
+            Pending::FnSig { .. } | Pending::ModNamed(_) | Pending::None => {
+                if structural && matches!(self.pending, Pending::None) {
+                    match word.as_str() {
+                        "fn" => self.pending = Pending::FnName,
+                        "mod" => self.pending = Pending::ModName,
+                        "impl" => {
+                            self.pending = Pending::ImplHeader {
+                                names: Vec::new(),
+                                angle: 0,
+                            }
+                        }
+                        "trait" => self.pending = Pending::TraitHeader(None),
+                        _ => {}
+                    }
+                }
+            }
+        }
+        self.push_tok(Tok::Ident(word));
+    }
+
+    /// Walks `recent` backwards from a just-seen `(` and records a call
+    /// (and lock site) on the innermost open `fn`, if the tokens before
+    /// the parenthesis form a call expression.
+    fn record_call(&mut self, line: usize) {
+        let t = &self.recent;
+        let Some(Tok::Ident(name)) = t.last() else {
+            return;
+        };
+        if is_keyword(name) {
+            return;
+        }
+        let name = name.clone();
+        // Collect `seg::seg::name` going backwards.
+        let mut path = vec![name.clone()];
+        let mut i = t.len() - 1;
+        while i >= 3 {
+            if let (Tok::Punct(':'), Tok::Punct(':'), Tok::Ident(seg)) =
+                (&t[i - 1], &t[i - 2], &t[i - 3])
+            {
+                path.insert(0, seg.clone());
+                i -= 3;
+            } else {
+                break;
+            }
+        }
+        let before = if i == 0 { None } else { t.get(i - 1) };
+        let (method, receiver) = match before {
+            Some(Tok::Punct('.')) => {
+                let recv = if i >= 2 {
+                    match &t[i - 2] {
+                        Tok::Ident(r) => Some(r.clone()),
+                        _ => None,
+                    }
+                } else {
+                    None
+                };
+                (true, recv)
+            }
+            Some(Tok::Ident(prev)) if is_decl_keyword(prev) => return,
+            _ => (false, None),
+        };
+        if method && path.len() > 1 {
+            return; // `.seg::name(` is not a shape we understand
+        }
+        let Some(frame) = self.open_fns.last_mut() else {
+            return;
+        };
+        let seq = frame.seq;
+        frame.seq += 1;
+        let item = frame.item;
+        if method && name == "lock" {
+            if let Some(recv) = &receiver {
+                self.items[item].locks.push(LockSite {
+                    line,
+                    seq,
+                    lock: recv.clone(),
+                });
+            }
+        }
+        self.items[item].calls.push(Call {
+            line,
+            seq,
+            name,
+            path,
+            method,
+            receiver,
+        });
+    }
+
+    /// True when `recent` ends in a macro-invocation head (`ident!` or
+    /// `macro_rules! name`), meaning the delimiter now opening starts a
+    /// macro body.
+    fn macro_head(&self) -> bool {
+        let t = &self.recent;
+        let n = t.len();
+        if n >= 2 {
+            if let (Tok::Ident(_), Tok::Punct('!')) = (&t[n - 2], &t[n - 1]) {
+                return true;
+            }
+        }
+        if n >= 3 {
+            if let (Tok::Ident(mr), Tok::Punct('!'), Tok::Ident(_)) =
+                (&t[n - 3], &t[n - 2], &t[n - 1])
+            {
+                return mr == "macro_rules";
+            }
+        }
+        false
+    }
+
+    fn open_brace(&mut self, line: usize) {
+        // Complete whatever item header this brace closes over.
+        match std::mem::replace(&mut self.pending, Pending::None) {
+            Pending::FnSig {
+                name,
+                line: sig_line,
+                paren: 0,
+                angle: _,
+                bracket: 0,
+            } => {
+                self.depth += 1;
+                let item = FnItem {
+                    qualified: self.qualified(&name),
+                    name,
+                    start: sig_line,
+                    end: line,
+                    in_test: self.in_test(sig_line) || self.in_test(line),
+                    calls: Vec::new(),
+                    locks: Vec::new(),
+                };
+                self.items.push(item);
+                self.open_fns.push(OpenFn {
+                    item: self.items.len() - 1,
+                    depth: self.depth,
+                    seq: 0,
+                });
+                return;
+            }
+            Pending::ModNamed(name) => {
+                self.depth += 1;
+                self.scopes.push(Scope::Mod(name, self.depth));
+                return;
+            }
+            Pending::TraitHeader(name) => {
+                self.depth += 1;
+                let owner = name.unwrap_or_else(|| "trait".to_string());
+                self.scopes.push(Scope::Impl(owner, self.depth));
+                return;
+            }
+            Pending::ImplHeader { names, .. } => {
+                self.depth += 1;
+                // `impl Trait for Type` names the type last; `impl Type`
+                // names it only.
+                if let Some(owner) = names.last() {
+                    self.scopes.push(Scope::Impl(owner.clone(), self.depth));
+                } else {
+                    self.scopes
+                        .push(Scope::Impl("impl".to_string(), self.depth));
+                }
+                return;
+            }
+            other => self.pending = other,
+        }
+        self.depth += 1;
+    }
+
+    fn close_brace(&mut self, line: usize) {
+        if let Some(open) = self.open_fns.last() {
+            if open.depth == self.depth {
+                self.items[open.item].end = line;
+                self.open_fns.pop();
+            }
+        }
+        if let Some(scope) = self.scopes.last() {
+            let (Scope::Mod(_, d) | Scope::Impl(_, d)) = scope;
+            if *d == self.depth {
+                self.scopes.pop();
+            }
+        }
+        self.depth = self.depth.saturating_sub(1);
+    }
+
+    fn handle_punct(&mut self, c: char, line: usize) {
+        // Attribute tracking runs before anything else: attribute
+        // contents (`#[..]` / `#![..]`) are invisible to items and
+        // calls alike.
+        if self.hash_pending {
+            match c {
+                '!' => {
+                    self.prev_char = c;
+                    return; // inner attribute `#![..]`
+                }
+                '[' => {
+                    self.hash_pending = false;
+                    self.attr_depth = 1;
+                    self.prev_char = c;
+                    return;
+                }
+                _ => self.hash_pending = false,
+            }
+        }
+        if self.attr_depth > 0 {
+            match c {
+                '[' => self.attr_depth += 1,
+                ']' => self.attr_depth -= 1,
+                _ => {}
+            }
+            self.prev_char = c;
+            return;
+        }
+        if c == '#' {
+            self.hash_pending = true;
+            self.prev_char = c;
+            return;
+        }
+        // Signature state machines consume their punctuation outright.
+        match &mut self.pending {
+            Pending::FnSig {
+                paren,
+                angle,
+                bracket,
+                ..
+            } => {
+                match c {
+                    '(' => *paren += 1,
+                    ')' => *paren -= 1,
+                    '[' => *bracket += 1,
+                    ']' => *bracket -= 1,
+                    '<' => *angle += 1,
+                    '>' if self.prev_char != '-' && *angle > 0 => *angle -= 1,
+                    ';' if *paren == 0 && *bracket == 0 => {
+                        // Trait-method declaration: no body, no item.
+                        self.pending = Pending::None;
+                    }
+                    '{' if *paren == 0 && *bracket == 0 => self.open_brace(line),
+                    '}' => self.close_brace(line),
+                    _ => {}
+                }
+                self.push_tok(Tok::Punct(c));
+                self.prev_char = c;
+                return;
+            }
+            Pending::ImplHeader { angle, .. } => match c {
+                '<' => *angle += 1,
+                '>' if self.prev_char != '-' && *angle > 0 => *angle -= 1,
+                ';' => self.pending = Pending::None,
+                _ => {}
+            },
+            Pending::ModNamed(_) | Pending::TraitHeader(_) if c == ';' => {
+                self.pending = Pending::None
+            }
+            Pending::FnName | Pending::ModName if c == ';' => self.pending = Pending::None,
+            _ => {}
+        }
+        // Macro-body bookkeeping: delimiters are counted, item keywords
+        // inside are already suppressed (see `handle_ident`), calls and
+        // braces below still process so depth stays symmetric.
+        if let Some((open, close, depth)) = &mut self.macro_body {
+            if c == *open {
+                *depth += 1;
+            } else if c == *close {
+                *depth -= 1;
+                if *depth == 0 {
+                    self.macro_body = None;
+                }
+            }
+        } else if matches!(c, '(' | '[' | '{') && self.macro_head() {
+            let close = match c {
+                '(' => ')',
+                '[' => ']',
+                _ => '}',
+            };
+            self.macro_body = Some((c, close, 1));
+        }
+        match c {
+            '{' => self.open_brace(line),
+            '}' => self.close_brace(line),
+            '(' => self.record_call(line),
+            _ => {}
+        }
+        self.push_tok(Tok::Punct(c));
+        self.prev_char = c;
+    }
+}
+
+/// Parses `file` (as lexed from the source at `path`) into its `fn`
+/// items. Never fails; see the module docs for what degrades instead.
+pub fn parse_items(path: &str, file: &LexedFile) -> Vec<FnItem> {
+    let mut p = Parser::new(path, file);
+    let test_only = test_only_path(path);
+    for (line_idx, line) in file.lines.iter().enumerate() {
+        let mut word = String::new();
+        for c in line.code.chars() {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                word.push(c);
+                continue;
+            }
+            if !word.is_empty() {
+                p.handle_ident(std::mem::take(&mut word), line_idx);
+            }
+            if c.is_whitespace() {
+                p.prev_char = ' ';
+                continue;
+            }
+            p.handle_punct(c, line_idx);
+        }
+        if !word.is_empty() {
+            p.handle_ident(word, line_idx);
+        }
+        p.prev_char = ' ';
+    }
+    if test_only {
+        for item in &mut p.items {
+            item.in_test = true;
+        }
+    }
+    p.items
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> Vec<FnItem> {
+        parse_items("crates/serve/src/pool.rs", &lex(src))
+    }
+
+    #[test]
+    fn fn_items_carry_module_and_impl_owner() {
+        let src = "\
+mod inner {
+    struct Pool;
+    impl Pool {
+        pub fn execute(&self) { self.run(); helper(); }
+    }
+    fn helper() {}
+}
+";
+        let items = parse(src);
+        let names: Vec<&str> = items.iter().map(|i| i.qualified.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "qd_serve::pool::inner::Pool::execute",
+                "qd_serve::pool::inner::helper"
+            ]
+        );
+        let calls: Vec<&str> = items[0].calls.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(calls, ["run", "helper"]);
+        assert!(items[0].calls[0].method);
+        assert!(!items[0].calls[1].method);
+    }
+
+    #[test]
+    fn trait_impls_attribute_to_the_implementing_type() {
+        let src = "\
+impl<T: Clone> Drop for Pool<T> where T: Send {
+    fn drop(&mut self) { self.join(); }
+}
+";
+        let items = parse(src);
+        assert_eq!(items[0].qualified, "qd_serve::pool::Pool::drop");
+    }
+
+    #[test]
+    fn qualified_calls_keep_their_path() {
+        let items = parse("fn save() { vfs::atomic_write(fs, p, b); }\n");
+        assert_eq!(items[0].calls[0].path, ["vfs", "atomic_write"]);
+        assert_eq!(items[0].calls[0].name, "atomic_write");
+    }
+
+    #[test]
+    fn lock_sites_name_the_receiver_field() {
+        let src = "\
+fn drain(shared: &Shared) {
+    let a = shared.queue.lock();
+    let b = slots.lock();
+    let c = make().lock();
+}
+";
+        let items = parse(src);
+        let locks: Vec<&str> = items[0].locks.iter().map(|l| l.lock.as_str()).collect();
+        // `make().lock()` has no identifier receiver and is dropped.
+        assert_eq!(locks, ["queue", "slots"]);
+        assert!(items[0].locks[0].seq < items[0].locks[1].seq);
+    }
+
+    #[test]
+    fn macro_bodies_hide_fn_items_but_not_calls() {
+        let src = "\
+macro_rules! gen {
+    () => { fn hidden() {} };
+}
+fn real() {
+    assert!(x.step());
+    gen!();
+}
+";
+        let items = parse(src);
+        let names: Vec<&str> = items.iter().map(|i| i.name.as_str()).collect();
+        assert_eq!(names, ["real"]);
+        assert!(items[0].calls.iter().any(|c| c.name == "step"));
+    }
+
+    #[test]
+    fn attributes_produce_no_calls() {
+        let src = "\
+#[derive(Debug, Clone)]
+struct S;
+#[cfg(feature = \"x\")]
+fn gated() { real_call(); }
+";
+        let items = parse(src);
+        assert_eq!(items.len(), 1);
+        assert_eq!(items[0].calls.len(), 1);
+        assert_eq!(items[0].calls[0].name, "real_call");
+    }
+
+    #[test]
+    fn nested_generics_and_array_types_in_signatures() {
+        let src = "\
+fn complicated<T: IntoIterator<Item = Vec<u8>>>(t: T, buf: [u8; 4]) -> Option<Vec<u8>> {
+    inner(t)
+}
+";
+        let items = parse(src);
+        assert_eq!(items[0].name, "complicated");
+        assert_eq!(items[0].calls.len(), 1);
+        assert_eq!(items[0].calls[0].name, "inner");
+    }
+
+    #[test]
+    fn trait_declarations_do_not_open_items() {
+        let src = "\
+trait Api {
+    fn declared(&self) -> u32;
+    fn provided(&self) -> u32 { self.declared() }
+}
+";
+        let items = parse(src);
+        let names: Vec<&str> = items.iter().map(|i| i.name.as_str()).collect();
+        assert_eq!(names, ["provided"]);
+        assert_eq!(items[0].qualified, "qd_serve::pool::Api::provided");
+    }
+
+    #[test]
+    fn test_regions_mark_items() {
+        let src = "\
+fn real() {}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { real(); }
+}
+";
+        let items = parse(src);
+        assert!(!items[0].in_test);
+        assert!(items[1].in_test);
+    }
+
+    #[test]
+    fn path_segments_map_crate_layout() {
+        assert_eq!(
+            path_segments("crates/serve/src/executor.rs"),
+            ["qd_serve", "executor"]
+        );
+        assert_eq!(path_segments("crates/core/src/lib.rs"), ["qd_core"]);
+        assert_eq!(
+            path_segments("fixtures/graph/entry.rs"),
+            ["fixtures", "graph", "entry"]
+        );
+        assert_eq!(path_segments("src/lib.rs"), Vec::<String>::new());
+    }
+}

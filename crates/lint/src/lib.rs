@@ -8,17 +8,36 @@
 //! Rust compiler cannot see: *no wall-clock or unseeded randomness in
 //! simulated paths*, *no iteration-order-dependent float accumulation*,
 //! *no panics in serving loops*, *atomic tmp+fsync+rename for every
-//! durable write*. Clippy has no rules for these, and they regress
-//! silently: a stray `Instant::now` compiles, passes every test, and
-//! quietly breaks resume determinism a month later.
+//! durable write*, *one global lock order*. Clippy has no rules for
+//! these, and they regress silently: a stray `Instant::now` compiles,
+//! passes every test, and quietly breaks resume determinism a month
+//! later.
 //!
-//! `qd-lint` encodes them as six token-level rule families over a
+//! `qd-lint` encodes them as eight rule families over a
 //! [lexer](mod@lexer) that knows enough Rust to never match inside string
 //! literals, char literals or (nested) comments, and to skip
 //! `#[cfg(test)]` regions. Scoping lives in `qd-lint.toml`
 //! ([`Config`]); deliberate exceptions are annotated in-source with
 //! `// qd-lint: allow(<rule>) -- <justification>` and reviewed like any
-//! other diff line.
+//! other diff line (and a typoed rule name in an `allow` is itself a
+//! finding, so suppressions cannot silently rot).
+//!
+//! # The call graph
+//!
+//! Token-level rules see one file at a time, which made "no panics in
+//! serving paths" a *path-glob* property: a helper moved out of
+//! `crates/serve` silently left the rule's scope. v2 adds an
+//! [item parser](mod@items) over the same lexer that extracts every
+//! `fn` (with its impl/trait owner and module path), its calls and its
+//! lock acquisitions; [`graph`] links those into a workspace call graph
+//! with conservative name-based resolution and computes reachability
+//! from the entry-point sets declared in `qd-lint.toml`'s
+//! `[entrypoints]` table. [`interproc`] builds three rule families on
+//! top: reachability-scoped panic-safety (with the witness call chain
+//! in every diagnostic), durability checked across a function's
+//! reachable component, and lock-order consistency along call paths.
+//! `--graph dot` dumps the graph deterministically; `--format json`
+//! emits findings machine-readably.
 //!
 //! # The rule table
 //!
@@ -28,13 +47,15 @@
 //!
 //! ```
 //! let expected = "\
-//! rule            | scope                                      | invariant
-//! determinism     | everywhere except bench / tests / examples | no wall-clock, unseeded RNG or env reads in simulated paths
-//! order-stability | fed / core / unlearn sources               | no HashMap/HashSet where iteration order feeds aggregation
-//! panic-safety    | core / fed / net / unlearn sources         | no unwrap/expect/panic!/literal indexing in serving paths
-//! durability      | checkpoint and journal modules             | File::create paired with tmp + fsync + rename in the same fn
-//! vfs-discipline  | core / serve sources outside the Vfs impl  | no direct std::fs calls; all storage I/O goes through qd_core::vfs
-//! unsafe-hygiene  | workspace-wide                             | no unsafe code anywhere
+//! rule                | scope                                            | invariant
+//! determinism         | everywhere except bench / tests / examples       | no wall-clock, unseeded RNG or env reads in simulated paths
+//! order-stability     | fed / core / serve / unlearn / chaos sources     | no HashMap/HashSet where iteration order feeds aggregation
+//! panic-safety        | serving scopes + fns reachable from entry points | no unwrap/expect/panic!/literal indexing in serving paths
+//! durability          | durable modules, checked across the call graph   | creates/writes paired with fsync (+rename) in the reachable component
+//! lock-order          | serve sources                                    | no two locks acquired in inconsistent order along any call path
+//! vfs-discipline      | core / serve sources outside the Vfs impl        | no direct std::fs calls; all storage I/O goes through qd_core::vfs
+//! suppression-hygiene | workspace-wide                                   | qd-lint: allow(..) must name known rules
+//! unsafe-hygiene      | workspace-wide                                   | no unsafe code anywhere
 //! ";
 //! assert_eq!(qd_lint::rules::render_table(), expected);
 //! ```
@@ -45,8 +66,11 @@
 
 pub mod config;
 pub mod engine;
+pub mod graph;
+pub mod interproc;
+pub mod items;
 pub mod lexer;
 pub mod rules;
 
 pub use config::Config;
-pub use engine::{check_source, Diagnostic};
+pub use engine::{analyze, check_source, Analysis, Diagnostic};

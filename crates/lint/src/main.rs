@@ -1,13 +1,17 @@
 //! `qd-lint`: the workspace invariant gate.
 //!
 //! ```text
-//! qd-lint [--deny] [--list-rules] [--config <path>] [paths...]
+//! qd-lint [--deny] [--list-rules] [--format json] [--graph dot]
+//!         [--config <path>] [paths...]
 //! ```
 //!
 //! With no paths, scans the workspace source roots (`crates`, `src`,
 //! `examples`, `tests`). The config defaults to `./qd-lint.toml` when
 //! present. `--deny` exits non-zero on any finding (the CI gate);
-//! without it findings are printed as warnings.
+//! without it findings are printed as warnings. `--format json` prints
+//! findings as a JSON array instead of text (exit semantics unchanged);
+//! `--graph dot` prints the workspace call graph, annotated with
+//! entry-point reachability, and exits 0 without reporting findings.
 
 #![forbid(unsafe_code)]
 #![deny(rust_2018_idioms)]
@@ -19,6 +23,8 @@ use std::process::ExitCode;
 struct Cli {
     deny: bool,
     list_rules: bool,
+    json: bool,
+    graph_dot: bool,
     config: Option<PathBuf>,
     paths: Vec<PathBuf>,
 }
@@ -27,6 +33,8 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Cli, String> {
     let mut cli = Cli {
         deny: false,
         list_rules: false,
+        json: false,
+        graph_dot: false,
         config: None,
         paths: Vec::new(),
     };
@@ -35,6 +43,25 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Cli, String> {
         match arg.as_str() {
             "--deny" => cli.deny = true,
             "--list-rules" => cli.list_rules = true,
+            "--format" => {
+                let fmt = args
+                    .next()
+                    .ok_or_else(|| "--format requires a value (json)".to_string())?;
+                match fmt.as_str() {
+                    "json" => cli.json = true,
+                    "text" => cli.json = false,
+                    other => return Err(format!("unknown format {other} (expected json or text)")),
+                }
+            }
+            "--graph" => {
+                let kind = args
+                    .next()
+                    .ok_or_else(|| "--graph requires a value (dot)".to_string())?;
+                if kind != "dot" {
+                    return Err(format!("unknown graph format {kind} (expected dot)"));
+                }
+                cli.graph_dot = true;
+            }
             "--config" => {
                 let path = args
                     .next()
@@ -43,7 +70,8 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Cli, String> {
             }
             "--help" | "-h" => {
                 return Err(
-                    "usage: qd-lint [--deny] [--list-rules] [--config <path>] [paths...]"
+                    "usage: qd-lint [--deny] [--list-rules] [--format json] [--graph dot] \
+                     [--config <path>] [paths...]"
                         .to_string(),
                 )
             }
@@ -92,27 +120,38 @@ fn main() -> ExitCode {
     } else {
         cli.paths
     };
-    match engine::run(&roots, &config) {
-        Ok(diagnostics) if diagnostics.is_empty() => {
-            println!("qd-lint: clean");
-            ExitCode::SUCCESS
-        }
-        Ok(diagnostics) => {
-            for d in &diagnostics {
-                println!("{d}");
-            }
-            let n = diagnostics.len();
-            if cli.deny {
-                eprintln!("qd-lint: {n} violation(s)");
-                ExitCode::FAILURE
-            } else {
-                eprintln!("qd-lint: {n} warning(s)");
-                ExitCode::SUCCESS
-            }
-        }
+    let files = match engine::load_files(&roots, &config) {
+        Ok(files) => files,
         Err(e) => {
             eprintln!("qd-lint: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let analysis = engine::analyze(&files, &config);
+    if cli.graph_dot {
+        print!("{}", analysis.graph.to_dot(&analysis.reach));
+        return ExitCode::SUCCESS;
+    }
+    let diagnostics = analysis.diagnostics;
+    if cli.json {
+        print!("{}", engine::to_json(&diagnostics));
+    } else if diagnostics.is_empty() {
+        println!("qd-lint: clean");
+    } else {
+        for d in &diagnostics {
+            println!("{d}");
+        }
+    }
+    if diagnostics.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        let n = diagnostics.len();
+        if cli.deny {
+            eprintln!("qd-lint: {n} violation(s)");
             ExitCode::FAILURE
+        } else {
+            eprintln!("qd-lint: {n} warning(s)");
+            ExitCode::SUCCESS
         }
     }
 }

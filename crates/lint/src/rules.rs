@@ -34,23 +34,33 @@ pub const RULES: &[Rule] = &[
     },
     Rule {
         name: "order-stability",
-        scope: "fed / core / unlearn sources",
+        scope: "fed / core / serve / unlearn / chaos sources",
         invariant: "no HashMap/HashSet where iteration order feeds aggregation",
     },
     Rule {
         name: "panic-safety",
-        scope: "core / fed / net / unlearn sources",
+        scope: "serving scopes + fns reachable from entry points",
         invariant: "no unwrap/expect/panic!/literal indexing in serving paths",
     },
     Rule {
         name: "durability",
-        scope: "checkpoint and journal modules",
-        invariant: "File::create paired with tmp + fsync + rename in the same fn",
+        scope: "durable modules, checked across the call graph",
+        invariant: "creates/writes paired with fsync (+rename) in the reachable component",
+    },
+    Rule {
+        name: "lock-order",
+        scope: "serve sources",
+        invariant: "no two locks acquired in inconsistent order along any call path",
     },
     Rule {
         name: "vfs-discipline",
         scope: "core / serve sources outside the Vfs impl",
         invariant: "no direct std::fs calls; all storage I/O goes through qd_core::vfs",
+    },
+    Rule {
+        name: "suppression-hygiene",
+        scope: "workspace-wide",
+        invariant: "qd-lint: allow(..) must name known rules",
     },
     Rule {
         name: "unsafe-hygiene",
@@ -59,18 +69,23 @@ pub const RULES: &[Rule] = &[
     },
 ];
 
+/// Whether `name` is a registered rule family.
+pub fn is_rule(name: &str) -> bool {
+    RULES.iter().any(|r| r.name == name)
+}
+
 /// Renders the rule table exactly as `qd-lint --list-rules` prints it.
 ///
 /// ```
 /// let table = qd_lint::rules::render_table();
 /// assert_eq!(table.lines().count(), qd_lint::rules::RULES.len() + 1);
-/// assert!(table.starts_with("rule            | scope"));
+/// assert!(table.starts_with("rule                | scope"));
 /// ```
 pub fn render_table() -> String {
-    let mut out = format!("{:<15} | {:<42} | {}\n", "rule", "scope", "invariant");
+    let mut out = format!("{:<19} | {:<48} | {}\n", "rule", "scope", "invariant");
     for rule in RULES {
         out.push_str(&format!(
-            "{:<15} | {:<42} | {}\n",
+            "{:<19} | {:<48} | {}\n",
             rule.name, rule.scope, rule.invariant
         ));
     }
@@ -121,8 +136,88 @@ pub fn check(name: &str, file: &LexedFile) -> Vec<(usize, String)> {
         "unsafe-hygiene" => check_tokens(file, &["unsafe"], |_| {
             "`unsafe` is denied workspace-wide".to_string()
         }),
+        "suppression-hygiene" => check_suppression_hygiene(file),
+        // lock-order is interprocedural-only: it needs the workspace
+        // call graph, so the engine runs it via `crate::interproc`.
         _ => Vec::new(),
     }
+}
+
+/// Every rule name appearing in `qd-lint: allow(..)` groups of a
+/// comment, in order.
+pub(crate) fn allow_names(comment: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = comment;
+    while let Some(at) = rest.find("qd-lint: allow(") {
+        let args = &rest[at + "qd-lint: allow(".len()..];
+        let Some(end) = args.find(')') else {
+            break;
+        };
+        out.extend(
+            args[..end]
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(str::to_string),
+        );
+        rest = &args[end + 1..];
+    }
+    out
+}
+
+/// Suppression hygiene: an `allow(<rule>)` naming an unknown rule is a
+/// hard error, not a silent no-op — a typo in a suppression must not
+/// quietly disable nothing while the author believes the finding is
+/// covered. Applies to comments everywhere, test regions included.
+fn check_suppression_hygiene(file: &LexedFile) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    for (i, line) in file.lines.iter().enumerate() {
+        for name in allow_names(&line.comment) {
+            // Prose that *documents* the protocol writes placeholders —
+            // `allow(<rule>)`, `allow(..)` — which are not identifiers
+            // and could never have suppressed anything; only
+            // identifier-shaped names are typo candidates.
+            let ident_shaped = !name.is_empty()
+                && name
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_');
+            if ident_shaped && !is_rule(&name) {
+                out.push((
+                    i,
+                    format!(
+                        "unknown rule `{name}` in suppression; known rules: {}",
+                        RULES.iter().map(|r| r.name).collect::<Vec<_>>().join(", ")
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// The panic-capable tokens the panic-safety family bans, shared with
+/// the reachability-scoped variant in [`crate::interproc`].
+pub(crate) const PANIC_TOKENS: &[&str] = &[
+    ".unwrap()",
+    ".expect(",
+    "panic!",
+    "unreachable!",
+    "todo!",
+    "unimplemented!",
+];
+
+/// Panic-capable tokens present on a blanked code line: each banned
+/// token that matches, plus a pseudo-token for literal indexing.
+pub(crate) fn panic_tokens_on(code: &str) -> Vec<&'static str> {
+    let mut out: Vec<&'static str> = PANIC_TOKENS
+        .iter()
+        .copied()
+        .filter(|tok| find_token(code, tok))
+        .collect();
+    if has_literal_index(code) {
+        out.push("literal indexing");
+    }
+    out
 }
 
 fn check_tokens(
@@ -145,18 +240,9 @@ fn check_tokens(
 }
 
 fn check_panic_safety(file: &LexedFile) -> Vec<(usize, String)> {
-    let mut out = check_tokens(
-        file,
-        &[
-            ".unwrap()",
-            ".expect(",
-            "panic!",
-            "unreachable!",
-            "todo!",
-            "unimplemented!",
-        ],
-        |tok| format!("`{tok}` can panic in a serving path; return a typed error"),
-    );
+    let mut out = check_tokens(file, PANIC_TOKENS, |tok| {
+        format!("`{tok}` can panic in a serving path; return a typed error")
+    });
     for (i, line) in file.lines.iter().enumerate() {
         if !line.in_test && has_literal_index(&line.code) {
             out.push((

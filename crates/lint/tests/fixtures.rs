@@ -49,15 +49,20 @@ fn corpus_produces_exactly_the_expected_findings() {
         ("determinism.rs", 10, "determinism"),
         ("determinism.rs", 14, "determinism"),
         ("determinism.rs", 19, "determinism"),
+        ("durable/split.rs", 21, "durability"),
         ("fed/order.rs", 3, "order-stability"),
         ("fed/order.rs", 4, "order-stability"),
         ("fed/order.rs", 6, "order-stability"),
         ("fed/order.rs", 16, "order-stability"),
+        ("helpers/math.rs", 9, "panic-safety"),
+        ("locks/order.rs", 7, "lock-order"),
+        ("locks/order.rs", 13, "lock-order"),
         ("serving/panics.rs", 4, "panic-safety"),
         ("serving/panics.rs", 8, "panic-safety"),
         ("serving/panics.rs", 13, "panic-safety"),
         ("serving/panics.rs", 21, "panic-safety"),
         ("serving/panics.rs", 26, "panic-safety"),
+        ("suppress/unknown.rs", 5, "suppression-hygiene"),
         ("unsafe_code.rs", 4, "unsafe-hygiene"),
         ("unsafe_code.rs", 7, "unsafe-hygiene"),
     ]
@@ -89,6 +94,9 @@ fn suppressed_and_out_of_scope_cases_never_fire() {
         ("checkpoint.rs", 29),
         ("core/direct_fs.rs", 21),
         ("unsafe_code.rs", 10),
+        // Reachable but justified (helpers) and meta-suppressed typo.
+        ("helpers/math.rs", 14),
+        ("suppress/unknown.rs", 9),
     ] {
         assert!(
             !findings.iter().any(|(f, l, _)| f == file && *l == line),
@@ -126,6 +134,82 @@ fn clean_tree_passes_deny_mode() {
         "lint's own src must be clean: {}",
         String::from_utf8_lossy(&out.stdout)
     );
+}
+
+#[test]
+fn reachability_findings_carry_the_witness_call_chain() {
+    let diags = engine::run(&[fixtures_dir()], &fixture_config()).expect("corpus scans");
+    let reach = diags
+        .iter()
+        .find(|d| d.path.ends_with("helpers/math.rs") && d.rule == "panic-safety")
+        .expect("the reachable unwrap is reported");
+    let chain: Vec<&str> = reach.chain.iter().map(String::as_str).collect();
+    assert_eq!(chain.len(), 4, "{chain:?}");
+    assert!(
+        chain[0].ends_with("serving::entry::handle_request"),
+        "{chain:?}"
+    );
+    assert!(chain[3].ends_with("helpers::math::deep_sum"), "{chain:?}");
+    assert!(
+        reach.to_string().contains("[via "),
+        "chains render in text output: {reach}"
+    );
+    // The unreachable twin of the same token never fires.
+    assert!(
+        !diags
+            .iter()
+            .any(|d| d.path.ends_with("helpers/math.rs") && d.line == 18),
+        "cold_stats is unreachable"
+    );
+}
+
+#[test]
+fn json_format_emits_the_findings_machine_readably() {
+    let out = Command::new(env!("CARGO_BIN_EXE_qd-lint"))
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .args([
+            "--format",
+            "json",
+            "--config",
+            "fixtures/qd-lint.toml",
+            "fixtures",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "json without --deny still exits 0");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.starts_with('['), "{stdout}");
+    assert!(stdout.trim_end().ends_with(']'), "{stdout}");
+    assert!(
+        stdout
+            .contains("\"path\":\"fixtures/durable/split.rs\",\"line\":21,\"rule\":\"durability\""),
+        "{stdout}"
+    );
+    assert!(stdout.contains("\"rule\":\"lock-order\""), "{stdout}");
+    assert!(
+        stdout.contains("\"chain\":[\"fixtures::serving::entry::handle_request\","),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn graph_dot_output_matches_the_pinned_fixture_byte_for_byte() {
+    let out = Command::new(env!("CARGO_BIN_EXE_qd-lint"))
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .args([
+            "--graph",
+            "dot",
+            "--config",
+            "fixtures/qd-lint.toml",
+            "fixtures/graph",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "--graph dot exits 0");
+    let pinned =
+        std::fs::read_to_string(fixtures_dir().parent().unwrap().join("fixtures/graph.dot"))
+            .expect("pinned dot exists");
+    assert_eq!(String::from_utf8(out.stdout).unwrap(), pinned);
 }
 
 #[test]

@@ -25,6 +25,16 @@ if (cd crates/lint && cargo run --offline -q -p qd-lint -- --deny --config fixtu
     exit 1
 fi
 
+echo "== qd-lint (interprocedural findings carry witness chains)"
+(cd crates/lint && cargo run --offline -q -p qd-lint -- --config fixtures/qd-lint.toml fixtures || true) \
+    | grep -q 'helpers/math.rs:9: \[panic-safety\].*\[via ' \
+    || { echo "reachability finding lost its call chain" >&2; exit 1; }
+
+echo "== qd-lint (--graph dot output matches the pinned fixture byte-for-byte)"
+(cd crates/lint && cargo run --offline -q -p qd-lint -- --graph dot --config fixtures/qd-lint.toml fixtures/graph) \
+    | diff -u crates/lint/fixtures/graph.dot - \
+    || { echo "call-graph DOT drifted from crates/lint/fixtures/graph.dot" >&2; exit 1; }
+
 echo "== cargo test"
 cargo test --offline --workspace -q
 
